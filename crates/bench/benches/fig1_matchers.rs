@@ -1,0 +1,31 @@
+//! Figure 1 (timing side): one search per string matching algorithm —
+//! precomputation plus parallel search for the paper's query phrase.
+//!
+//! The experiment harness (`experiments fig1`) adds the 100-repetition
+//! boxplot statistics; this bench gives tight per-algorithm timings and
+//! regressions tracking. Expected shape: SSEF, EBOM, Hash3 and Hybrid in
+//! one fast group; Boyer-Moore, KMP, ShiftOr an order of magnitude slower.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use stringmatch::{all_matchers, ParallelMatcher, PAPER_QUERY};
+
+fn bench_matchers(c: &mut Criterion) {
+    let text = bench::bench_corpus();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("fig1_matchers");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for m in all_matchers() {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let pm = ParallelMatcher::new(m.as_ref(), threads);
+                black_box(pm.find_all(black_box(PAPER_QUERY), black_box(text)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figures 2-4 (timing side): the per-iteration overhead of the six
+//! phase-2 strategies, and the window-size ablation for the windowed ones.
+//!
+//! The strategies must be cheap relative to the tuned operation (a search
+//! over megabytes of text); this bench pins their select+report cost to
+//! nanoseconds-per-iteration so regressions in the tuner itself are
+//! caught independently of the case studies.
+
+use autotune::two_phase::NominalKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ARMS: usize = 8;
+const COSTS: [f64; ARMS] = [120.0, 12.0, 14.0, 10.0, 11.0, 95.0, 110.0, 15.0];
+
+fn bench_strategy_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_strategy_overhead");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    for kind in NominalKind::paper_set() {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || kind.build(ARMS, 42),
+                |mut s| {
+                    for _ in 0..256 {
+                        let a = s.select();
+                        s.report(a, black_box(COSTS[a]));
+                    }
+                    black_box(s.best())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window_overhead");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    for window in [4usize, 16, 64, 256] {
+        for kind in [
+            NominalKind::GradientWeighted(window),
+            NominalKind::SlidingWindowAuc(window),
+        ] {
+            group.bench_function(kind.label(), |b| {
+                b.iter_batched(
+                    || kind.build(ARMS, 7),
+                    |mut s| {
+                        for _ in 0..256 {
+                            let a = s.select();
+                            s.report(a, black_box(COSTS[a]));
+                        }
+                        black_box(s.best())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_overhead, bench_window_ablation);
+criterion_main!(benches);

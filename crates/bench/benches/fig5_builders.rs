@@ -1,0 +1,79 @@
+//! Figure 5 (timing side): kD-tree construction time per builder, at the
+//! hand-crafted start configuration and at a tuned-looking configuration.
+//!
+//! Expected shape: Wald-Havran (exact event sweep) is the most expensive
+//! build; the binned builders are cheaper; Lazy's *eager* build cost falls
+//! with the cutoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raytrace::kdtree::{all_builders, BuildConfig};
+use raytrace::SahParams;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_builders(c: &mut Criterion) {
+    let scene = bench::bench_scene();
+    let mut group = c.benchmark_group("fig5_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for b in all_builders() {
+        group.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                let accel = b.build(black_box(&scene.triangles), &BuildConfig::default());
+                black_box(accel.stats().nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sah_cost_sensitivity(c: &mut Criterion) {
+    // Ablation: the SAH constants steer build cost (deeper vs. shallower
+    // trees) — the very surface the phase-1 tuner explores.
+    let scene = bench::bench_scene();
+    let builders = all_builders();
+    let wh = &builders[3];
+    let mut group = c.benchmark_group("ablation_sah_costs");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (ct, ci) in [(1.0f32, 60.0f32), (15.0, 20.0), (60.0, 1.0)] {
+        group.bench_function(format!("wald_havran_ct{ct}_ci{ci}"), |bench| {
+            let config = BuildConfig {
+                sah: SahParams {
+                    traversal_cost: ct,
+                    intersection_cost: ci,
+                },
+                ..Default::default()
+            };
+            bench.iter(|| {
+                let accel = wh.build(black_box(&scene.triangles), &config);
+                black_box(accel.stats().nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_cutoff(c: &mut Criterion) {
+    // Ablation: Lazy's eager cutoff trades upfront build cost for
+    // render-time expansion.
+    let scene = bench::bench_scene();
+    let builders = all_builders();
+    let lazy = &builders[1];
+    let mut group = c.benchmark_group("ablation_lazy_cutoff");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for cutoff in [0u32, 4, 8, 16] {
+        group.bench_function(format!("eager_cutoff_{cutoff}"), |bench| {
+            let config = BuildConfig {
+                eager_cutoff: cutoff,
+                ..Default::default()
+            };
+            bench.iter(|| {
+                let accel = lazy.build(black_box(&scene.triangles), &config);
+                black_box(accel.stats().nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_sah_cost_sensitivity, bench_lazy_cutoff);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 6-8 (timing side): one full two-phase tuning iteration of the
+//! raytracing case study — strategy selection, phase-1 proposal, and the
+//! complete two-stage frame (build + render) — per strategy.
+
+use autotune::two_phase::{NominalKind, TwoPhaseTuner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use raytrace::render::{frame, RenderOptions};
+use raytrace::tunable;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_two_phase_frame(c: &mut Criterion) {
+    let scene = bench::bench_scene();
+    let builders = raytrace::all_builders();
+    let opts = RenderOptions {
+        width: 48,
+        height: 36,
+        threads: 4,
+    };
+    let mut group = c.benchmark_group("fig6_two_phase_iteration");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for kind in [
+        NominalKind::EpsilonGreedy(0.10),
+        NominalKind::SlidingWindowAuc(16),
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), kind, 5);
+            b.iter(|| {
+                let sample = tuner.step(|alg, cfg| {
+                    let name = builders[alg].name();
+                    let config = tunable::decode(name, cfg);
+                    frame(scene, builders[alg].as_ref(), &config, &opts).total_ms()
+                });
+                black_box(sample.value)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_phase_frame);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: per-iteration overhead of every classical phase-1 search
+//! strategy (Section II-A) on a smooth two-parameter surface.
+//!
+//! Online tuning budgets are dominated by the measured operation, but the
+//! searcher's own propose/report cost still matters for fine-grained hot
+//! loops; this bench pins all eight strategies side by side.
+
+use autotune::param::Parameter;
+use autotune::search::{
+    DifferentialEvolution, ExhaustiveSearch, GeneticAlgorithm, HillClimbing, NelderMead,
+    NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,
+};
+use autotune::space::{Configuration, SearchSpace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn space() -> SearchSpace {
+    SearchSpace::new(vec![
+        Parameter::ratio("x", -20, 20),
+        Parameter::interval("y", -20, 20),
+    ])
+}
+
+fn cost(c: &Configuration) -> f64 {
+    let x = c.get(0).as_f64();
+    let y = c.get(1).as_f64();
+    1.0 + (x - 7.0).powi(2) + (y + 3.0).powi(2)
+}
+
+fn run_iterations(s: &mut dyn Searcher, iters: usize) -> f64 {
+    let mut last = 0.0;
+    for _ in 0..iters {
+        let c = s.propose();
+        last = cost(&c);
+        s.report(last);
+    }
+    last
+}
+
+type SearcherFactory = Box<dyn Fn() -> Box<dyn Searcher>>;
+
+fn bench_searchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_searchers");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let factories: Vec<(&str, SearcherFactory)> = vec![
+        ("hill-climbing", Box::new(|| Box::new(HillClimbing::new(space(), 1)))),
+        (
+            "nelder-mead",
+            Box::new(|| Box::new(NelderMead::new(space(), NelderMeadOptions::default()))),
+        ),
+        (
+            "particle-swarm",
+            Box::new(|| Box::new(ParticleSwarm::new(space(), 1, Default::default()))),
+        ),
+        (
+            "genetic",
+            Box::new(|| Box::new(GeneticAlgorithm::new(space(), 1, Default::default()))),
+        ),
+        (
+            "differential-evolution",
+            Box::new(|| Box::new(DifferentialEvolution::new(space(), 1, Default::default()))),
+        ),
+        (
+            "simulated-annealing",
+            Box::new(|| Box::new(SimulatedAnnealing::new(space(), 1, Default::default()))),
+        ),
+        ("exhaustive", Box::new(|| Box::new(ExhaustiveSearch::new(space())))),
+        ("random", Box::new(|| Box::new(RandomSearch::new(space(), 1)))),
+    ];
+    for (name, factory) in &factories {
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                factory,
+                |mut s| black_box(run_iterations(s.as_mut(), 200)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_searchers);
+criterion_main!(benches);

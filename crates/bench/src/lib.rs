@@ -1,0 +1,34 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target regenerates the timing side of one paper artifact
+//! (see `crates/bench/benches/`); the full statistical experiments — 100
+//! repetitions, medians over iterations — live in the `experiments`
+//! binary, which produces the actual figure data.
+
+use std::sync::OnceLock;
+
+/// A 256 KiB bible-like corpus, built once per bench process.
+pub fn bench_corpus() -> &'static [u8] {
+    static CORPUS: OnceLock<Vec<u8>> = OnceLock::new();
+    CORPUS.get_or_init(|| stringmatch::corpus::bible_like_with(99, 256 << 10, 4_000))
+}
+
+/// A detail-1 cathedral scene, built once per bench process.
+pub fn bench_scene() -> &'static raytrace::Scene {
+    static SCENE: OnceLock<raytrace::Scene> = OnceLock::new();
+    SCENE.get_or_init(|| raytrace::cathedral(99, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_cached_and_nonempty() {
+        let a = bench_corpus().as_ptr();
+        let b = bench_corpus().as_ptr();
+        assert_eq!(a, b, "corpus built once");
+        assert!(bench_corpus().len() >= 256 << 10);
+        assert!(!bench_scene().triangles.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-algorithm sample history.
+//!
+//! The weighted phase-2 strategies of Section III all derive their weights
+//! from the runtime samples observed for each algorithm: the Gradient
+//! Weighted and Sliding-Window AUC strategies look at the latest *iteration
+//! window* `[i0, i1]` of an algorithm's own samples, and Optimum Weighted at
+//! the best sample seen so far. This module centralizes that bookkeeping.
+
+use crate::measure::Sample;
+use crate::space::Configuration;
+
+/// History of runtime samples for one algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct AlgorithmHistory {
+    samples: Vec<Sample>,
+    best: Option<(usize, f64)>,
+}
+
+impl AlgorithmHistory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a new sample (measured value for `config` at global tuning
+    /// iteration `iteration`).
+    pub fn record(&mut self, iteration: usize, config: Configuration, value: f64) {
+        assert!(value.is_finite(), "measurement must be finite, got {value}");
+        let idx = self.samples.len();
+        if self.best.is_none_or(|(_, b)| value < b) {
+            self.best = Some((idx, value));
+        }
+        self.samples.push(Sample {
+            iteration,
+            config,
+            value,
+        });
+    }
+
+    /// Number of samples observed for this algorithm.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Best (minimal) measured value so far, with the sample holding it.
+    pub fn best(&self) -> Option<&Sample> {
+        self.best.map(|(i, _)| &self.samples[i])
+    }
+
+    /// Best (minimal) measured value so far.
+    pub fn best_value(&self) -> Option<f64> {
+        self.best.map(|(_, v)| v)
+    }
+
+    /// The last measured value.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.value)
+    }
+
+    /// The latest iteration window of length at most `window`: the paper's
+    /// `[i0, i1]` over *this algorithm's own* sample sequence. Returns the
+    /// window as a slice of samples (most recent `window` entries).
+    pub fn latest_window(&self, window: usize) -> &[Sample] {
+        assert!(window > 0, "window must be positive");
+        let start = self.samples.len().saturating_sub(window);
+        &self.samples[start..]
+    }
+
+    /// The paper's gradient over the latest window:
+    /// `G_A = (1/m_{A,i1} − 1/m_{A,i0}) / (i1 − i0)`
+    /// where indices are positions in this algorithm's own sample sequence.
+    /// Performance is interpreted inversely to time, so a *positive* gradient
+    /// means the algorithm is getting faster. Returns `None` with fewer than
+    /// two samples (no gradient is defined yet).
+    pub fn window_gradient(&self, window: usize) -> Option<f64> {
+        let w = self.latest_window(window);
+        if w.len() < 2 {
+            return None;
+        }
+        let first = w.first().expect("len >= 2");
+        let last = w.last().expect("len >= 2");
+        let span = (w.len() - 1) as f64;
+        Some((1.0 / last.value - 1.0 / first.value) / span)
+    }
+
+    /// The paper's sliding-window area under the (inverse) performance curve:
+    /// `w_A = (Σ_{i=i0}^{i1} 1/m_{A,i}) / (i1 − i0)`.
+    ///
+    /// With a single sample the denominator `i1 − i0` would be zero; we fall
+    /// back to the single inverse value, which keeps the weight finite and
+    /// strictly positive as the definition requires.
+    pub fn window_auc(&self, window: usize) -> Option<f64> {
+        let w = self.latest_window(window);
+        if w.is_empty() {
+            return None;
+        }
+        let sum: f64 = w.iter().map(|s| 1.0 / s.value).sum();
+        if w.len() == 1 {
+            Some(sum)
+        } else {
+            Some(sum / (w.len() - 1) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Configuration;
+
+    fn hist(values: &[f64]) -> AlgorithmHistory {
+        let mut h = AlgorithmHistory::new();
+        for (i, &v) in values.iter().enumerate() {
+            h.record(i, Configuration::empty(), v);
+        }
+        h
+    }
+
+    #[test]
+    fn best_tracks_minimum() {
+        let h = hist(&[5.0, 3.0, 4.0, 3.5]);
+        assert_eq!(h.best_value(), Some(3.0));
+        assert_eq!(h.best().unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn best_prefers_earliest_on_tie() {
+        let h = hist(&[3.0, 3.0, 3.0]);
+        assert_eq!(h.best().unwrap().iteration, 0);
+    }
+
+    #[test]
+    fn latest_window_clamps_to_available() {
+        let h = hist(&[1.0, 2.0, 3.0]);
+        assert_eq!(h.latest_window(16).len(), 3);
+        assert_eq!(h.latest_window(2).len(), 2);
+        assert_eq!(h.latest_window(2)[0].value, 2.0);
+    }
+
+    #[test]
+    fn gradient_positive_when_improving() {
+        // Runtime falling 4 -> 2 means inverse performance rising: G > 0.
+        let h = hist(&[4.0, 2.0]);
+        let g = h.window_gradient(16).unwrap();
+        assert!((g - (0.5 - 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_negative_when_degrading() {
+        let h = hist(&[2.0, 4.0]);
+        assert!(h.window_gradient(16).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn gradient_zero_when_flat() {
+        let h = hist(&[3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(h.window_gradient(16), Some(0.0));
+    }
+
+    #[test]
+    fn gradient_uses_window_endpoints_only() {
+        // Values inside the window do not matter, only the endpoints.
+        let a = hist(&[4.0, 100.0, 2.0]);
+        let b = hist(&[4.0, 0.001, 2.0]);
+        assert_eq!(a.window_gradient(16), b.window_gradient(16));
+    }
+
+    #[test]
+    fn gradient_undefined_for_single_sample() {
+        assert_eq!(hist(&[2.0]).window_gradient(16), None);
+        assert_eq!(hist(&[]).window_gradient(16), None);
+    }
+
+    #[test]
+    fn auc_matches_definition() {
+        let h = hist(&[2.0, 4.0, 2.0]);
+        // (1/2 + 1/4 + 1/2) / 2 = 0.625
+        assert!((h.window_auc(16).unwrap() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_sample_is_inverse_value() {
+        let h = hist(&[4.0]);
+        assert_eq!(h.window_auc(16), Some(0.25));
+    }
+
+    #[test]
+    fn auc_respects_window() {
+        let h = hist(&[1000.0, 2.0, 2.0]);
+        // Window of 2 drops the slow first sample: (1/2 + 1/2) / 1 = 1.0.
+        assert!((h.window_auc(2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_measurements_rejected() {
+        let mut h = AlgorithmHistory::new();
+        h.record(0, Configuration::empty(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,186 @@
+//! Phase-2 strategies for tuning *nominal* parameters — in particular the
+//! algorithmic-choice parameter (Section III of the paper).
+//!
+//! Algorithms taking the same inputs and producing the same outputs "can not
+//! be ordered, do not offer a notion of distance and do not have a natural
+//! zero point", so none of the classical numeric searchers apply. The paper
+//! devises four probabilistic selection strategies, all of which keep every
+//! algorithm's selection probability strictly positive so that a currently-
+//! slow algorithm can still improve under phase-1 tuning:
+//!
+//! * [`EpsilonGreedy`] — exploit the best-known algorithm with probability
+//!   `1 − ε`, explore uniformly otherwise (ε ∈ {5%, 10%, 20%} in the paper).
+//! * [`GradientWeighted`] — weight by the recent *improvement gradient* of
+//!   each algorithm's inverse runtime (window 16).
+//! * [`OptimumWeighted`] — weight by each algorithm's best observed inverse
+//!   runtime.
+//! * [`SlidingWindowAuc`] — weight by the average inverse runtime over a
+//!   sliding window (window 16), after OpenTuner's AUC bandit.
+//!
+//! [`Softmax`] (Gibbs selection) is additionally provided as the alternative
+//! the paper discusses and rejects in Section III-A, so the comparison can
+//! be reproduced.
+
+mod combined;
+mod epsilon_greedy;
+mod gradient_weighted;
+mod optimum_weighted;
+mod sliding_auc;
+mod softmax;
+
+pub use combined::EpsilonGradient;
+pub use epsilon_greedy::EpsilonGreedy;
+pub use gradient_weighted::{GradientWeighted, DEFAULT_WINDOW as GRADIENT_DEFAULT_WINDOW};
+pub use optimum_weighted::OptimumWeighted;
+pub use sliding_auc::{SlidingWindowAuc, DEFAULT_WINDOW as AUC_DEFAULT_WINDOW};
+pub use softmax::Softmax;
+
+use crate::history::AlgorithmHistory;
+use crate::rng::Rng;
+
+/// Ask/tell interface of a phase-2 (algorithm-selection) strategy.
+///
+/// Protocol: call [`NominalStrategy::select`] to obtain the algorithm index
+/// for this tuning iteration, run the algorithm (with phase-1-tuned
+/// parameters), then [`NominalStrategy::report`] its measured runtime.
+pub trait NominalStrategy {
+    /// Number of alternatives `|𝒜|`.
+    fn num_algorithms(&self) -> usize;
+
+    /// Choose the algorithm for the next tuning iteration.
+    fn select(&mut self) -> usize;
+
+    /// Report the measured runtime of the most recently selected algorithm.
+    fn report(&mut self, algorithm: usize, value: f64);
+
+    /// The algorithm currently believed best (lowest best observed
+    /// runtime), or `None` before any sample.
+    fn best(&self) -> Option<usize>;
+
+    /// Per-algorithm sample histories (for analysis and plots).
+    fn histories(&self) -> &[AlgorithmHistory];
+
+    /// Display name, including parameterization (e.g. `e-greedy(10%)`).
+    fn name(&self) -> String;
+}
+
+/// Shared bookkeeping for the strategy implementations: histories plus an
+/// iteration counter.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectionState {
+    pub histories: Vec<AlgorithmHistory>,
+    pub iteration: usize,
+    pub rng: Rng,
+}
+
+impl SelectionState {
+    pub fn new(num_algorithms: usize, seed: u64) -> Self {
+        assert!(num_algorithms > 0, "need at least one algorithm");
+        SelectionState {
+            histories: (0..num_algorithms).map(|_| AlgorithmHistory::new()).collect(),
+            iteration: 0,
+            rng: Rng::new(seed),
+        }
+    }
+
+    pub fn record(&mut self, algorithm: usize, value: f64) {
+        self.histories[algorithm].record(
+            self.iteration,
+            crate::space::Configuration::empty(),
+            value,
+        );
+        self.iteration += 1;
+    }
+
+    /// Index of the algorithm with the lowest best observed runtime.
+    pub fn best(&self) -> Option<usize> {
+        self.histories
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.best_value().map(|v| (i, v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// First algorithm that has never been sampled, if any (deterministic
+    /// order).
+    pub fn first_unseen(&self) -> Option<usize> {
+        self.histories.iter().position(AlgorithmHistory::is_empty)
+    }
+}
+
+/// Fill in weights for never-sampled algorithms.
+///
+/// The paper's weighted strategies "never exclude an algorithm from the
+/// selection process" and require `w_A > 0`, but their weight definitions
+/// need at least one sample. For unseen algorithms we use the *optimistic*
+/// convention: the maximum currently-defined weight (or 1 if none is
+/// defined), which guarantees every algorithm is sampled early without any
+/// special-cased initialization phase.
+pub(crate) fn fill_unseen_optimistic(weights: &mut [Option<f64>]) -> Vec<f64> {
+    let max_defined = weights
+        .iter()
+        .flatten()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let fallback = if max_defined.is_finite() && max_defined > 0.0 {
+        max_defined
+    } else {
+        1.0
+    };
+    weights.iter().map(|w| w.unwrap_or(fallback)).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::NominalStrategy;
+
+    /// Drive a strategy against fixed per-algorithm costs for `iters`
+    /// iterations; returns how often each algorithm was selected.
+    pub fn drive(strategy: &mut dyn NominalStrategy, costs: &[f64], iters: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; costs.len()];
+        for _ in 0..iters {
+            let a = strategy.select();
+            counts[a] += 1;
+            strategy.report(a, costs[a]);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_unseen_uses_max_defined_weight() {
+        let mut w = vec![Some(2.0), None, Some(5.0)];
+        assert_eq!(fill_unseen_optimistic(&mut w), vec![2.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn fill_unseen_all_undefined_gives_uniform() {
+        let mut w = vec![None, None];
+        assert_eq!(fill_unseen_optimistic(&mut w), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn selection_state_tracks_best_and_unseen() {
+        let mut s = SelectionState::new(3, 0);
+        assert_eq!(s.first_unseen(), Some(0));
+        assert_eq!(s.best(), None);
+        s.record(1, 5.0);
+        assert_eq!(s.first_unseen(), Some(0));
+        s.record(0, 3.0);
+        s.record(2, 4.0);
+        assert_eq!(s.first_unseen(), None);
+        assert_eq!(s.best(), Some(0));
+        s.record(2, 1.0);
+        assert_eq!(s.best(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_algorithms_rejected() {
+        SelectionState::new(0, 0);
+    }
+}

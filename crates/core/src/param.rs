@@ -1,0 +1,481 @@
+//! Tuning parameters classified by Stevens' typology of scales (Table I of
+//! the paper).
+//!
+//! Every tunable parameter belongs to one of four classes, each characterized
+//! by a distinguishing property and subsuming the properties of the previous
+//! classes:
+//!
+//! | Class    | Distinguishing property          | Example                      |
+//! |----------|----------------------------------|------------------------------|
+//! | Nominal  | labels                           | choice of algorithm          |
+//! | Ordinal  | order                            | `small`/`medium`/`large`     |
+//! | Interval | distance                         | percentage of a buffer size  |
+//! | Ratio    | natural zero, equality of ratios | number of threads            |
+//!
+//! The class determines which search-strategy operations are meaningful: a
+//! hill climber needs *neighborhood* (order), Nelder-Mead needs *distance*
+//! (interval), and only exhaustive/random selection or the dedicated nominal
+//! strategies of [`crate::nominal`] can legally manipulate a nominal
+//! parameter.
+
+use serde::{Deserialize, Serialize};
+
+/// The four Stevens classes. Ordered weakest (`Nominal`) to strongest
+/// (`Ratio`); a class subsumes every weaker class' properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ParamClass {
+    /// Only labels: values can be compared for equality, nothing else.
+    Nominal,
+    /// Labels with a total order but no meaningful distance.
+    Ordinal,
+    /// Ordered values with meaningful distance but no natural zero.
+    Interval,
+    /// Interval plus a natural zero, so ratios of values are meaningful.
+    Ratio,
+}
+
+impl ParamClass {
+    /// Does this class define a total order on its values?
+    pub fn has_order(self) -> bool {
+        self >= ParamClass::Ordinal
+    }
+
+    /// Does this class define a distance between values?
+    pub fn has_distance(self) -> bool {
+        self >= ParamClass::Interval
+    }
+
+    /// Does this class have a natural zero (so ratios are meaningful)?
+    pub fn has_natural_zero(self) -> bool {
+        self >= ParamClass::Ratio
+    }
+
+    /// Human-readable name as used in the paper's Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamClass::Nominal => "Nominal",
+            ParamClass::Ordinal => "Ordinal",
+            ParamClass::Interval => "Interval",
+            ParamClass::Ratio => "Ratio",
+        }
+    }
+
+    /// The distinguishing property of the class, per Table I.
+    pub fn distinguishing_property(self) -> &'static str {
+        match self {
+            ParamClass::Nominal => "Labels",
+            ParamClass::Ordinal => "Order",
+            ParamClass::Interval => "Distance",
+            ParamClass::Ratio => "Natural Zero, Equality of Ratios",
+        }
+    }
+
+    /// All classes, weakest first.
+    pub fn all() -> [ParamClass; 4] {
+        [
+            ParamClass::Nominal,
+            ParamClass::Ordinal,
+            ParamClass::Interval,
+            ParamClass::Ratio,
+        ]
+    }
+}
+
+/// A single tunable parameter: a name, a Stevens class, and a domain.
+///
+/// Domains follow the paper's convention that parameters "are implemented as
+/// closed integer intervals"; nominal and ordinal parameters carry explicit
+/// label lists and are represented by label *indices* in configurations.
+/// Interval and ratio parameters may also be continuous (`FloatRange`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    name: String,
+    class: ParamClass,
+    domain: Domain,
+}
+
+/// The value domain of a [`Parameter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// A finite label set; configuration values are indices into it.
+    Labels(Vec<String>),
+    /// A closed integer interval `[lo, hi]`.
+    IntRange { lo: i64, hi: i64 },
+    /// A closed real interval `[lo, hi]`.
+    FloatRange { lo: f64, hi: f64 },
+}
+
+/// A concrete value a parameter can take inside a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Index into a label domain (nominal / ordinal parameters).
+    Index(usize),
+    /// Integer value (interval / ratio parameters over `IntRange`).
+    Int(i64),
+    /// Real value (interval / ratio parameters over `FloatRange`).
+    Float(f64),
+}
+
+impl Value {
+    /// The value as a continuous coordinate, used by numeric searchers.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Index(i) => i as f64,
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+        }
+    }
+
+    /// The value as an integer, rounding floats. Panics only on NaN.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::Index(i) => i as i64,
+            Value::Int(v) => v,
+            Value::Float(v) => {
+                assert!(!v.is_nan(), "NaN has no integer value");
+                v.round() as i64
+            }
+        }
+    }
+
+    /// The value as a label index. Panics for non-index values.
+    pub fn as_index(self) -> usize {
+        match self {
+            Value::Index(i) => i,
+            other => panic!("expected a label index, got {other:?}"),
+        }
+    }
+}
+
+impl Parameter {
+    /// A nominal parameter over a label set — e.g. the choice of algorithm.
+    pub fn nominal(name: impl Into<String>, labels: Vec<String>) -> Self {
+        assert!(!labels.is_empty(), "a nominal parameter needs at least one label");
+        Parameter {
+            name: name.into(),
+            class: ParamClass::Nominal,
+            domain: Domain::Labels(labels),
+        }
+    }
+
+    /// An ordinal parameter over an *ordered* label set — e.g. buffer sizes
+    /// `small < medium < large`.
+    pub fn ordinal(name: impl Into<String>, levels: Vec<String>) -> Self {
+        assert!(!levels.is_empty(), "an ordinal parameter needs at least one level");
+        Parameter {
+            name: name.into(),
+            class: ParamClass::Ordinal,
+            domain: Domain::Labels(levels),
+        }
+    }
+
+    /// An interval parameter over a closed integer range — distances are
+    /// meaningful but there is no natural zero (e.g. "percent of a maximum
+    /// buffer size").
+    pub fn interval(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty interval domain [{lo}, {hi}]");
+        Parameter {
+            name: name.into(),
+            class: ParamClass::Interval,
+            domain: Domain::IntRange { lo, hi },
+        }
+    }
+
+    /// A continuous interval parameter over a closed real range.
+    pub fn interval_f64(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad domain [{lo}, {hi}]");
+        Parameter {
+            name: name.into(),
+            class: ParamClass::Interval,
+            domain: Domain::FloatRange { lo, hi },
+        }
+    }
+
+    /// A ratio parameter over a closed integer range — e.g. thread counts.
+    pub fn ratio(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty ratio domain [{lo}, {hi}]");
+        Parameter {
+            name: name.into(),
+            class: ParamClass::Ratio,
+            domain: Domain::IntRange { lo, hi },
+        }
+    }
+
+    /// A continuous ratio parameter over a closed real range.
+    pub fn ratio_f64(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad domain [{lo}, {hi}]");
+        Parameter {
+            name: name.into(),
+            class: ParamClass::Ratio,
+            domain: Domain::FloatRange { lo, hi },
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn class(&self) -> ParamClass {
+        self.class
+    }
+
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of distinct values, or `None` for continuous domains.
+    pub fn cardinality(&self) -> Option<u64> {
+        match &self.domain {
+            Domain::Labels(ls) => Some(ls.len() as u64),
+            Domain::IntRange { lo, hi } => Some((*hi as i128 - *lo as i128 + 1) as u64),
+            Domain::FloatRange { .. } => None,
+        }
+    }
+
+    /// Labels for label-domain parameters.
+    pub fn labels(&self) -> Option<&[String]> {
+        match &self.domain {
+            Domain::Labels(ls) => Some(ls),
+            _ => None,
+        }
+    }
+
+    /// Is `v` a member of this parameter's domain?
+    pub fn contains(&self, v: Value) -> bool {
+        match (&self.domain, v) {
+            (Domain::Labels(ls), Value::Index(i)) => i < ls.len(),
+            (Domain::IntRange { lo, hi }, Value::Int(x)) => (*lo..=*hi).contains(&x),
+            (Domain::FloatRange { lo, hi }, Value::Float(x)) => {
+                x.is_finite() && *lo <= x && x <= *hi
+            }
+            _ => false,
+        }
+    }
+
+    /// Clamp a continuous coordinate back into the domain, returning the
+    /// nearest legal [`Value`]. This is how numeric searchers project their
+    /// unconstrained moves onto the search space.
+    pub fn clamp_continuous(&self, x: f64) -> Value {
+        match &self.domain {
+            Domain::Labels(ls) => {
+                let max = ls.len() as f64 - 1.0;
+                let c = if x.is_nan() { 0.0 } else { x.clamp(0.0, max) };
+                Value::Index(c.round() as usize)
+            }
+            Domain::IntRange { lo, hi } => {
+                let c = if x.is_nan() { *lo as f64 } else { x.clamp(*lo as f64, *hi as f64) };
+                Value::Int(c.round() as i64)
+            }
+            Domain::FloatRange { lo, hi } => {
+                let c = if x.is_nan() { *lo } else { x.clamp(*lo, *hi) };
+                Value::Float(c)
+            }
+        }
+    }
+
+    /// A uniformly random legal value.
+    pub fn random_value(&self, rng: &mut crate::rng::Rng) -> Value {
+        match &self.domain {
+            Domain::Labels(ls) => Value::Index(rng.pick_index(ls.len())),
+            Domain::IntRange { lo, hi } => Value::Int(rng.next_range_i64(*lo, *hi)),
+            Domain::FloatRange { lo, hi } => Value::Float(rng.next_range_f64(*lo, *hi)),
+        }
+    }
+
+    /// The lowest legal value (used as deterministic initial configuration).
+    pub fn min_value(&self) -> Value {
+        match &self.domain {
+            Domain::Labels(_) => Value::Index(0),
+            Domain::IntRange { lo, .. } => Value::Int(*lo),
+            Domain::FloatRange { lo, .. } => Value::Float(*lo),
+        }
+    }
+
+    /// The span of the domain as a continuous width (labels: count − 1).
+    pub fn span(&self) -> f64 {
+        match &self.domain {
+            Domain::Labels(ls) => (ls.len() - 1) as f64,
+            Domain::IntRange { lo, hi } => (hi - lo) as f64,
+            Domain::FloatRange { lo, hi } => hi - lo,
+        }
+    }
+
+    /// Neighboring values of `v` in an *ordered* domain (the hill-climbing
+    /// neighborhood). Nominal parameters have no neighborhood; per the
+    /// paper's analysis this returns an empty vector for them, which is what
+    /// makes hill climbing (and simulated annealing) inapplicable.
+    pub fn neighbors(&self, v: Value) -> Vec<Value> {
+        if self.class == ParamClass::Nominal {
+            return Vec::new();
+        }
+        match (&self.domain, v) {
+            (Domain::Labels(ls), Value::Index(i)) => {
+                let mut out = Vec::new();
+                if i > 0 {
+                    out.push(Value::Index(i - 1));
+                }
+                if i + 1 < ls.len() {
+                    out.push(Value::Index(i + 1));
+                }
+                out
+            }
+            (Domain::IntRange { lo, hi }, Value::Int(x)) => {
+                let mut out = Vec::new();
+                if x > *lo {
+                    out.push(Value::Int(x - 1));
+                }
+                if x < *hi {
+                    out.push(Value::Int(x + 1));
+                }
+                out
+            }
+            (Domain::FloatRange { lo, hi }, Value::Float(x)) => {
+                // Continuous neighborhood: step by 1% of the span.
+                let step = (hi - lo) * 0.01;
+                let mut out = Vec::new();
+                if x - step >= *lo {
+                    out.push(Value::Float(x - step));
+                }
+                if x + step <= *hi {
+                    out.push(Value::Float(x + step));
+                }
+                out
+            }
+            _ => panic!("value {v:?} does not match domain {:?}", self.domain),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("l{i}")).collect()
+    }
+
+    #[test]
+    fn class_property_lattice() {
+        use ParamClass::*;
+        assert!(!Nominal.has_order() && !Nominal.has_distance() && !Nominal.has_natural_zero());
+        assert!(Ordinal.has_order() && !Ordinal.has_distance());
+        assert!(Interval.has_order() && Interval.has_distance() && !Interval.has_natural_zero());
+        assert!(Ratio.has_order() && Ratio.has_distance() && Ratio.has_natural_zero());
+    }
+
+    #[test]
+    fn table_one_rows() {
+        // The four rows of Table I, regenerated from the type system.
+        let rows: Vec<_> = ParamClass::all()
+            .iter()
+            .map(|c| (c.name(), c.distinguishing_property()))
+            .collect();
+        assert_eq!(rows[0], ("Nominal", "Labels"));
+        assert_eq!(rows[1], ("Ordinal", "Order"));
+        assert_eq!(rows[2], ("Interval", "Distance"));
+        assert_eq!(
+            rows[3],
+            ("Ratio", "Natural Zero, Equality of Ratios")
+        );
+    }
+
+    #[test]
+    fn nominal_has_no_neighbors() {
+        let p = Parameter::nominal("alg", labels(5));
+        assert!(p.neighbors(Value::Index(2)).is_empty());
+    }
+
+    #[test]
+    fn ordinal_neighbors_are_adjacent_levels() {
+        let p = Parameter::ordinal("size", labels(3));
+        assert_eq!(p.neighbors(Value::Index(0)), vec![Value::Index(1)]);
+        assert_eq!(
+            p.neighbors(Value::Index(1)),
+            vec![Value::Index(0), Value::Index(2)]
+        );
+        assert_eq!(p.neighbors(Value::Index(2)), vec![Value::Index(1)]);
+    }
+
+    #[test]
+    fn int_range_neighbors_clamp_at_bounds() {
+        let p = Parameter::ratio("threads", 1, 8);
+        assert_eq!(p.neighbors(Value::Int(1)), vec![Value::Int(2)]);
+        assert_eq!(p.neighbors(Value::Int(8)), vec![Value::Int(7)]);
+        assert_eq!(
+            p.neighbors(Value::Int(4)),
+            vec![Value::Int(3), Value::Int(5)]
+        );
+    }
+
+    #[test]
+    fn contains_checks_domain_and_kind() {
+        let p = Parameter::interval("pct", 0, 100);
+        assert!(p.contains(Value::Int(0)));
+        assert!(p.contains(Value::Int(100)));
+        assert!(!p.contains(Value::Int(101)));
+        assert!(!p.contains(Value::Index(5)));
+        assert!(!p.contains(Value::Float(50.0)));
+    }
+
+    #[test]
+    fn clamp_continuous_rounds_and_clamps() {
+        let p = Parameter::ratio("threads", 1, 8);
+        assert_eq!(p.clamp_continuous(-3.0), Value::Int(1));
+        assert_eq!(p.clamp_continuous(3.4), Value::Int(3));
+        assert_eq!(p.clamp_continuous(3.6), Value::Int(4));
+        assert_eq!(p.clamp_continuous(99.0), Value::Int(8));
+        assert_eq!(p.clamp_continuous(f64::NAN), Value::Int(1));
+    }
+
+    #[test]
+    fn clamp_continuous_labels() {
+        let p = Parameter::nominal("alg", labels(4));
+        assert_eq!(p.clamp_continuous(-1.0), Value::Index(0));
+        assert_eq!(p.clamp_continuous(2.49), Value::Index(2));
+        assert_eq!(p.clamp_continuous(17.0), Value::Index(3));
+    }
+
+    #[test]
+    fn random_value_stays_in_domain() {
+        let mut rng = Rng::new(5);
+        let ps = [
+            Parameter::nominal("a", labels(3)),
+            Parameter::interval("b", -10, 10),
+            Parameter::ratio_f64("c", 0.5, 2.5),
+        ];
+        for p in &ps {
+            for _ in 0..500 {
+                let v = p.random_value(&mut rng);
+                assert!(p.contains(v), "{v:?} outside {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(Parameter::nominal("a", labels(7)).cardinality(), Some(7));
+        assert_eq!(Parameter::interval("b", 0, 9).cardinality(), Some(10));
+        assert_eq!(Parameter::ratio_f64("c", 0.0, 1.0).cardinality(), None);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Index(3).as_f64(), 3.0);
+        assert_eq!(Value::Int(-2).as_f64(), -2.0);
+        assert_eq!(Value::Float(1.5).as_i64(), 2);
+        assert_eq!(Value::Index(4).as_index(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "label index")]
+    fn as_index_rejects_int() {
+        Value::Int(3).as_index();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn empty_nominal_rejected() {
+        Parameter::nominal("x", vec![]);
+    }
+}

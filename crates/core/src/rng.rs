@@ -1,0 +1,283 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The tuner must be reproducible: given the same seed and the same sequence
+//! of measurement values, every strategy must make the same decisions. We
+//! therefore ship our own xoshiro256** implementation instead of depending on
+//! an external RNG crate whose stream might change between versions.
+//!
+//! xoshiro256** is the general-purpose generator recommended by Blackman and
+//! Vigna (2018); seeding goes through SplitMix64 as the authors recommend so
+//! that low-entropy seeds (e.g. 0, 1, 2, ...) still produce well-mixed state.
+
+/// Deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Rng { state }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`. Uses the top 53 bits of a `u64`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Degenerate full-width range; fold a raw sample.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.next_below(span as u64) as i64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn next_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal sample via the Box-Muller transform (the polar
+    /// variant is avoided to keep the number of consumed samples fixed).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element index for a nonempty slice length.
+    #[inline]
+    pub fn pick_index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Sample an index from a (not necessarily normalized) weight vector.
+    ///
+    /// All weights must be finite and non-negative, with a positive sum.
+    /// This is the primitive used by every weighted nominal strategy.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "pick_weighted requires a positive, finite weight sum (got {total})"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "negative weight {w} at index {i}");
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        // Floating-point round-off can leave a vanishing remainder; the last
+        // positively-weighted index is the correct answer in that case.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive total implies a positive weight")
+    }
+
+    /// Split off an independently-seeded child generator. Used to hand each
+    /// parallel experiment repetition its own stream.
+    pub fn split(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3, "streams should be almost surely distinct");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_range_inclusive_hits_endpoints() {
+        let mut rng = Rng::new(9);
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..2000 {
+            let v = rng.next_range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_hit |= v == -3;
+            hi_hit |= v == 3;
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn single_point_range() {
+        let mut rng = Rng::new(11);
+        for _ in 0..10 {
+            assert_eq!(rng.next_range_i64(5, 5), 5);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_zero_weights() {
+        let mut rng = Rng::new(13);
+        for _ in 0..500 {
+            let i = rng.pick_weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_roughly_proportional() {
+        let mut rng = Rng::new(17);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[rng.pick_weighted(&[1.0, 2.0, 1.0])] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        assert!(
+            (f1 - 0.5).abs() < 0.02,
+            "middle weight should win ~50% (got {f1})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_pick_rejects_all_zero() {
+        let mut rng = Rng::new(19);
+        rng.pick_weighted(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng::new(23);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean ~ 0 (got {mean})");
+        assert!((var - 1.0).abs() < 0.05, "var ~ 1 (got {var})");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(29);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Rng::new(31);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Differential evolution (Section II-A-5): maintain a set of agents; update
+//! each agent from the *differences* of three randomly selected other
+//! agents, accepting the trial vector if it improves.
+//!
+//! Because the update is literally built on coordinate differences, the
+//! method requires interval-scaled parameters and rejects nominal ones
+//! (Section II-B: "Differential Evolution operates on the difference of
+//! configurations").
+
+use crate::rng::Rng;
+use crate::search::{reject_nominal, BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+/// DE/rand/1/bin control parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DifferentialEvolutionOptions {
+    /// Number of agents. Must be at least 4 (an update draws three others).
+    pub agents: usize,
+    /// Differential weight `F ∈ (0, 2]`.
+    pub weight: f64,
+    /// Crossover probability `CR ∈ [0, 1]`.
+    pub crossover: f64,
+}
+
+impl Default for DifferentialEvolutionOptions {
+    fn default() -> Self {
+        DifferentialEvolutionOptions {
+            agents: 12,
+            weight: 0.8,
+            crossover: 0.9,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Evaluating the initial agents one by one.
+    Init,
+    /// Awaiting the measurement of the trial vector for agent `cursor`.
+    Trial { trial: Vec<f64> },
+}
+
+/// DE/rand/1/bin over continuous coordinates, projected onto the space at
+/// evaluation time.
+#[derive(Debug, Clone)]
+pub struct DifferentialEvolution {
+    space: SearchSpace,
+    opts: DifferentialEvolutionOptions,
+    rng: Rng,
+    agents: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    cursor: usize,
+    state: State,
+    tracker: BestTracker,
+    pending: bool,
+}
+
+impl DifferentialEvolution {
+    pub fn new(space: SearchSpace, seed: u64, opts: DifferentialEvolutionOptions) -> Self {
+        reject_nominal(&space, "differential evolution");
+        assert!(opts.agents >= 4, "DE needs at least 4 agents");
+        assert!(opts.weight > 0.0 && opts.weight <= 2.0, "F out of range");
+        assert!((0.0..=1.0).contains(&opts.crossover), "CR out of range");
+        let mut rng = Rng::new(seed);
+        let mut agents = vec![space.min_corner().as_coords()];
+        while agents.len() < opts.agents {
+            agents.push(space.random(&mut rng).as_coords());
+        }
+        DifferentialEvolution {
+            space,
+            opts,
+            rng,
+            agents,
+            values: Vec::new(),
+            cursor: 0,
+            state: State::Init,
+            tracker: BestTracker::new(),
+            pending: false,
+        }
+    }
+
+    fn make_trial(&mut self) -> Vec<f64> {
+        let n = self.space.dims();
+        let m = self.agents.len();
+        // Three distinct agents, all different from the current one.
+        let mut pick = || loop {
+            let i = self.rng.pick_index(m);
+            if i != self.cursor {
+                return i;
+            }
+        };
+        let (a, b, c) = {
+            let a = pick();
+            let b = loop {
+                let x = pick();
+                if x != a {
+                    break x;
+                }
+            };
+            let c = loop {
+                let x = pick();
+                if x != a && x != b {
+                    break x;
+                }
+            };
+            (a, b, c)
+        };
+        let forced = if n > 0 { self.rng.pick_index(n) } else { 0 };
+        let mut trial = self.agents[self.cursor].clone();
+        #[allow(clippy::needless_range_loop)] // four arrays share the index
+        for d in 0..n {
+            if d == forced || self.rng.next_bool(self.opts.crossover) {
+                trial[d] =
+                    self.agents[a][d] + self.opts.weight * (self.agents[b][d] - self.agents[c][d]);
+            }
+        }
+        trial
+    }
+}
+
+impl Searcher for DifferentialEvolution {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(!self.pending, "propose() called twice without report()");
+        self.pending = true;
+        let coords = match &self.state {
+            State::Init => self.agents[self.cursor].clone(),
+            State::Trial { trial } => trial.clone(),
+        };
+        self.space.clamp(&coords)
+    }
+
+    fn report(&mut self, value: f64) {
+        assert!(self.pending, "report() without propose()");
+        self.pending = false;
+        match std::mem::replace(&mut self.state, State::Init) {
+            State::Init => {
+                let config = self.space.clamp(&self.agents[self.cursor]);
+                self.tracker.observe(&config, value);
+                self.values.push(value);
+                self.cursor += 1;
+                if self.cursor >= self.agents.len() {
+                    self.cursor = 0;
+                    let trial = self.make_trial();
+                    self.state = State::Trial { trial };
+                } else {
+                    self.state = State::Init;
+                }
+            }
+            State::Trial { trial } => {
+                let config = self.space.clamp(&trial);
+                self.tracker.observe(&config, value);
+                if value < self.values[self.cursor] {
+                    self.agents[self.cursor] = trial;
+                    self.values[self.cursor] = value;
+                }
+                self.cursor = (self.cursor + 1) % self.agents.len();
+                let next = self.make_trial();
+                self.state = State::Trial { trial: next };
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn name(&self) -> &'static str {
+        "differential-evolution"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::run_loop;
+    use crate::search::test_util::{bowl, bowl_space};
+
+    #[test]
+    fn optimizes_convex_bowl() {
+        let mut s =
+            DifferentialEvolution::new(bowl_space(), 21, DifferentialEvolutionOptions::default());
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 1000);
+        let (_, v) = s.best().unwrap();
+        assert!(v <= 2.0, "DE should find the optimum region, got {v}");
+    }
+
+    #[test]
+    fn optimizes_continuous_rosenbrock_like() {
+        let space = SearchSpace::new(vec![
+            Parameter::ratio_f64("x", -5.0, 5.0),
+            Parameter::ratio_f64("y", -5.0, 5.0),
+        ]);
+        let mut s = DifferentialEvolution::new(space, 2, DifferentialEvolutionOptions::default());
+        let mut f = |c: &Configuration| {
+            let x = c.get(0).as_f64();
+            let y = c.get(1).as_f64();
+            (1.0 - x).powi(2) + 10.0 * (y - x * x).powi(2)
+        };
+        run_loop(&mut s, &mut f, 3000);
+        assert!(s.best().unwrap().1 < 0.05);
+    }
+
+    #[test]
+    fn agent_values_never_regress() {
+        let mut s =
+            DifferentialEvolution::new(bowl_space(), 5, DifferentialEvolutionOptions::default());
+        let f = |c: &Configuration| bowl(c);
+        let mut prev_best = f64::INFINITY;
+        for _ in 0..500 {
+            let c = s.propose();
+            let v = f(&c);
+            s.report(v);
+            let b = s.best().unwrap().1;
+            assert!(b <= prev_best + 1e-12);
+            prev_best = b;
+        }
+    }
+
+    #[test]
+    fn proposals_stay_in_space() {
+        let space = bowl_space();
+        let mut s = DifferentialEvolution::new(space.clone(), 8, Default::default());
+        let f = |c: &Configuration| bowl(c);
+        for _ in 0..300 {
+            let c = s.propose();
+            assert!(space.contains(&c));
+            let v = f(&c);
+            s.report(v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal")]
+    fn rejects_nominal_spaces() {
+        let space = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            vec!["a".into(), "b".into()],
+        )]);
+        DifferentialEvolution::new(space, 0, Default::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "4 agents")]
+    fn rejects_too_few_agents() {
+        DifferentialEvolution::new(
+            bowl_space(),
+            0,
+            DifferentialEvolutionOptions {
+                agents: 3,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Exhaustive search: try every configuration systematically (Section
+//! II-A-7).
+//!
+//! "Perfectly valid if algorithmic choice is the only parameter that is
+//! being optimized" — on purely-nominal spaces one evaluation of each value
+//! is information-theoretically optimal. On mixed spaces it is inadequate
+//! for online tuning because it *always* also selects the worst
+//! configuration, whose cost must be amortized at runtime.
+
+use crate::search::{BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+/// Systematic enumeration of a finite space. After the sweep completes the
+/// searcher is converged and keeps proposing the best configuration found.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch {
+    space: SearchSpace,
+    queue: Vec<Configuration>,
+    next: usize,
+    tracker: BestTracker,
+    pending: Option<Configuration>,
+}
+
+impl ExhaustiveSearch {
+    /// Build the sweep. Panics if the space is continuous or too large to
+    /// enumerate — exhaustive search is only meaningful on small finite
+    /// spaces.
+    pub fn new(space: SearchSpace) -> Self {
+        let queue = space.enumerate();
+        ExhaustiveSearch {
+            space,
+            queue,
+            next: 0,
+            tracker: BestTracker::new(),
+            pending: None,
+        }
+    }
+
+    /// Number of configurations still unvisited.
+    pub fn remaining(&self) -> usize {
+        self.queue.len() - self.next.min(self.queue.len())
+    }
+}
+
+impl Searcher for ExhaustiveSearch {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() called twice without report()");
+        let c = if self.next < self.queue.len() {
+            let c = self.queue[self.next].clone();
+            self.next += 1;
+            c
+        } else {
+            // Sweep done: exploit the optimum indefinitely.
+            self.tracker
+                .best()
+                .expect("sweep finished, so at least one sample exists")
+                .0
+                .clone()
+        };
+        self.pending = Some(c.clone());
+        c
+    }
+
+    fn report(&mut self, value: f64) {
+        let c = self.pending.take().expect("report() without propose()");
+        self.tracker.observe(&c, value);
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        self.next >= self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::test_util::{bowl, bowl_space};
+
+    #[test]
+    fn visits_every_configuration_once() {
+        let space = SearchSpace::new(vec![
+            Parameter::ratio("a", 0, 3),
+            Parameter::interval("b", 0, 2),
+        ]);
+        let mut s = ExhaustiveSearch::new(space.clone());
+        let mut seen = Vec::new();
+        while !s.converged() {
+            let c = s.propose();
+            seen.push(c.clone());
+            s.report(1.0);
+        }
+        assert_eq!(seen.len(), 12);
+        for i in 0..seen.len() {
+            for j in 0..i {
+                assert_ne!(seen[i], seen[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_exact_optimum() {
+        let mut s = ExhaustiveSearch::new(bowl_space());
+        while !s.converged() {
+            let c = s.propose();
+            let v = bowl(&c);
+            s.report(v);
+        }
+        let (c, v) = s.best().unwrap();
+        assert_eq!(v, 1.0);
+        assert_eq!(c.get(0).as_i64(), 7);
+        assert_eq!(c.get(1).as_i64(), -3);
+    }
+
+    #[test]
+    fn after_convergence_exploits_best() {
+        let mut s = ExhaustiveSearch::new(bowl_space());
+        while !s.converged() {
+            let c = s.propose();
+            let v = bowl(&c);
+            s.report(v);
+        }
+        let best = s.best().unwrap().0.clone();
+        for _ in 0..5 {
+            let c = s.propose();
+            assert_eq!(c, best);
+            s.report(1.0);
+        }
+    }
+
+    #[test]
+    fn handles_nominal_spaces() {
+        // Exhaustive search is the textbook-correct strategy for a purely
+        // nominal space.
+        let space = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            vec!["a".into(), "b".into(), "c".into()],
+        )]);
+        let mut s = ExhaustiveSearch::new(space);
+        let costs = [3.0, 1.0, 2.0];
+        while !s.converged() {
+            let c = s.propose();
+            let v = costs[c.get(0).as_index()];
+            s.report(v);
+        }
+        assert_eq!(s.best().unwrap().0.get(0).as_index(), 1);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let space = SearchSpace::new(vec![Parameter::ratio("a", 0, 4)]);
+        let mut s = ExhaustiveSearch::new(space);
+        assert_eq!(s.remaining(), 5);
+        s.propose();
+        s.report(1.0);
+        assert_eq!(s.remaining(), 4);
+    }
+}

@@ -1,0 +1,293 @@
+//! Genetic algorithm (Section II-A-4): evolve a population of
+//! configurations by mutation (randomly modifying one or more parameters)
+//! and crossover (interleaving two parents at a random crossover point).
+//!
+//! Genetic algorithms are the one classical technique that *can* operate on
+//! nominal parameter spaces, because mutation and crossover need only
+//! equality. The paper's caveat (Section III-E) still applies: with a single
+//! nominal parameter, both operators decay to random selection — the
+//! regression test below demonstrates exactly that degeneration.
+
+use crate::rng::Rng;
+use crate::search::{BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+/// Population and operator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticOptions {
+    /// Number of individuals per generation.
+    pub population: usize,
+    /// Probability that a child is produced by crossover (otherwise it is a
+    /// mutated copy of a single parent).
+    pub crossover_rate: f64,
+    /// Per-parameter probability of random mutation applied to children.
+    pub mutation_rate: f64,
+    /// Number of best individuals copied unchanged into the next generation.
+    pub elites: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl Default for GeneticOptions {
+    fn default() -> Self {
+        GeneticOptions {
+            population: 16,
+            crossover_rate: 0.8,
+            mutation_rate: 0.15,
+            elites: 2,
+            tournament: 3,
+        }
+    }
+}
+
+/// Generational genetic algorithm with tournament selection and elitism.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    space: SearchSpace,
+    opts: GeneticOptions,
+    rng: Rng,
+    /// Individuals of the current generation (configs; values filled in as
+    /// they are evaluated).
+    population: Vec<Configuration>,
+    values: Vec<f64>,
+    /// Index of the next individual awaiting evaluation.
+    cursor: usize,
+    generation: usize,
+    tracker: BestTracker,
+    pending: bool,
+}
+
+impl GeneticAlgorithm {
+    pub fn new(space: SearchSpace, seed: u64, opts: GeneticOptions) -> Self {
+        assert!(opts.population >= 2, "population must be at least 2");
+        assert!(opts.elites < opts.population, "elites must leave room for offspring");
+        assert!(opts.tournament >= 1, "tournament size must be positive");
+        let mut rng = Rng::new(seed);
+        // Deterministic first individual plus random rest, mirroring the
+        // paper's "start with a deterministic configuration" convention.
+        let mut population = vec![space.min_corner()];
+        while population.len() < opts.population {
+            population.push(space.random(&mut rng));
+        }
+        GeneticAlgorithm {
+            space,
+            opts,
+            rng,
+            population,
+            values: Vec::new(),
+            cursor: 0,
+            generation: 0,
+            tracker: BestTracker::new(),
+            pending: false,
+        }
+    }
+
+    /// Completed generation count.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    fn tournament_pick(&mut self) -> usize {
+        let mut best = self.rng.pick_index(self.population.len());
+        for _ in 1..self.opts.tournament {
+            let cand = self.rng.pick_index(self.population.len());
+            if self.values[cand] < self.values[best] {
+                best = cand;
+            }
+        }
+        best
+    }
+
+    fn crossover(&mut self, a: &Configuration, b: &Configuration) -> Vec<crate::param::Value> {
+        let n = self.space.dims();
+        if n <= 1 {
+            // Single-parameter space: crossover cannot mix anything — this
+            // is the degeneration the paper describes.
+            return a.values().to_vec();
+        }
+        // Single-point crossover at a random interior cut.
+        let cut = 1 + self.rng.pick_index(n - 1);
+        let mut vals = Vec::with_capacity(n);
+        vals.extend_from_slice(&a.values()[..cut]);
+        vals.extend_from_slice(&b.values()[cut..]);
+        vals
+    }
+
+    fn breed(&mut self) {
+        // Sort indices by fitness to extract elites.
+        let mut order: Vec<usize> = (0..self.population.len()).collect();
+        order.sort_by(|&i, &j| self.values[i].partial_cmp(&self.values[j]).expect("finite"));
+
+        let mut next = Vec::with_capacity(self.opts.population);
+        for &i in order.iter().take(self.opts.elites) {
+            next.push(self.population[i].clone());
+        }
+        while next.len() < self.opts.population {
+            let p1 = self.tournament_pick();
+            let mut child = if self.rng.next_bool(self.opts.crossover_rate) {
+                let p2 = self.tournament_pick();
+                let (a, b) = (self.population[p1].clone(), self.population[p2].clone());
+                self.crossover(&a, &b)
+            } else {
+                self.population[p1].values().to_vec()
+            };
+            // Mutation: randomly re-draw parameters. Guarantee at least one
+            // mutation for clones, so offspring differ from their parent.
+            let mut mutated = false;
+            for (d, v) in child.iter_mut().enumerate() {
+                if self.rng.next_bool(self.opts.mutation_rate) {
+                    *v = self.space.params()[d].random_value(&mut self.rng);
+                    mutated = true;
+                }
+            }
+            if !mutated && !child.is_empty() {
+                let d = self.rng.pick_index(child.len());
+                child[d] = self.space.params()[d].random_value(&mut self.rng);
+            }
+            next.push(Configuration::new(child));
+        }
+        self.population = next;
+        self.values.clear();
+        self.cursor = 0;
+        self.generation += 1;
+    }
+}
+
+impl Searcher for GeneticAlgorithm {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(!self.pending, "propose() called twice without report()");
+        self.pending = true;
+        self.population[self.cursor].clone()
+    }
+
+    fn report(&mut self, value: f64) {
+        assert!(self.pending, "report() without propose()");
+        self.pending = false;
+        let config = self.population[self.cursor].clone();
+        self.tracker.observe(&config, value);
+        self.values.push(value);
+        self.cursor += 1;
+        if self.cursor >= self.population.len() {
+            self.breed();
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::run_loop;
+    use crate::search::test_util::{bowl, bowl_space};
+
+    #[test]
+    fn optimizes_convex_bowl() {
+        let mut s = GeneticAlgorithm::new(bowl_space(), 3, GeneticOptions::default());
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 1200);
+        let (_, v) = s.best().unwrap();
+        assert!(v <= 3.0, "GA should approach the optimum, got {v}");
+    }
+
+    #[test]
+    fn handles_mixed_nominal_numeric_space() {
+        // A space with a nominal *and* a ratio parameter: GAs are the only
+        // classical strategy that legally searches this.
+        let space = SearchSpace::new(vec![
+            Parameter::nominal("alg", vec!["slow".into(), "fast".into(), "mid".into()]),
+            Parameter::ratio("threads", 1, 8),
+        ]);
+        let mut s = GeneticAlgorithm::new(space, 11, GeneticOptions::default());
+        let mut f = |c: &Configuration| {
+            let base = match c.get(0).as_index() {
+                0 => 100.0,
+                1 => 10.0,
+                _ => 40.0,
+            };
+            base / c.get(1).as_f64()
+        };
+        run_loop(&mut s, &mut f, 800);
+        let (c, _) = s.best().unwrap();
+        assert_eq!(c.get(0).as_index(), 1, "should discover the fast algorithm");
+        assert_eq!(c.get(1).as_i64(), 8, "should max out threads");
+    }
+
+    #[test]
+    fn degenerates_to_random_search_on_single_nominal() {
+        // The paper's Section III-E observation: with one nominal parameter,
+        // mutation is a uniform re-draw, i.e. random search. We check that
+        // non-elite offspring values are spread roughly uniformly.
+        let space = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            (0..4).map(|i| format!("a{i}")).collect(),
+        )]);
+        let mut s = GeneticAlgorithm::new(
+            space,
+            5,
+            GeneticOptions {
+                population: 8,
+                elites: 0,
+                mutation_rate: 1.0, // forced mutation = pure random draw
+                crossover_rate: 0.0,
+                tournament: 1,
+            },
+        );
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            let c = s.propose();
+            counts[c.get(0).as_index()] += 1;
+            s.report(1.0); // flat landscape: no selection pressure
+        }
+        for &c in &counts {
+            let frac = c as f64 / 2000.0;
+            assert!(
+                (frac - 0.25).abs() < 0.08,
+                "selection should look uniform, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn elites_survive_generations() {
+        let mut s = GeneticAlgorithm::new(bowl_space(), 9, GeneticOptions::default());
+        let f = |c: &Configuration| bowl(c);
+        // Run exactly two generations and make sure the best value never
+        // regresses across the generation boundary.
+        let mut best_after_g1 = f64::INFINITY;
+        for i in 0..(16 * 2) {
+            let c = s.propose();
+            let v = f(&c);
+            s.report(v);
+            if i == 15 {
+                best_after_g1 = s.best().unwrap().1;
+            }
+        }
+        assert!(s.best().unwrap().1 <= best_after_g1);
+        assert_eq!(s.generation(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_tiny_population() {
+        GeneticAlgorithm::new(
+            bowl_space(),
+            0,
+            GeneticOptions {
+                population: 1,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Hill climbing (Section II-A-1): evaluate the neighbors of the current
+//! candidate and greedily move to the best one; converge when no neighbor
+//! improves.
+//!
+//! Requires a notion of *neighborhood*, i.e. ordered parameters — which is
+//! exactly why it cannot manipulate nominal parameters (Section II-B).
+
+use crate::rng::Rng;
+use crate::search::{reject_nominal, BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Evaluate the starting point.
+    EvalStart,
+    /// Evaluating the neighborhood of `current`; `queue` holds unvisited
+    /// neighbors, `best_neighbor` the best evaluated one so far.
+    EvalNeighbors {
+        queue: Vec<Configuration>,
+        next: usize,
+        best_neighbor: Option<(Configuration, f64)>,
+    },
+    /// No improving neighbor exists: local optimum reached.
+    Converged,
+}
+
+/// Greedy steepest-ascent (descent, here) hill climbing with optional random
+/// restarts disabled — the paper's plain variant.
+#[derive(Debug, Clone)]
+pub struct HillClimbing {
+    space: SearchSpace,
+    current: Configuration,
+    current_value: f64,
+    state: State,
+    tracker: BestTracker,
+    pending: Option<Configuration>,
+    #[allow(dead_code)]
+    rng: Rng,
+}
+
+impl HillClimbing {
+    /// Start climbing from the deterministic minimum corner of the space.
+    ///
+    /// Panics if the space contains a nominal parameter (no neighborhood).
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        let start = space.min_corner();
+        Self::from_start(space, start, seed)
+    }
+
+    /// Start climbing from an explicit configuration.
+    pub fn from_start(space: SearchSpace, start: Configuration, seed: u64) -> Self {
+        reject_nominal(&space, "hill climbing");
+        assert!(space.contains(&start), "start configuration not in space");
+        HillClimbing {
+            space,
+            current: start,
+            current_value: f64::INFINITY,
+            state: State::EvalStart,
+            tracker: BestTracker::new(),
+            pending: None,
+            rng: Rng::new(seed),
+        }
+    }
+
+    fn begin_neighborhood(&mut self) {
+        let queue = self.space.neighbors(&self.current);
+        if queue.is_empty() {
+            self.state = State::Converged;
+        } else {
+            self.state = State::EvalNeighbors {
+                queue,
+                next: 0,
+                best_neighbor: None,
+            };
+        }
+    }
+}
+
+impl Searcher for HillClimbing {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() called twice without report()");
+        let c = match &self.state {
+            State::EvalStart => self.current.clone(),
+            State::EvalNeighbors { queue, next, .. } => queue[*next].clone(),
+            State::Converged => self.current.clone(),
+        };
+        self.pending = Some(c.clone());
+        c
+    }
+
+    fn report(&mut self, value: f64) {
+        let c = self.pending.take().expect("report() without propose()");
+        self.tracker.observe(&c, value);
+        match &mut self.state {
+            State::EvalStart => {
+                self.current_value = value;
+                self.begin_neighborhood();
+            }
+            State::EvalNeighbors {
+                queue,
+                next,
+                best_neighbor,
+            } => {
+                if best_neighbor.as_ref().is_none_or(|(_, bv)| value < *bv) {
+                    *best_neighbor = Some((c, value));
+                }
+                *next += 1;
+                if *next >= queue.len() {
+                    // Neighborhood exhausted: move or converge.
+                    let (bc, bv) = best_neighbor.take().expect("queue was nonempty");
+                    if bv < self.current_value {
+                        self.current = bc;
+                        self.current_value = bv;
+                        self.begin_neighborhood();
+                    } else {
+                        self.state = State::Converged;
+                    }
+                }
+            }
+            State::Converged => {
+                // Online exploitation: keep measuring the optimum; nothing to
+                // update beyond the tracker.
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        matches!(self.state, State::Converged)
+    }
+
+    fn name(&self) -> &'static str {
+        "hill-climbing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::run_loop;
+    use crate::search::test_util::{bowl, bowl_space, two_wells, two_wells_space};
+
+    #[test]
+    fn climbs_to_global_optimum_on_convex_bowl() {
+        let mut s = HillClimbing::new(bowl_space(), 0);
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 500);
+        assert!(s.converged());
+        let (c, v) = s.best().unwrap();
+        assert_eq!(v, 1.0, "bowl optimum is 1.0");
+        assert_eq!((c.get(0).as_i64(), c.get(1).as_i64()), (7, -3));
+    }
+
+    #[test]
+    fn gets_stuck_in_local_minimum() {
+        // Starting at the far left (-30), the climber walks into the local
+        // well at x = -11 and stops: the textbook failure mode.
+        let mut s = HillClimbing::new(two_wells_space(), 0);
+        let mut f = |c: &Configuration| two_wells(c);
+        run_loop(&mut s, &mut f, 500);
+        assert!(s.converged());
+        assert_eq!(s.best().unwrap().0.get(0).as_i64(), -11);
+    }
+
+    #[test]
+    fn converged_keeps_proposing_current() {
+        let mut s = HillClimbing::new(bowl_space(), 0);
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 500);
+        assert!(s.converged());
+        let a = s.propose();
+        s.report(bowl(&a));
+        let b = s.propose();
+        s.report(bowl(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal")]
+    fn rejects_nominal_spaces() {
+        let space = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            vec!["a".into(), "b".into()],
+        )]);
+        HillClimbing::new(space, 0);
+    }
+
+    #[test]
+    fn from_custom_start() {
+        let space = bowl_space();
+        let start = space
+            .configuration(vec![
+                crate::param::Value::Int(7),
+                crate::param::Value::Int(-3),
+            ])
+            .unwrap();
+        let mut s = HillClimbing::from_start(space, start, 0);
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 10);
+        // Starting at the optimum: evaluate it and its 4 neighbors, converge.
+        assert!(s.converged());
+        assert_eq!(s.best().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn single_point_space_converges_immediately() {
+        let space = SearchSpace::new(vec![Parameter::ratio("x", 3, 3)]);
+        let mut s = HillClimbing::new(space, 0);
+        let c = s.propose();
+        assert_eq!(c.get(0).as_i64(), 3);
+        s.report(9.0);
+        assert!(s.converged());
+    }
+}

@@ -1,0 +1,260 @@
+//! Particle swarm optimization (Section II-A-3): a set of candidate
+//! solutions, each iteratively updated by an individual local "velocity"
+//! pulled towards its personal best and the swarm's global best.
+//!
+//! Velocities are directions with magnitudes, so the method needs interval-
+//! scaled parameters and rejects nominal ones (Section II-B: "Particle Swarm
+//! operates on a measure of direction and distance").
+
+use crate::rng::Rng;
+use crate::search::{reject_nominal, BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+/// Canonical PSO control parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleSwarmOptions {
+    /// Number of particles.
+    pub particles: usize,
+    /// Inertia weight `w`.
+    pub inertia: f64,
+    /// Cognitive coefficient `c1` (pull towards the personal best).
+    pub cognitive: f64,
+    /// Social coefficient `c2` (pull towards the global best).
+    pub social: f64,
+    /// Maximum velocity as a fraction of each dimension's span.
+    pub max_velocity_fraction: f64,
+}
+
+impl Default for ParticleSwarmOptions {
+    fn default() -> Self {
+        ParticleSwarmOptions {
+            particles: 10,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            max_velocity_fraction: 0.25,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Particle {
+    position: Vec<f64>,
+    velocity: Vec<f64>,
+    best_position: Vec<f64>,
+    best_value: f64,
+}
+
+/// Synchronous PSO evaluating one particle per tuning iteration.
+#[derive(Debug, Clone)]
+pub struct ParticleSwarm {
+    space: SearchSpace,
+    opts: ParticleSwarmOptions,
+    rng: Rng,
+    particles: Vec<Particle>,
+    cursor: usize,
+    initializing: bool,
+    global_best: Option<(Vec<f64>, f64)>,
+    tracker: BestTracker,
+    pending: bool,
+}
+
+impl ParticleSwarm {
+    pub fn new(space: SearchSpace, seed: u64, opts: ParticleSwarmOptions) -> Self {
+        reject_nominal(&space, "particle swarm");
+        assert!(opts.particles >= 2, "swarm needs at least 2 particles");
+        assert!(opts.max_velocity_fraction > 0.0, "velocity cap must be positive");
+        let mut rng = Rng::new(seed);
+        let n = space.dims();
+        let mut particles = Vec::with_capacity(opts.particles);
+        for i in 0..opts.particles {
+            let position = if i == 0 {
+                space.min_corner().as_coords()
+            } else {
+                space.random(&mut rng).as_coords()
+            };
+            let velocity: Vec<f64> = (0..n)
+                .map(|d| {
+                    let vmax = space.params()[d].span() * opts.max_velocity_fraction;
+                    rng.next_range_f64(-vmax, vmax.max(f64::MIN_POSITIVE))
+                })
+                .collect();
+            particles.push(Particle {
+                best_position: position.clone(),
+                best_value: f64::INFINITY,
+                position,
+                velocity,
+            });
+        }
+        ParticleSwarm {
+            space,
+            opts,
+            rng,
+            particles,
+            cursor: 0,
+            initializing: true,
+            global_best: None,
+            tracker: BestTracker::new(),
+            pending: false,
+        }
+    }
+
+    fn advance_particle(&mut self, i: usize) {
+        let gbest = self
+            .global_best
+            .as_ref()
+            .expect("advance only after initialization")
+            .0
+            .clone();
+        let n = self.space.dims();
+        let p = &mut self.particles[i];
+        #[allow(clippy::needless_range_loop)] // several vectors share the index
+        for d in 0..n {
+            let r1 = self.rng.next_f64();
+            let r2 = self.rng.next_f64();
+            let vmax = self.space.params()[d].span() * self.opts.max_velocity_fraction;
+            let mut v = self.opts.inertia * p.velocity[d]
+                + self.opts.cognitive * r1 * (p.best_position[d] - p.position[d])
+                + self.opts.social * r2 * (gbest[d] - p.position[d]);
+            if vmax > 0.0 {
+                v = v.clamp(-vmax, vmax);
+            }
+            p.velocity[d] = v;
+            p.position[d] += v;
+        }
+    }
+}
+
+impl Searcher for ParticleSwarm {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(!self.pending, "propose() called twice without report()");
+        self.pending = true;
+        self.space.clamp(&self.particles[self.cursor].position)
+    }
+
+    fn report(&mut self, value: f64) {
+        assert!(self.pending, "report() without propose()");
+        self.pending = false;
+        let pos = self.particles[self.cursor].position.clone();
+        let config = self.space.clamp(&pos);
+        self.tracker.observe(&config, value);
+
+        {
+            let p = &mut self.particles[self.cursor];
+            if value < p.best_value {
+                p.best_value = value;
+                p.best_position = pos.clone();
+            }
+        }
+        if self.global_best.as_ref().is_none_or(|(_, b)| value < *b) {
+            self.global_best = Some((pos, value));
+        }
+
+        self.cursor += 1;
+        if self.cursor >= self.particles.len() {
+            self.cursor = 0;
+            self.initializing = false;
+        }
+        if !self.initializing {
+            self.advance_particle(self.cursor);
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn name(&self) -> &'static str {
+        "particle-swarm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::run_loop;
+    use crate::search::test_util::{bowl, bowl_space};
+
+    #[test]
+    fn optimizes_convex_bowl() {
+        let mut s = ParticleSwarm::new(bowl_space(), 4, ParticleSwarmOptions::default());
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 800);
+        let (_, v) = s.best().unwrap();
+        assert!(v <= 2.0, "PSO should find the optimum region, got {v}");
+    }
+
+    #[test]
+    fn optimizes_continuous_sphere() {
+        let space = SearchSpace::new(vec![
+            Parameter::ratio_f64("x", -8.0, 8.0),
+            Parameter::ratio_f64("y", -8.0, 8.0),
+            Parameter::ratio_f64("z", -8.0, 8.0),
+        ]);
+        let mut s = ParticleSwarm::new(space, 6, ParticleSwarmOptions::default());
+        let mut f = |c: &Configuration| {
+            c.values()
+                .iter()
+                .map(|v| (v.as_f64() - 1.0).powi(2))
+                .sum::<f64>()
+        };
+        run_loop(&mut s, &mut f, 2000);
+        assert!(s.best().unwrap().1 < 0.01);
+    }
+
+    #[test]
+    fn proposals_stay_in_space_despite_velocity() {
+        let space = bowl_space();
+        let mut s = ParticleSwarm::new(space.clone(), 9, ParticleSwarmOptions::default());
+        let f = |c: &Configuration| bowl(c);
+        for _ in 0..400 {
+            let c = s.propose();
+            assert!(space.contains(&c));
+            let v = f(&c);
+            s.report(v);
+        }
+    }
+
+    #[test]
+    fn global_best_monotonically_improves() {
+        let mut s = ParticleSwarm::new(bowl_space(), 13, ParticleSwarmOptions::default());
+        let f = |c: &Configuration| bowl(c);
+        let mut prev = f64::INFINITY;
+        for _ in 0..300 {
+            let c = s.propose();
+            let v = f(&c);
+            s.report(v);
+            let b = s.best().unwrap().1;
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal")]
+    fn rejects_nominal_spaces() {
+        let space = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            vec!["a".into(), "b".into()],
+        )]);
+        ParticleSwarm::new(space, 0, ParticleSwarmOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "2 particles")]
+    fn rejects_tiny_swarm() {
+        ParticleSwarm::new(
+            bowl_space(),
+            0,
+            ParticleSwarmOptions {
+                particles: 1,
+                ..Default::default()
+            },
+        );
+    }
+}

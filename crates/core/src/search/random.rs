@@ -1,0 +1,112 @@
+//! Random search: roll the dice in every iteration (Section II-A-7).
+//!
+//! "Rarely used in practice", but a vital baseline: on a *single nominal
+//! parameter* a genetic algorithm degenerates to exactly this strategy,
+//! which is the paper's core argument for dedicated nominal strategies.
+
+use crate::rng::Rng;
+use crate::search::{BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+/// Uniform random sampling of the search space.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: SearchSpace,
+    rng: Rng,
+    tracker: BestTracker,
+    pending: Option<Configuration>,
+}
+
+impl RandomSearch {
+    /// Random search over any space (nominal parameters are fine — equality
+    /// is the only operation random search needs).
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        RandomSearch {
+            space,
+            rng: Rng::new(seed),
+            tracker: BestTracker::new(),
+            pending: None,
+        }
+    }
+}
+
+impl Searcher for RandomSearch {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() called twice without report()");
+        let c = self.space.random(&mut self.rng);
+        self.pending = Some(c.clone());
+        c
+    }
+
+    fn report(&mut self, value: f64) {
+        let c = self.pending.take().expect("report() without propose()");
+        self.tracker.observe(&c, value);
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::{bowl, bowl_space};
+
+    #[test]
+    fn finds_decent_point_on_bowl() {
+        let mut s = RandomSearch::new(bowl_space(), 42);
+        for _ in 0..400 {
+            let c = s.propose();
+            let v = bowl(&c);
+            s.report(v);
+        }
+        let (_, best) = s.best().unwrap();
+        assert!(best < 30.0, "random search should stumble close-ish: {best}");
+    }
+
+    #[test]
+    fn proposals_stay_in_space() {
+        let space = bowl_space();
+        let mut s = RandomSearch::new(space.clone(), 1);
+        for _ in 0..100 {
+            let c = s.propose();
+            assert!(space.contains(&c));
+            s.report(1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = RandomSearch::new(bowl_space(), 5);
+        let mut b = RandomSearch::new(bowl_space(), 5);
+        for _ in 0..50 {
+            assert_eq!(a.propose(), b.propose());
+            a.report(1.0);
+            b.report(1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without report")]
+    fn double_propose_panics() {
+        let mut s = RandomSearch::new(bowl_space(), 1);
+        s.propose();
+        s.propose();
+    }
+
+    #[test]
+    #[should_panic(expected = "without propose")]
+    fn report_without_propose_panics() {
+        let mut s = RandomSearch::new(bowl_space(), 1);
+        s.report(1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Simulated annealing (Section II-A-6): hill climbing with a temperature-
+//! controlled chance of accepting a non-improving step, reducing the
+//! probability of getting trapped in a local minimum.
+//!
+//! Like hill climbing it requires a neighborhood and therefore rejects
+//! nominal parameters.
+
+use crate::rng::Rng;
+use crate::search::{reject_nominal, BestTracker, Searcher};
+use crate::space::{Configuration, SearchSpace};
+
+/// Tunables of the annealing schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealingOptions {
+    /// Initial temperature `T_0`; the Metropolis acceptance probability of a
+    /// step that is worse by `Δ` is `exp(−Δ / T)`.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor applied after every accepted or rejected
+    /// move (`T ← α·T`).
+    pub cooling: f64,
+    /// Temperature below which the process is considered frozen.
+    pub min_temperature: f64,
+}
+
+impl Default for SimulatedAnnealingOptions {
+    fn default() -> Self {
+        SimulatedAnnealingOptions {
+            initial_temperature: 10.0,
+            cooling: 0.95,
+            min_temperature: 1e-3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    EvalStart,
+    /// A random neighbor has been proposed and awaits its measurement.
+    EvalNeighbor,
+    Frozen,
+}
+
+/// Metropolis-style simulated annealing over ordered parameter spaces.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    space: SearchSpace,
+    opts: SimulatedAnnealingOptions,
+    rng: Rng,
+    current: Configuration,
+    current_value: f64,
+    temperature: f64,
+    state: State,
+    tracker: BestTracker,
+    pending: Option<Configuration>,
+}
+
+impl SimulatedAnnealing {
+    /// Anneal from the deterministic minimum corner of the space.
+    pub fn new(space: SearchSpace, seed: u64, opts: SimulatedAnnealingOptions) -> Self {
+        reject_nominal(&space, "simulated annealing");
+        assert!(opts.initial_temperature > 0.0, "temperature must be positive");
+        assert!(
+            opts.cooling > 0.0 && opts.cooling < 1.0,
+            "cooling factor must be in (0, 1)"
+        );
+        let current = space.min_corner();
+        SimulatedAnnealing {
+            space,
+            temperature: opts.initial_temperature,
+            opts,
+            rng: Rng::new(seed),
+            current,
+            current_value: f64::INFINITY,
+            state: State::EvalStart,
+            tracker: BestTracker::new(),
+            pending: None,
+        }
+    }
+
+    /// Current temperature of the schedule.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    fn random_neighbor(&mut self) -> Option<Configuration> {
+        let ns = self.space.neighbors(&self.current);
+        if ns.is_empty() {
+            None
+        } else {
+            let i = self.rng.pick_index(ns.len());
+            Some(ns.into_iter().nth(i).expect("index in range"))
+        }
+    }
+}
+
+impl Searcher for SimulatedAnnealing {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() called twice without report()");
+        let c = match self.state {
+            State::EvalStart => self.current.clone(),
+            State::EvalNeighbor => match self.random_neighbor() {
+                Some(n) => n,
+                None => {
+                    self.state = State::Frozen;
+                    self.current.clone()
+                }
+            },
+            State::Frozen => self.current.clone(),
+        };
+        self.pending = Some(c.clone());
+        c
+    }
+
+    fn report(&mut self, value: f64) {
+        let c = self.pending.take().expect("report() without propose()");
+        self.tracker.observe(&c, value);
+        match self.state {
+            State::EvalStart => {
+                self.current_value = value;
+                self.state = State::EvalNeighbor;
+            }
+            State::EvalNeighbor => {
+                let delta = value - self.current_value;
+                let accept = delta <= 0.0
+                    || self.rng.next_bool((-delta / self.temperature).exp());
+                if accept {
+                    self.current = c;
+                    self.current_value = value;
+                }
+                self.temperature *= self.opts.cooling;
+                if self.temperature < self.opts.min_temperature {
+                    self.state = State::Frozen;
+                }
+            }
+            State::Frozen => {}
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        matches!(self.state, State::Frozen)
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::run_loop;
+    use crate::search::test_util::{bowl, bowl_space, two_wells, two_wells_space};
+
+    #[test]
+    fn optimizes_convex_bowl() {
+        let mut s = SimulatedAnnealing::new(
+            bowl_space(),
+            7,
+            SimulatedAnnealingOptions {
+                initial_temperature: 50.0,
+                cooling: 0.99,
+                min_temperature: 1e-4,
+            },
+        );
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 3000);
+        let (_, v) = s.best().unwrap();
+        assert!(v <= 3.0, "should approach the optimum 1.0, got {v}");
+    }
+
+    #[test]
+    fn can_escape_local_minimum() {
+        // With a hot enough schedule, annealing escapes the shallow well
+        // that traps plain hill climbing — averaged over seeds, the best
+        // value reaches the global basin in a solid majority of runs.
+        let mut successes = 0;
+        for seed in 0..10 {
+            let mut s = SimulatedAnnealing::new(
+                two_wells_space(),
+                seed,
+                SimulatedAnnealingOptions {
+                    initial_temperature: 20.0,
+                    cooling: 0.999,
+                    min_temperature: 1e-4,
+                },
+            );
+            let mut f = |c: &Configuration| two_wells(c);
+            run_loop(&mut s, &mut f, 4000);
+            if s.best().unwrap().1 < 6.0 {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 7, "escaped in only {successes}/10 runs");
+    }
+
+    #[test]
+    fn temperature_cools_monotonically() {
+        let mut s = SimulatedAnnealing::new(
+            bowl_space(),
+            1,
+            SimulatedAnnealingOptions::default(),
+        );
+        let mut f = |c: &Configuration| bowl(c);
+        let t0 = s.temperature();
+        run_loop(&mut s, &mut f, 50);
+        assert!(s.temperature() < t0);
+    }
+
+    #[test]
+    fn freezes_below_min_temperature() {
+        let mut s = SimulatedAnnealing::new(
+            bowl_space(),
+            1,
+            SimulatedAnnealingOptions {
+                initial_temperature: 1.0,
+                cooling: 0.5,
+                min_temperature: 0.1,
+            },
+        );
+        let mut f = |c: &Configuration| bowl(c);
+        run_loop(&mut s, &mut f, 50);
+        assert!(s.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal")]
+    fn rejects_nominal_spaces() {
+        let space = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            vec!["a".into(), "b".into()],
+        )]);
+        SimulatedAnnealing::new(space, 0, SimulatedAnnealingOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling")]
+    fn rejects_bad_cooling_factor() {
+        SimulatedAnnealing::new(
+            bowl_space(),
+            0,
+            SimulatedAnnealingOptions {
+                cooling: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

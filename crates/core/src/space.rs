@@ -1,0 +1,343 @@
+//! Search spaces and configurations.
+//!
+//! Following the paper's formalization, a search space `T` is the Cartesian
+//! product of a finite set of tuning parameters `τ_0 × τ_1 × … × τ_J`; a
+//! configuration `C ∈ T` is one point in that product.
+
+use crate::param::{Domain, ParamClass, Parameter, Value};
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point in a [`SearchSpace`]: one [`Value`] per parameter, in parameter
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    values: Vec<Value>,
+}
+
+impl Configuration {
+    /// Wrap a raw value vector. Prefer [`SearchSpace::configuration`] which
+    /// validates against the space.
+    pub fn new(values: Vec<Value>) -> Self {
+        Configuration { values }
+    }
+
+    /// An empty configuration for a zero-parameter space (used by case
+    /// study 1, where the string matchers expose no tunables).
+    pub fn empty() -> Self {
+        Configuration { values: Vec::new() }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of the `i`-th parameter.
+    pub fn get(&self, i: usize) -> Value {
+        self.values[i]
+    }
+
+    /// Continuous coordinates of this configuration, for numeric searchers.
+    pub fn as_coords(&self) -> Vec<f64> {
+        self.values.iter().map(|v| v.as_f64()).collect()
+    }
+}
+
+/// The product of a finite list of [`Parameter`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<Parameter>,
+}
+
+impl SearchSpace {
+    pub fn new(params: Vec<Parameter>) -> Self {
+        SearchSpace { params }
+    }
+
+    /// The space with no parameters; its only configuration is
+    /// [`Configuration::empty`].
+    pub fn empty() -> Self {
+        SearchSpace { params: Vec::new() }
+    }
+
+    pub fn params(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    /// Dimensionality `J` of the space.
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Does the space contain any nominal parameter? Numeric searchers call
+    /// this to reject spaces they cannot legally manipulate (Section II-B).
+    pub fn has_nominal(&self) -> bool {
+        self.params.iter().any(|p| p.class() == ParamClass::Nominal)
+    }
+
+    /// Total number of configurations, or `None` if any domain is continuous
+    /// (or the product overflows `u64`).
+    pub fn cardinality(&self) -> Option<u64> {
+        let mut total: u64 = 1;
+        for p in &self.params {
+            total = total.checked_mul(p.cardinality()?)?;
+        }
+        Some(total)
+    }
+
+    /// Validate and wrap a value vector into a [`Configuration`].
+    pub fn configuration(&self, values: Vec<Value>) -> Result<Configuration, SpaceError> {
+        if values.len() != self.params.len() {
+            return Err(SpaceError::WrongArity {
+                expected: self.params.len(),
+                got: values.len(),
+            });
+        }
+        for (i, (p, &v)) in self.params.iter().zip(&values).enumerate() {
+            if !p.contains(v) {
+                return Err(SpaceError::OutOfDomain {
+                    param: p.name().to_string(),
+                    index: i,
+                    value: v,
+                });
+            }
+        }
+        Ok(Configuration::new(values))
+    }
+
+    /// Is `c` a member of this space?
+    pub fn contains(&self, c: &Configuration) -> bool {
+        c.len() == self.params.len()
+            && self.params.iter().zip(c.values()).all(|(p, &v)| p.contains(v))
+    }
+
+    /// A uniformly random configuration.
+    pub fn random(&self, rng: &mut Rng) -> Configuration {
+        Configuration::new(self.params.iter().map(|p| p.random_value(rng)).collect())
+    }
+
+    /// The deterministic "lowest corner" configuration — the paper's
+    /// strategies "start with a deterministic configuration".
+    pub fn min_corner(&self) -> Configuration {
+        Configuration::new(self.params.iter().map(|p| p.min_value()).collect())
+    }
+
+    /// Project continuous coordinates onto the nearest legal configuration.
+    pub fn clamp(&self, coords: &[f64]) -> Configuration {
+        assert_eq!(coords.len(), self.params.len(), "coordinate arity mismatch");
+        Configuration::new(
+            self.params
+                .iter()
+                .zip(coords)
+                .map(|(p, &x)| p.clamp_continuous(x))
+                .collect(),
+        )
+    }
+
+    /// All configurations of a finite space, in lexicographic order.
+    /// Panics on continuous domains; intended for exhaustive search and
+    /// tests on small spaces.
+    pub fn enumerate(&self) -> Vec<Configuration> {
+        let card = self
+            .cardinality()
+            .expect("enumerate requires a finite space");
+        assert!(card <= 1 << 22, "space too large to enumerate ({card})");
+        let mut out = Vec::with_capacity(card as usize);
+        let mut current: Vec<Value> = self.params.iter().map(|p| p.min_value()).collect();
+        loop {
+            out.push(Configuration::new(current.clone()));
+            // Odometer increment, most-significant parameter first.
+            let mut k = self.params.len();
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                if let Some(next) = self.successor(k, current[k]) {
+                    current[k] = next;
+                    break;
+                }
+                current[k] = self.params[k].min_value();
+            }
+        }
+    }
+
+    fn successor(&self, k: usize, v: Value) -> Option<Value> {
+        match (self.params[k].domain(), v) {
+            (Domain::Labels(ls), Value::Index(i)) => {
+                (i + 1 < ls.len()).then_some(Value::Index(i + 1))
+            }
+            (Domain::IntRange { hi, .. }, Value::Int(x)) => (x < *hi).then_some(Value::Int(x + 1)),
+            (Domain::FloatRange { .. }, _) => panic!("cannot enumerate a continuous domain"),
+            _ => unreachable!("value/domain mismatch"),
+        }
+    }
+
+    /// The full neighborhood of `c`: all configurations differing in exactly
+    /// one parameter by one step. Empty for purely-nominal spaces.
+    pub fn neighbors(&self, c: &Configuration) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        for (i, p) in self.params.iter().enumerate() {
+            for n in p.neighbors(c.get(i)) {
+                let mut vals = c.values().to_vec();
+                vals[i] = n;
+                out.push(Configuration::new(vals));
+            }
+        }
+        out
+    }
+}
+
+/// Errors from configuration validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// The value vector length does not match the space dimensionality.
+    WrongArity { expected: usize, got: usize },
+    /// A value is outside its parameter's domain.
+    OutOfDomain {
+        param: String,
+        index: usize,
+        value: Value,
+    },
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::WrongArity { expected, got } => {
+                write!(f, "configuration has {got} values, space has {expected} parameters")
+            }
+            SpaceError::OutOfDomain { param, index, value } => {
+                write!(f, "value {value:?} out of domain for parameter '{param}' (index {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            Parameter::ratio("threads", 1, 4),
+            Parameter::interval("cutoff", 0, 2),
+        ])
+    }
+
+    #[test]
+    fn empty_space_has_one_config() {
+        let s = SearchSpace::empty();
+        assert_eq!(s.cardinality(), Some(1));
+        assert_eq!(s.enumerate(), vec![Configuration::empty()]);
+        assert!(s.contains(&Configuration::empty()));
+    }
+
+    #[test]
+    fn cardinality_is_product() {
+        assert_eq!(space().cardinality(), Some(12));
+    }
+
+    #[test]
+    fn continuous_space_has_no_cardinality() {
+        let s = SearchSpace::new(vec![Parameter::ratio_f64("x", 0.0, 1.0)]);
+        assert_eq!(s.cardinality(), None);
+    }
+
+    #[test]
+    fn enumerate_yields_every_config_once() {
+        let all = space().enumerate();
+        assert_eq!(all.len(), 12);
+        for i in 0..all.len() {
+            for j in 0..i {
+                assert_ne!(all[i], all[j], "duplicate configuration");
+            }
+        }
+        for c in &all {
+            assert!(space().contains(c));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_wrong_arity() {
+        let err = space().configuration(vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(err, SpaceError::WrongArity { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain() {
+        let err = space()
+            .configuration(vec![Value::Int(9), Value::Int(0)])
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::OutOfDomain { index: 0, .. }));
+    }
+
+    #[test]
+    fn clamp_projects_into_space() {
+        let c = space().clamp(&[-5.0, 7.3]);
+        assert_eq!(c.values(), &[Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn random_configs_are_members() {
+        let mut rng = Rng::new(1);
+        let s = space();
+        for _ in 0..200 {
+            assert!(s.contains(&s.random(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_coordinate() {
+        let s = space();
+        let c = s.configuration(vec![Value::Int(2), Value::Int(1)]).unwrap();
+        let ns = s.neighbors(&c);
+        assert_eq!(ns.len(), 4);
+        for n in &ns {
+            let diff = n
+                .values()
+                .iter()
+                .zip(c.values())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1);
+            assert!(s.contains(n));
+        }
+    }
+
+    #[test]
+    fn nominal_space_has_no_neighbors() {
+        let s = SearchSpace::new(vec![Parameter::nominal(
+            "alg",
+            vec!["a".into(), "b".into(), "c".into()],
+        )]);
+        let c = s.min_corner();
+        assert!(s.neighbors(&c).is_empty());
+        assert!(s.has_nominal());
+    }
+
+    #[test]
+    fn min_corner_is_member_and_deterministic() {
+        let s = space();
+        assert!(s.contains(&s.min_corner()));
+        assert_eq!(s.min_corner(), s.min_corner());
+        assert_eq!(
+            s.min_corner().values(),
+            &[Value::Int(1), Value::Int(0)]
+        );
+    }
+}

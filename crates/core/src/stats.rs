@@ -1,0 +1,162 @@
+//! Small descriptive-statistics helpers used by the experiment harness and
+//! by the strategies' own bookkeeping (means over windows, medians over
+//! repetitions, boxplot quartiles for the figures).
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns `NaN` for an empty slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (linear-interpolation free: the classic midpoint-of-two rule).
+/// Returns `NaN` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Quantile `q ∈ [0, 1]` using linear interpolation between order statistics
+/// (type-7 quantile, the R/NumPy default). Returns `NaN` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// The five numbers a boxplot needs: min, first quartile, median, third
+/// quartile, max. Mirrors the boxplots of Figures 1, 4 and 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Compute the summary. Returns `None` for an empty slice.
+    pub fn of(xs: &[f64]) -> Option<FiveNumber> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(FiveNumber {
+            min: quantile(xs, 0.0),
+            q1: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q3: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Transpose a ragged matrix of per-repetition iteration series into
+/// per-iteration sample vectors, then reduce each with `f`. This is exactly
+/// how the paper's per-iteration median/mean curves (Figures 2, 3, 6, 7) are
+/// produced from 100 experiment repetitions.
+pub fn per_iteration_reduce(series: &[Vec<f64>], f: impl Fn(&[f64]) -> f64) -> Vec<f64> {
+    let max_len = series.iter().map(Vec::len).max().unwrap_or(0);
+    (0..max_len)
+        .map(|i| {
+            let column: Vec<f64> = series.iter().filter_map(|s| s.get(i).copied()).collect();
+            f(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_give_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(stddev(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+        assert!(FiveNumber::of(&[]).is_none());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn median_single_element() {
+        assert_eq!(median(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(quantile(&a, q), quantile(&b, q));
+        }
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let s = FiveNumber::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn per_iteration_reduce_handles_ragged_series() {
+        let series = vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
+        let medians = per_iteration_reduce(&series, median);
+        assert_eq!(medians, vec![3.0, 4.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,288 @@
+//! Single-space online tuner driver.
+//!
+//! Wraps a phase-1 [`Searcher`] into an application-facing tuning loop with
+//! iteration bookkeeping and termination criteria. Applications whose hot
+//! operation exposes only *one* parameter space (no algorithmic choice) use
+//! this directly; applications with algorithmic choice use
+//! [`crate::two_phase::TwoPhaseTuner`], which embeds one of these loops per
+//! algorithm.
+
+use crate::measure::{Measure, Sample};
+use crate::search::Searcher;
+use crate::space::Configuration;
+
+/// When should the tuning loop stop proposing new configurations?
+///
+/// Online tuning repeats "indefinitely or until a user-defined termination
+/// criterion is met" (Section III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// Never stop (purely online operation).
+    Never,
+    /// Stop after a fixed number of iterations.
+    Iterations(usize),
+    /// Stop once the searcher itself reports convergence.
+    Converged,
+    /// Stop after a fixed number of iterations or on convergence, whichever
+    /// comes first.
+    IterationsOrConverged(usize),
+    /// Stop once the best observed value has not improved by more than
+    /// `tolerance` (relative) for `window` consecutive iterations — the
+    /// practical criterion behind the paper's "the length of the tuning
+    /// loop is chosen to ensure tuning convergence".
+    Plateau { window: usize, tolerance: f64 },
+}
+
+impl Termination {
+    fn is_met(self, iteration: usize, converged: bool, plateau_len: usize) -> bool {
+        match self {
+            Termination::Never => false,
+            Termination::Iterations(n) => iteration >= n,
+            Termination::Converged => converged,
+            Termination::IterationsOrConverged(n) => iteration >= n || converged,
+            Termination::Plateau { window, .. } => plateau_len >= window,
+        }
+    }
+
+    fn plateau_tolerance(self) -> f64 {
+        match self {
+            Termination::Plateau { tolerance, .. } => tolerance,
+            _ => 0.0,
+        }
+    }
+}
+
+/// An online tuning loop around a single searcher.
+pub struct OnlineTuner<S: Searcher> {
+    searcher: S,
+    termination: Termination,
+    iteration: usize,
+    log: Vec<Sample>,
+    /// Iterations since the best value last improved meaningfully.
+    plateau_len: usize,
+    plateau_best: f64,
+}
+
+impl<S: Searcher> OnlineTuner<S> {
+    pub fn new(searcher: S, termination: Termination) -> Self {
+        OnlineTuner {
+            searcher,
+            termination,
+            iteration: 0,
+            log: Vec::new(),
+            plateau_len: 0,
+            plateau_best: f64::INFINITY,
+        }
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Is the termination criterion met? Once done, [`OnlineTuner::step`]
+    /// keeps running the best-known configuration (online exploitation)
+    /// rather than refusing to work.
+    pub fn done(&self) -> bool {
+        self.termination
+            .is_met(self.iteration, self.searcher.converged(), self.plateau_len)
+    }
+
+    /// One tuning-loop iteration: propose, measure, report.
+    pub fn step<M: Measure>(&mut self, measure: &mut M) -> Sample {
+        let config = if self.done() {
+            // Exploit: re-run the best-known configuration without advancing
+            // the search.
+            self.searcher
+                .best()
+                .map(|(c, _)| c.clone())
+                .unwrap_or_else(|| self.searcher.space().min_corner())
+        } else {
+            self.searcher.propose()
+        };
+        let value = if self.done() {
+            measure.measure(&config)
+        } else {
+            let v = measure.measure(&config);
+            self.searcher.report(v);
+            v
+        };
+        // Plateau tracking: count iterations without meaningful improvement
+        // of the best observed value.
+        let tol = self.termination.plateau_tolerance();
+        if value < self.plateau_best * (1.0 - tol) {
+            self.plateau_best = value;
+            self.plateau_len = 0;
+        } else {
+            self.plateau_len += 1;
+        }
+        let sample = Sample {
+            iteration: self.iteration,
+            config,
+            value,
+        };
+        self.iteration += 1;
+        self.log.push(sample.clone());
+        sample
+    }
+
+    /// Run until the termination criterion is met (or `max_steps` as a
+    /// safety bound for [`Termination::Converged`]). Returns the samples.
+    pub fn run<M: Measure>(&mut self, measure: &mut M, max_steps: usize) -> &[Sample] {
+        let start = self.log.len();
+        let mut steps = 0;
+        while !self.done() && steps < max_steps {
+            self.step(measure);
+            steps += 1;
+        }
+        &self.log[start..]
+    }
+
+    /// Best observed configuration and value.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.searcher.best()
+    }
+
+    /// Full sample log.
+    pub fn log(&self) -> &[Sample] {
+        &self.log
+    }
+
+    /// Access the wrapped searcher.
+    pub fn searcher(&self) -> &S {
+        &self.searcher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+    use crate::search::{NelderMead, NelderMeadOptions, RandomSearch};
+    use crate::space::SearchSpace;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![Parameter::interval("x", -30, 30)])
+    }
+
+    fn cost(c: &Configuration) -> f64 {
+        (c.get(0).as_f64() - 12.0).powi(2) + 3.0
+    }
+
+    #[test]
+    fn runs_until_iteration_budget() {
+        let mut t = OnlineTuner::new(
+            RandomSearch::new(space(), 1),
+            Termination::Iterations(25),
+        );
+        let mut m = |c: &Configuration| cost(c);
+        let samples = t.run(&mut m, 1000);
+        assert_eq!(samples.len(), 25);
+        assert!(t.done());
+    }
+
+    #[test]
+    fn runs_until_convergence() {
+        let mut t = OnlineTuner::new(
+            NelderMead::new(space(), NelderMeadOptions::default()),
+            Termination::Converged,
+        );
+        let mut m = |c: &Configuration| cost(c);
+        t.run(&mut m, 500);
+        assert!(t.done());
+        let (c, v) = t.best().unwrap();
+        assert!((c.get(0).as_i64() - 12).abs() <= 1, "{c:?}");
+        assert!(v < 5.0);
+    }
+
+    #[test]
+    fn after_done_steps_exploit_best() {
+        let mut t = OnlineTuner::new(
+            NelderMead::new(space(), NelderMeadOptions::default()),
+            Termination::Converged,
+        );
+        let mut m = |c: &Configuration| cost(c);
+        t.run(&mut m, 500);
+        let best = t.best().unwrap().0.clone();
+        let s1 = t.step(&mut m);
+        let s2 = t.step(&mut m);
+        assert_eq!(s1.config, best);
+        assert_eq!(s2.config, best);
+    }
+
+    #[test]
+    fn never_termination_keeps_tuning() {
+        let mut t = OnlineTuner::new(RandomSearch::new(space(), 2), Termination::Never);
+        let mut m = |c: &Configuration| cost(c);
+        for _ in 0..100 {
+            t.step(&mut m);
+        }
+        assert!(!t.done());
+        assert_eq!(t.iteration(), 100);
+    }
+
+    #[test]
+    fn iterations_or_converged_stops_early_on_convergence() {
+        let tiny = SearchSpace::new(vec![Parameter::ratio("x", 0, 2)]);
+        let mut t = OnlineTuner::new(
+            NelderMead::new(tiny, NelderMeadOptions::default()),
+            Termination::IterationsOrConverged(10_000),
+        );
+        let mut m = |c: &Configuration| c.get(0).as_f64();
+        t.run(&mut m, 10_000);
+        assert!(t.done());
+        assert!(t.iteration() < 10_000, "tiny space converges fast");
+    }
+
+    #[test]
+    fn plateau_termination_fires_after_stagnation() {
+        // A constant cost function stagnates immediately: done after
+        // exactly `window` iterations.
+        let mut t = OnlineTuner::new(
+            RandomSearch::new(space(), 4),
+            Termination::Plateau {
+                window: 12,
+                tolerance: 0.01,
+            },
+        );
+        let mut m = |_: &Configuration| 7.0;
+        let mut steps = 0;
+        while !t.done() && steps < 1000 {
+            t.step(&mut m);
+            steps += 1;
+        }
+        assert_eq!(steps, 13, "first sample + 12 stagnant iterations");
+    }
+
+    #[test]
+    fn plateau_resets_on_improvement() {
+        let mut t = OnlineTuner::new(
+            RandomSearch::new(space(), 4),
+            Termination::Plateau {
+                window: 10,
+                tolerance: 0.01,
+            },
+        );
+        // Strictly improving by 10% each step: never done.
+        let mut current = 1000.0;
+        let mut m = |_: &Configuration| {
+            current *= 0.9;
+            current
+        };
+        for _ in 0..50 {
+            t.step(&mut m);
+            assert!(!t.done(), "improving run must not plateau");
+        }
+    }
+
+    #[test]
+    fn log_matches_iterations() {
+        let mut t = OnlineTuner::new(RandomSearch::new(space(), 3), Termination::Iterations(10));
+        let mut m = |c: &Configuration| cost(c);
+        t.run(&mut m, 100);
+        assert_eq!(t.log().len(), 10);
+        for (i, s) in t.log().iter().enumerate() {
+            assert_eq!(s.iteration, i);
+        }
+    }
+}

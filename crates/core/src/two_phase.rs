@@ -1,0 +1,485 @@
+//! The two-phase online tuner (Section III).
+//!
+//! Given a set of algorithms `𝒜`, the tuning problem
+//!
+//! ```text
+//! C_opt = argmin_{A ∈ 𝒜, C ∈ T_A} m_A(C)
+//! ```
+//!
+//! is split into per-algorithm phase-1 problems (`C_opt,A = argmin m_A(C)`)
+//! and a phase-2 problem selecting among the `C_opt,A`. Online, the phases
+//! are applied *in reverse order every iteration*: first a phase-2
+//! [`NominalStrategy`] selects algorithm `A_i`, then `A_i`'s own phase-1
+//! [`Searcher`] proposes a parameter configuration `C_i`, and the observed
+//! runtime sample `m_{A,i}` is reported back to both.
+
+use crate::nominal::{
+    EpsilonGradient, EpsilonGreedy, GradientWeighted, NominalStrategy, OptimumWeighted,
+    SlidingWindowAuc, Softmax,
+};
+use crate::search::{
+    HillClimbing, NelderMead, NelderMeadOptions, RandomSearch, Searcher,
+};
+use crate::space::{Configuration, SearchSpace};
+
+/// Description of one tunable algorithm: its name, its own parameter space
+/// `T_A`, and an optional hand-crafted starting configuration (the paper's
+/// raytracing case study starts every builder from a best-practice config).
+#[derive(Debug, Clone)]
+pub struct AlgorithmSpec {
+    pub name: String,
+    pub space: SearchSpace,
+    pub start: Option<Configuration>,
+}
+
+impl AlgorithmSpec {
+    /// An algorithm with tunable parameters.
+    pub fn new(name: impl Into<String>, space: SearchSpace) -> Self {
+        AlgorithmSpec {
+            name: name.into(),
+            space,
+            start: None,
+        }
+    }
+
+    /// An algorithm without tunable parameters (case study 1: the string
+    /// matchers expose none).
+    pub fn untunable(name: impl Into<String>) -> Self {
+        Self::new(name, SearchSpace::empty())
+    }
+
+    /// Set the hand-crafted starting configuration.
+    pub fn with_start(mut self, start: Configuration) -> Self {
+        assert!(
+            self.space.contains(&start),
+            "start configuration not in algorithm's space"
+        );
+        self.start = Some(start);
+        self
+    }
+}
+
+/// Phase-2 strategy selector, mirroring the paper's evaluation matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NominalKind {
+    /// ε-Greedy with the given exploration probability.
+    EpsilonGreedy(f64),
+    /// Gradient Weighted with the given window.
+    GradientWeighted(usize),
+    OptimumWeighted,
+    /// Sliding-Window AUC with the given window.
+    SlidingWindowAuc(usize),
+    /// Softmax/Gibbs with the given temperature and window (the baseline
+    /// the paper rejects).
+    Softmax(f64, usize),
+    /// Combined ε-Greedy with gradient-weighted exploration (ε, window) —
+    /// the paper's future-work mitigation for crossover scenarios.
+    EpsilonGradient(f64, usize),
+}
+
+impl NominalKind {
+    /// The six strategies of the paper's figures, in legend order.
+    pub fn paper_set() -> Vec<NominalKind> {
+        vec![
+            NominalKind::EpsilonGreedy(0.05),
+            NominalKind::EpsilonGreedy(0.10),
+            NominalKind::EpsilonGreedy(0.20),
+            NominalKind::GradientWeighted(16),
+            NominalKind::OptimumWeighted,
+            NominalKind::SlidingWindowAuc(16),
+        ]
+    }
+
+    /// Instantiate the strategy.
+    pub fn build(self, num_algorithms: usize, seed: u64) -> Box<dyn NominalStrategy> {
+        match self {
+            NominalKind::EpsilonGreedy(eps) => {
+                Box::new(EpsilonGreedy::new(num_algorithms, eps, seed))
+            }
+            NominalKind::GradientWeighted(w) => {
+                Box::new(GradientWeighted::new(num_algorithms, w, seed))
+            }
+            NominalKind::OptimumWeighted => Box::new(OptimumWeighted::new(num_algorithms, seed)),
+            NominalKind::SlidingWindowAuc(w) => {
+                Box::new(SlidingWindowAuc::new(num_algorithms, w, seed))
+            }
+            NominalKind::Softmax(t, w) => Box::new(Softmax::new(num_algorithms, t, w, seed)),
+            NominalKind::EpsilonGradient(eps, w) => {
+                Box::new(EpsilonGradient::new(num_algorithms, eps, w, seed))
+            }
+        }
+    }
+
+    /// Display name matching the strategy's own `name()`.
+    pub fn label(self) -> String {
+        // Build a throwaway instance to keep names in one place.
+        self.build(1, 0).name()
+    }
+}
+
+/// Phase-1 searcher selector (for the `phase1_swap` ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase1Kind {
+    /// Nelder-Mead downhill simplex — the paper's choice.
+    NelderMead,
+    HillClimbing,
+    Random,
+}
+
+impl Phase1Kind {
+    /// Instantiate a searcher for one algorithm's parameter space.
+    pub fn build(self, spec: &AlgorithmSpec, seed: u64) -> Box<dyn Searcher> {
+        let start = spec
+            .start
+            .clone()
+            .unwrap_or_else(|| spec.space.min_corner());
+        match self {
+            Phase1Kind::NelderMead => Box::new(NelderMead::from_start(
+                spec.space.clone(),
+                &start,
+                NelderMeadOptions::default(),
+            )),
+            Phase1Kind::HillClimbing => {
+                Box::new(HillClimbing::from_start(spec.space.clone(), start, seed))
+            }
+            Phase1Kind::Random => Box::new(RandomSearch::new(spec.space.clone(), seed)),
+        }
+    }
+}
+
+/// One completed tuning iteration of the two-phase tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPhaseSample {
+    /// Global tuning iteration index.
+    pub iteration: usize,
+    /// Selected algorithm.
+    pub algorithm: usize,
+    /// Phase-1 configuration the algorithm ran with.
+    pub config: Configuration,
+    /// Measured runtime.
+    pub value: f64,
+}
+
+/// The two-phase online tuner: a phase-2 [`NominalStrategy`] over `|𝒜|`
+/// algorithms, each with its own phase-1 [`Searcher`].
+pub struct TwoPhaseTuner {
+    specs: Vec<AlgorithmSpec>,
+    strategy: Box<dyn NominalStrategy>,
+    searchers: Vec<Box<dyn Searcher>>,
+    iteration: usize,
+    /// Algorithm and configuration proposed by the last `next()`, awaiting
+    /// their `report()`.
+    pending: Option<(usize, Configuration)>,
+    best: Option<(usize, Configuration, f64)>,
+    log: Vec<TwoPhaseSample>,
+}
+
+impl TwoPhaseTuner {
+    /// Build a tuner with the paper's defaults: the given phase-2 strategy
+    /// and Nelder-Mead as every algorithm's phase-1 searcher.
+    pub fn new(specs: Vec<AlgorithmSpec>, nominal: NominalKind, seed: u64) -> Self {
+        Self::with_phase1(specs, nominal, Phase1Kind::NelderMead, seed)
+    }
+
+    /// Build a tuner with an explicit phase-1 searcher kind.
+    pub fn with_phase1(
+        specs: Vec<AlgorithmSpec>,
+        nominal: NominalKind,
+        phase1: Phase1Kind,
+        seed: u64,
+    ) -> Self {
+        let strategy = nominal.build(specs.len(), seed);
+        Self::with_strategy(specs, strategy, phase1, seed)
+    }
+
+    /// Build a tuner around a *custom* phase-2 strategy implementation
+    /// (anything implementing [`NominalStrategy`] — e.g. a UCB bandit).
+    /// The strategy must have been constructed for `specs.len()`
+    /// algorithms.
+    pub fn with_strategy(
+        specs: Vec<AlgorithmSpec>,
+        strategy: Box<dyn NominalStrategy>,
+        phase1: Phase1Kind,
+        seed: u64,
+    ) -> Self {
+        assert!(!specs.is_empty(), "need at least one algorithm");
+        assert_eq!(
+            strategy.num_algorithms(),
+            specs.len(),
+            "strategy arity must match the algorithm count"
+        );
+        let searchers = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| phase1.build(s, seed.wrapping_add(i as u64 + 1)))
+            .collect();
+        TwoPhaseTuner {
+            specs,
+            strategy,
+            searchers,
+            iteration: 0,
+            pending: None,
+            best: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of algorithms `|𝒜|`.
+    pub fn num_algorithms(&self) -> usize {
+        self.specs.len()
+    }
+
+    pub fn algorithm_name(&self, i: usize) -> &str {
+        &self.specs[i].name
+    }
+
+    /// Phase-2 strategy display name.
+    pub fn strategy_name(&self) -> String {
+        self.strategy.name()
+    }
+
+    /// One tuning iteration, phases applied in reverse order: select the
+    /// algorithm (phase 2), then its parameter configuration (phase 1).
+    ///
+    /// Named `next` for the ask/tell protocol; not an `Iterator`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> (usize, Configuration) {
+        assert!(self.pending.is_none(), "next() called twice without report()");
+        let algorithm = self.strategy.select();
+        let config = self.searchers[algorithm].propose();
+        self.pending = Some((algorithm, config.clone()));
+        (algorithm, config)
+    }
+
+    /// Report the measured runtime of the configuration returned by the
+    /// last [`TwoPhaseTuner::next`]. Returns the completed sample.
+    pub fn report(&mut self, value: f64) -> TwoPhaseSample {
+        let (algorithm, config) = self.pending.take().expect("report() without next()");
+        self.searchers[algorithm].report(value);
+        self.strategy.report(algorithm, value);
+        // Track the global optimum over (A, C) pairs.
+        if self.best.as_ref().is_none_or(|(_, _, b)| value < *b) {
+            self.best = Some((algorithm, config.clone(), value));
+        }
+        let sample = TwoPhaseSample {
+            iteration: self.iteration,
+            algorithm,
+            config,
+            value,
+        };
+        self.iteration += 1;
+        self.log.push(sample.clone());
+        sample
+    }
+
+    /// Convenience: run one full iteration against a measurement function
+    /// `m(algorithm, config) -> runtime`.
+    pub fn step<F: FnMut(usize, &Configuration) -> f64>(&mut self, mut m: F) -> TwoPhaseSample {
+        let (a, c) = self.next();
+        let v = m(a, &c);
+        self.report(v)
+    }
+
+    /// Globally best observed (algorithm, configuration, value).
+    pub fn best(&self) -> Option<(usize, &Configuration, f64)> {
+        self.best.as_ref().map(|(a, c, v)| (*a, c, *v))
+    }
+
+    /// The algorithm the phase-2 strategy currently believes best.
+    pub fn best_algorithm(&self) -> Option<usize> {
+        self.strategy.best()
+    }
+
+    /// Full iteration log (for convergence plots).
+    pub fn log(&self) -> &[TwoPhaseSample] {
+        &self.log
+    }
+
+    /// Per-algorithm histories from the phase-2 strategy.
+    pub fn histories(&self) -> &[crate::history::AlgorithmHistory] {
+        self.strategy.histories()
+    }
+
+    /// How often each algorithm has been selected so far — the data behind
+    /// the choice histograms of Figures 4 and 8.
+    pub fn selection_counts(&self) -> Vec<usize> {
+        self.strategy.histories().iter().map(|h| h.len()).collect()
+    }
+}
+
+impl std::fmt::Debug for TwoPhaseTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoPhaseTuner")
+            .field("strategy", &self.strategy.name())
+            .field("algorithms", &self.specs.iter().map(|s| &s.name).collect::<Vec<_>>())
+            .field("iteration", &self.iteration)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+
+    /// Three untunable algorithms with fixed costs.
+    fn untunable_specs() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::untunable("slow"),
+            AlgorithmSpec::untunable("fast"),
+            AlgorithmSpec::untunable("mid"),
+        ]
+    }
+
+    fn fixed_costs(a: usize, _c: &Configuration) -> f64 {
+        [30.0, 5.0, 15.0][a]
+    }
+
+    #[test]
+    fn untunable_algorithms_epsilon_greedy_finds_best() {
+        let mut t = TwoPhaseTuner::new(untunable_specs(), NominalKind::EpsilonGreedy(0.10), 1);
+        for _ in 0..200 {
+            t.step(fixed_costs);
+        }
+        assert_eq!(t.best_algorithm(), Some(1));
+        assert_eq!(t.best().unwrap().0, 1);
+        let counts = t.selection_counts();
+        assert!(counts[1] > counts[0] + counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn all_paper_strategies_identify_best_untunable_algorithm() {
+        for kind in NominalKind::paper_set() {
+            let mut t = TwoPhaseTuner::new(untunable_specs(), kind, 9);
+            for _ in 0..300 {
+                t.step(fixed_costs);
+            }
+            assert_eq!(
+                t.best_algorithm(),
+                Some(1),
+                "strategy {} failed",
+                t.strategy_name()
+            );
+        }
+    }
+
+    /// Two tunable algorithms: a parabola each, with different optima.
+    fn tunable_specs() -> Vec<AlgorithmSpec> {
+        let space_a = SearchSpace::new(vec![Parameter::ratio("x", 0, 40)]);
+        let space_b = SearchSpace::new(vec![Parameter::ratio("y", 0, 40)]);
+        vec![
+            AlgorithmSpec::new("alg-a", space_a),
+            AlgorithmSpec::new("alg-b", space_b),
+        ]
+    }
+
+    /// alg-a bottoms out at 20 (runtime 10), alg-b at 5 (runtime 4):
+    /// b is globally better once tuned.
+    fn tunable_costs(a: usize, c: &Configuration) -> f64 {
+        let x = c.get(0).as_f64();
+        match a {
+            0 => 10.0 + 0.2 * (x - 20.0).powi(2),
+            1 => 4.0 + 0.2 * (x - 5.0).powi(2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn combined_tuning_finds_best_algorithm_and_config() {
+        let mut t = TwoPhaseTuner::new(tunable_specs(), NominalKind::EpsilonGreedy(0.20), 5);
+        for _ in 0..600 {
+            t.step(tunable_costs);
+        }
+        let (alg, config, value) = t.best().unwrap();
+        assert_eq!(alg, 1, "algorithm b is globally optimal");
+        assert!((config.get(0).as_i64() - 5).abs() <= 2, "config {config:?}");
+        assert!(value < 5.5, "tuned value {value}");
+    }
+
+    #[test]
+    fn phase1_tuning_progresses_on_all_algorithms_under_weighted_strategy() {
+        // Weighted strategies "achieve tuning progress on all algorithms
+        // more or less simultaneously" (Section IV-B).
+        let mut t = TwoPhaseTuner::new(tunable_specs(), NominalKind::SlidingWindowAuc(16), 7);
+        for _ in 0..600 {
+            t.step(tunable_costs);
+        }
+        let hists = t.histories();
+        for (i, h) in hists.iter().enumerate() {
+            assert!(h.len() > 100, "algorithm {i} starved: {} samples", h.len());
+            let best = h.best_value().unwrap();
+            let first = h.samples()[0].value;
+            assert!(best < first, "algorithm {i} made no tuning progress");
+        }
+    }
+
+    #[test]
+    fn hand_crafted_start_is_used_first() {
+        let space = SearchSpace::new(vec![Parameter::ratio("x", 0, 100)]);
+        let start = space
+            .configuration(vec![crate::param::Value::Int(42)])
+            .unwrap();
+        let specs = vec![AlgorithmSpec::new("a", space).with_start(start.clone())];
+        let mut t = TwoPhaseTuner::new(specs, NominalKind::EpsilonGreedy(0.0), 3);
+        let (_, c) = t.next();
+        assert_eq!(c, start, "first proposal must be the hand-crafted config");
+        t.report(1.0);
+    }
+
+    #[test]
+    fn phase1_swap_random_still_finds_best_algorithm() {
+        let mut t = TwoPhaseTuner::with_phase1(
+            tunable_specs(),
+            NominalKind::EpsilonGreedy(0.20),
+            Phase1Kind::Random,
+            11,
+        );
+        for _ in 0..800 {
+            t.step(tunable_costs);
+        }
+        assert_eq!(t.best().unwrap().0, 1);
+    }
+
+    #[test]
+    fn log_records_every_iteration_in_order() {
+        let mut t = TwoPhaseTuner::new(untunable_specs(), NominalKind::OptimumWeighted, 13);
+        for _ in 0..50 {
+            t.step(fixed_costs);
+        }
+        let log = t.log();
+        assert_eq!(log.len(), 50);
+        for (i, s) in log.iter().enumerate() {
+            assert_eq!(s.iteration, i);
+            assert!(s.algorithm < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without report")]
+    fn double_next_panics() {
+        let mut t = TwoPhaseTuner::new(untunable_specs(), NominalKind::OptimumWeighted, 1);
+        t.next();
+        t.next();
+    }
+
+    #[test]
+    #[should_panic(expected = "start configuration not in")]
+    fn with_start_validates_membership() {
+        let space = SearchSpace::new(vec![Parameter::ratio("x", 0, 10)]);
+        AlgorithmSpec::new("a", space)
+            .with_start(Configuration::new(vec![crate::param::Value::Int(99)]));
+    }
+
+    #[test]
+    fn nominal_kind_labels_are_unique() {
+        let labels: Vec<String> = NominalKind::paper_set()
+            .into_iter()
+            .map(NominalKind::label)
+            .collect();
+        for i in 0..labels.len() {
+            for j in 0..i {
+                assert_ne!(labels[i], labels[j]);
+            }
+        }
+    }
+}

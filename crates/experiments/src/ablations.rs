@@ -1,0 +1,427 @@
+//! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! These run on *synthetic* cost models (deterministic arm costs plus
+//! seeded noise), so they measure strategy behaviour — convergence speed,
+//! regret, switching latency — without benchmarking noise:
+//!
+//! * [`eps_sweep`] — ε beyond the paper's {5, 10, 20}%: the
+//!   exploration/exploitation regret trade-off.
+//! * [`window_sweep`] — window sizes for Gradient Weighted and
+//!   Sliding-Window AUC on a drifting workload.
+//! * [`phase1_swap`] — Nelder-Mead vs. hill climbing vs. random search as
+//!   the phase-1 tuner inside the two-phase loop.
+//! * [`crossover`] — the Section IV-C threat to validity: an algorithm
+//!   that starts slower but tunes to become the fastest. Measures how many
+//!   iterations each strategy needs to switch its preference.
+
+use crate::report::SeriesFigure;
+use autotune::nominal::{EpsilonGreedy, GradientWeighted, NominalStrategy, SlidingWindowAuc};
+use autotune::param::Parameter;
+use autotune::rng::Rng;
+use autotune::space::SearchSpace;
+use autotune::stats;
+use autotune::two_phase::{AlgorithmSpec, NominalKind, Phase1Kind, TwoPhaseTuner};
+
+/// Fixed arm costs shaped like Figure 1 (four fast arms, four slow ones).
+const ARM_COSTS: [f64; 8] = [120.0, 12.0, 14.0, 10.0, 11.0, 95.0, 110.0, 15.0];
+
+fn noisy(rng: &mut Rng, base: f64) -> f64 {
+    (base * (1.0 + 0.03 * rng.next_gaussian())).max(0.01)
+}
+
+/// Mean cumulative regret (vs. always playing the optimal arm) of
+/// ε-Greedy across a sweep of ε values.
+pub fn eps_sweep(reps: usize, iterations: usize, seed: u64) -> SeriesFigure {
+    let best = ARM_COSTS.iter().cloned().fold(f64::INFINITY, f64::min);
+    let epsilons = [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50];
+    let mut series = Vec::new();
+    for &eps in &epsilons {
+        let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let mut rng = Rng::new(seed ^ (rep as u64 * 31 + (eps * 1000.0) as u64));
+            let mut s = EpsilonGreedy::new(ARM_COSTS.len(), eps, rng.next_u64());
+            let mut cum = 0.0;
+            let mut curve = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                let a = s.select();
+                let v = noisy(&mut rng, ARM_COSTS[a]);
+                s.report(a, v);
+                // Pseudo-regret: expected (noiseless) excess over the best
+                // arm, so curves are exactly non-decreasing.
+                cum += ARM_COSTS[a] - best;
+                curve.push(cum);
+            }
+            per_rep.push(curve);
+        }
+        series.push((
+            format!("eps={:.0}%", eps * 100.0),
+            stats::per_iteration_reduce(&per_rep, stats::mean),
+        ));
+    }
+    SeriesFigure {
+        id: "ablation_eps".into(),
+        title: "Ablation: cumulative regret vs epsilon".into(),
+        xlabel: "iteration".into(),
+        ylabel: "cumulative regret [ms]".into(),
+        series,
+    }
+}
+
+/// Window-size sweep for the two windowed strategies on a *drifting*
+/// workload: the fast arm flips halfway through. Small windows adapt
+/// quickly; huge windows average over the regime change.
+pub fn window_sweep(reps: usize, iterations: usize, seed: u64) -> SeriesFigure {
+    let windows = [4usize, 8, 16, 32, 64];
+    let flip = iterations / 2;
+    // Arm costs before/after the flip.
+    let cost = |arm: usize, i: usize| -> f64 {
+        match (arm, i < flip) {
+            (0, true) => 10.0,
+            (0, false) => 60.0,
+            (1, true) => 60.0,
+            (1, false) => 10.0,
+            _ => unreachable!(),
+        }
+    };
+    let mut series = Vec::new();
+    for &w in &windows {
+        for auc in [false, true] {
+            let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let mut rng = Rng::new(seed ^ (rep as u64 * 977 + w as u64));
+                let mut s: Box<dyn NominalStrategy> = if auc {
+                    Box::new(SlidingWindowAuc::new(2, w, rng.next_u64()))
+                } else {
+                    Box::new(GradientWeighted::new(2, w.max(2), rng.next_u64()))
+                };
+                let mut curve = Vec::with_capacity(iterations);
+                for i in 0..iterations {
+                    let a = s.select();
+                    let v = noisy(&mut rng, cost(a, i));
+                    s.report(a, v);
+                    curve.push(v);
+                }
+                per_rep.push(curve);
+            }
+            series.push((
+                format!("{}(w={w})", if auc { "auc" } else { "grad" }),
+                stats::per_iteration_reduce(&per_rep, stats::median),
+            ));
+        }
+    }
+    SeriesFigure {
+        id: "ablation_window".into(),
+        title: "Ablation: window size under a mid-run regime flip".into(),
+        xlabel: "iteration".into(),
+        ylabel: "median time [ms]".into(),
+        series,
+    }
+}
+
+/// Two tunable synthetic algorithms (parabolic cost surfaces) as in the
+/// two-phase tests: algorithm B is globally better once tuned.
+fn synthetic_specs() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::new(
+            "alg-a",
+            SearchSpace::new(vec![Parameter::ratio("x", 0, 40)]),
+        ),
+        AlgorithmSpec::new(
+            "alg-b",
+            SearchSpace::new(vec![Parameter::ratio("y", 0, 40)]),
+        ),
+    ]
+}
+
+fn synthetic_cost(alg: usize, x: f64, rng: &mut Rng) -> f64 {
+    let base = match alg {
+        0 => 10.0 + 0.2 * (x - 20.0).powi(2),
+        _ => 4.0 + 0.2 * (x - 5.0).powi(2),
+    };
+    noisy(rng, base)
+}
+
+/// Swap the phase-1 searcher inside the two-phase tuner and compare the
+/// best tuned value reached over time.
+pub fn phase1_swap(reps: usize, iterations: usize, seed: u64) -> SeriesFigure {
+    let kinds = [
+        ("nelder-mead", Phase1Kind::NelderMead),
+        ("hill-climbing", Phase1Kind::HillClimbing),
+        ("random", Phase1Kind::Random),
+    ];
+    let mut series = Vec::new();
+    for (label, kind) in kinds {
+        let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let mut rng = Rng::new(seed ^ (rep as u64 * 131));
+            let mut tuner = TwoPhaseTuner::with_phase1(
+                synthetic_specs(),
+                NominalKind::EpsilonGreedy(0.10),
+                kind,
+                rng.next_u64(),
+            );
+            let mut curve = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                tuner.step(|alg, c| synthetic_cost(alg, c.get(0).as_f64(), &mut rng));
+                curve.push(tuner.best().expect("has samples").2);
+            }
+            per_rep.push(curve);
+        }
+        series.push((
+            label.to_string(),
+            stats::per_iteration_reduce(&per_rep, stats::median),
+        ));
+    }
+    SeriesFigure {
+        id: "ablation_phase1".into(),
+        title: "Ablation: phase-1 searcher inside the two-phase tuner".into(),
+        xlabel: "iteration".into(),
+        ylabel: "best observed time [ms]".into(),
+        series,
+    }
+}
+
+/// The crossover scenario of Section IV-C: algorithm A is a constant
+/// 10 ms; algorithm B starts at 30 ms but its tunable parameter can bring
+/// it to 5 ms. A strategy must keep exploring B long enough for phase-1
+/// tuning to reveal the crossover. Returns median per-iteration times; the
+/// faster a curve drops below 10 ms, the better the strategy handles the
+/// crossover.
+pub fn crossover(reps: usize, iterations: usize, seed: u64) -> SeriesFigure {
+    let specs = || {
+        vec![
+            AlgorithmSpec::untunable("fixed-fast"),
+            AlgorithmSpec::new(
+                "tunable-faster",
+                SearchSpace::new(vec![Parameter::ratio("x", 0, 60)]),
+            ),
+        ]
+    };
+    let cost = |alg: usize, x: f64, rng: &mut Rng| -> f64 {
+        match alg {
+            0 => noisy(rng, 10.0),
+            // Bottoms out at 5 ms at x = 50 — far from the start corner, so
+            // reaching it needs sustained phase-1 progress.
+            _ => noisy(rng, 5.0 + 0.01 * (x - 50.0).powi(2)),
+        }
+    };
+    let mut series = Vec::new();
+    // The paper's six strategies plus the future-work combined strategy,
+    // which this scenario was designed to motivate.
+    let mut kinds = NominalKind::paper_set();
+    kinds.push(NominalKind::EpsilonGradient(0.10, 16));
+    for kind in kinds {
+        let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let mut rng = Rng::new(seed ^ (rep as u64 * 271));
+            let mut tuner = TwoPhaseTuner::new(specs(), kind, rng.next_u64());
+            let mut curve = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                let s = tuner.step(|alg, c| {
+                    let x = if c.is_empty() { 0.0 } else { c.get(0).as_f64() };
+                    cost(alg, x, &mut rng)
+                });
+                curve.push(s.value);
+            }
+            per_rep.push(curve);
+        }
+        series.push((
+            kind.label(),
+            stats::per_iteration_reduce(&per_rep, stats::median),
+        ));
+    }
+    SeriesFigure {
+        id: "ablation_crossover".into(),
+        title: "Ablation: crossover scenario (Section IV-C threat)".into(),
+        xlabel: "iteration".into(),
+        ylabel: "median time [ms]".into(),
+        series,
+    }
+}
+
+/// Deployment-mode comparison on the real string matching workload:
+/// *static* (always the hand-crafted `Hybrid` heuristic), *offline*
+/// (exhaustively try every algorithm once, then exploit the winner), and
+/// *online* (ε-Greedy throughout). Plots cumulative search time — the
+/// quantity an application actually pays. Offline's sweep cost is paid up
+/// front; online amortizes exploration across the run; static never pays
+/// tuning but is stuck with the heuristic's choice.
+pub fn deployment_modes(
+    corpus_bytes: usize,
+    iterations: usize,
+    reps: usize,
+    seed: u64,
+) -> SeriesFigure {
+    use autotune::measure::time_ms;
+    use stringmatch::{all_matchers, Hybrid, Matcher};
+
+    let text = stringmatch::corpus::bible_like_with(seed, corpus_bytes, 20_000);
+    let matchers = all_matchers();
+    let query = stringmatch::PAPER_QUERY;
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut run_mode = |label: &str, mut pick: Box<dyn FnMut(usize, &[f64]) -> usize>| {
+        let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut best_seen = vec![f64::INFINITY; matchers.len()];
+            let mut cum = 0.0;
+            let mut curve = Vec::with_capacity(iterations);
+            for i in 0..iterations {
+                let alg = pick(i, &best_seen);
+                let (_, ms) = time_ms(|| matchers[alg].find_all(query, &text));
+                best_seen[alg] = best_seen[alg].min(ms);
+                cum += ms;
+                curve.push(cum);
+            }
+            per_rep.push(curve);
+        }
+        series.push((
+            label.to_string(),
+            autotune::stats::per_iteration_reduce(&per_rep, autotune::stats::median),
+        ));
+    };
+
+    // Static: the Hybrid heuristic's dispatch, located in the registry.
+    let hybrid_idx = matchers
+        .iter()
+        .position(|m| m.name() == Hybrid.name())
+        .expect("Hybrid is registered");
+    run_mode("static-hybrid", Box::new(move |_, _| hybrid_idx));
+
+    // Offline: sweep each algorithm once, then exploit the best.
+    let n_algs = matchers.len();
+    run_mode(
+        "offline-exhaustive",
+        Box::new(move |i, best_seen| {
+            if i < n_algs {
+                i
+            } else {
+                best_seen
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(k, _)| k)
+                    .expect("nonempty")
+            }
+        }),
+    );
+
+    // Online: ε-Greedy(10%) — selection comes from the strategy itself,
+    // with a fresh strategy per repetition.
+    {
+        let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let mut greedy = EpsilonGreedy::new(n_algs, 0.10, seed ^ (rep as u64 * 401));
+            let mut cum = 0.0;
+            let mut curve = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                let alg = greedy.select();
+                let (_, ms) = time_ms(|| matchers[alg].find_all(query, &text));
+                greedy.report(alg, ms);
+                cum += ms;
+                curve.push(cum);
+            }
+            per_rep.push(curve);
+        }
+        series.push((
+            "online-e-greedy(10%)".to_string(),
+            autotune::stats::per_iteration_reduce(&per_rep, autotune::stats::median),
+        ));
+    }
+
+    SeriesFigure {
+        id: "deployment_modes".into(),
+        title: "Extension: cumulative search time by deployment mode".into(),
+        xlabel: "iteration".into(),
+        ylabel: "cumulative time [ms]".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_modes_produces_three_cumulative_curves() {
+        let f = deployment_modes(32 << 10, 24, 2, 5);
+        assert_eq!(f.series.len(), 3);
+        for (name, curve) in &f.series {
+            assert_eq!(curve.len(), 24, "{name}");
+            for w in curve.windows(2) {
+                assert!(w[1] >= w[0], "{name}: cumulative time decreased");
+            }
+        }
+    }
+
+    #[test]
+    fn eps_sweep_small_eps_has_lowest_final_regret_among_sane_values() {
+        let f = eps_sweep(6, 300, 11);
+        assert_eq!(f.series.len(), 7);
+        // Regret is cumulative, so curves are non-decreasing.
+        for (name, curve) in &f.series {
+            for w in curve.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{name} regret must accumulate");
+            }
+        }
+        // ε = 50% explores half the time: its final regret must exceed
+        // ε = 5%'s.
+        let final_of = |label: &str| {
+            f.series
+                .iter()
+                .find(|(n, _)| n == label)
+                .map(|(_, c)| *c.last().unwrap())
+                .unwrap()
+        };
+        assert!(final_of("eps=50%") > final_of("eps=5%"));
+    }
+
+    #[test]
+    fn window_sweep_produces_all_combinations() {
+        let f = window_sweep(3, 120, 5);
+        assert_eq!(f.series.len(), 10, "5 windows × 2 strategies");
+    }
+
+    #[test]
+    fn small_auc_window_adapts_faster_than_huge() {
+        let f = window_sweep(8, 200, 17);
+        let tail_mean = |label: &str| {
+            let c = &f.series.iter().find(|(n, _)| n == label).unwrap().1;
+            stats::mean(&c[c.len() - 30..])
+        };
+        assert!(
+            tail_mean("auc(w=4)") <= tail_mean("auc(w=64)") * 1.5,
+            "small windows should not be much worse after the flip"
+        );
+    }
+
+    #[test]
+    fn phase1_nelder_mead_beats_random_in_convergence() {
+        let f = phase1_swap(6, 150, 23);
+        let best_final = |label: &str| {
+            *f.series
+                .iter()
+                .find(|(n, _)| n == label)
+                .unwrap()
+                .1
+                .last()
+                .unwrap()
+        };
+        // All should approach the global optimum of ~4 ms; Nelder-Mead at
+        // least as fast as random.
+        assert!(best_final("nelder-mead") <= best_final("random") * 1.2);
+        assert!(best_final("nelder-mead") < 7.0);
+    }
+
+    #[test]
+    fn crossover_strategies_eventually_beat_the_fixed_arm() {
+        let f = crossover(6, 400, 29);
+        for (name, curve) in &f.series {
+            let tail = stats::median(&curve[curve.len() - 50..]);
+            assert!(
+                tail < 11.5,
+                "{name} should at least match the fixed arm, got {tail}"
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # experiments — the paper's evaluation, regenerated
+//!
+//! One module per case study plus the tables:
+//!
+//! | Paper artifact | Regenerator |
+//! |---|---|
+//! | Table I (parameter classes) | [`tables::table1`] |
+//! | Table II (benchmark system) | [`tables::table2`] |
+//! | Figure 1 (untuned string matchers) | [`cs1::fig1`] |
+//! | Figure 2 (median convergence, strings) | [`cs1::fig2`] |
+//! | Figure 3 (mean convergence, strings) | [`cs1::fig3`] |
+//! | Figure 4 (choice histogram, strings) | [`cs1::fig4`] |
+//! | Figure 5 (per-builder tuning timeline) | [`cs2::fig5`] |
+//! | Figure 6 (median convergence, raytracing) | [`cs2::fig6`] |
+//! | Figure 7 (mean convergence, raytracing) | [`cs2::fig7`] |
+//! | Figure 8 (choice histogram, raytracing) | [`cs2::fig8`] |
+//!
+//! The `experiments` binary drives these and writes CSV/JSON into
+//! `results/` plus ASCII plots to stdout. Scale knobs default to a *quick*
+//! profile; `--paper` selects the paper's full scale.
+
+pub mod ablations;
+pub mod cs1;
+pub mod cs2;
+pub mod report;
+pub mod tables;

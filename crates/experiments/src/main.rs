@@ -1,0 +1,219 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <target> [flags]
+//!
+//! targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!          cs1 cs2 patterns scenes dynamic ablations all
+//! flags:
+//!   --paper            paper-scale runs (100 reps; hours) instead of quick
+//!   --reps N           override repetition count
+//!   --iters N          override tuning iterations / frames
+//!   --corpus-kb N      corpus size for case study 1
+//!   --detail N         cathedral detail for case study 2
+//!   --out DIR          output directory (default: results)
+//! ```
+
+use experiments::{ablations, cs1, cs2, report, tables};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    target: String,
+    paper: bool,
+    reps: Option<usize>,
+    iters: Option<usize>,
+    corpus_kb: Option<usize>,
+    detail: Option<u32>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        target: "all".into(),
+        paper: false,
+        reps: None,
+        iters: None,
+        corpus_kb: None,
+        detail: None,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    let mut target_set = false;
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--paper" => args.paper = true,
+            "--reps" => args.reps = Some(grab("--reps").parse().expect("--reps N")),
+            "--iters" => args.iters = Some(grab("--iters").parse().expect("--iters N")),
+            "--corpus-kb" => {
+                args.corpus_kb = Some(grab("--corpus-kb").parse().expect("--corpus-kb N"))
+            }
+            "--detail" => args.detail = Some(grab("--detail").parse().expect("--detail N")),
+            "--out" => args.out = PathBuf::from(grab("--out")),
+            t if !target_set && !t.starts_with("--") => {
+                args.target = t.to_string();
+                target_set = true;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn cs1_config(args: &Args) -> cs1::Cs1Config {
+    let mut cfg = if args.paper {
+        cs1::Cs1Config::paper()
+    } else {
+        cs1::Cs1Config::default()
+    };
+    if let Some(r) = args.reps {
+        cfg.reps = r;
+    }
+    if let Some(i) = args.iters {
+        cfg.iterations = i;
+    }
+    if let Some(kb) = args.corpus_kb {
+        cfg.corpus_bytes = kb << 10;
+    }
+    cfg
+}
+
+fn cs2_config(args: &Args) -> cs2::Cs2Config {
+    let mut cfg = if args.paper {
+        cs2::Cs2Config::paper()
+    } else {
+        cs2::Cs2Config::default()
+    };
+    if let Some(r) = args.reps {
+        cfg.reps = r;
+    }
+    if let Some(i) = args.iters {
+        cfg.frames = i;
+    }
+    if let Some(d) = args.detail {
+        cfg.detail = d;
+    }
+    cfg
+}
+
+fn emit_series(f: &report::SeriesFigure, out: &Path) {
+    f.save(out).expect("write figure outputs");
+    println!("{}", f.ascii());
+    println!("→ {}/{}.csv\n", out.display(), f.id);
+}
+
+fn emit_box(f: &report::BoxFigure, out: &Path) {
+    f.save(out).expect("write figure outputs");
+    println!("{}", f.ascii());
+    println!("→ {}/{}.csv\n", out.display(), f.id);
+}
+
+fn emit_grouped(f: &report::GroupedBoxFigure, out: &Path) {
+    f.save(out).expect("write figure outputs");
+    println!("{}", f.ascii());
+    println!("→ {}/{}.csv\n", out.display(), f.id);
+}
+
+fn main() {
+    let args = parse_args();
+    let t = args.target.as_str();
+    let run_cs1_figs = matches!(t, "fig2" | "fig3" | "fig4" | "cs1" | "all");
+    let run_cs2_figs = matches!(t, "fig6" | "fig7" | "fig8" | "cs2" | "all");
+
+    if matches!(t, "table1" | "all") {
+        println!("{}", tables::table1());
+    }
+    if matches!(t, "table2" | "all") {
+        println!("{}", tables::table2());
+    }
+    if matches!(t, "fig1" | "cs1" | "all") {
+        let cfg = cs1_config(&args);
+        eprintln!("[fig1] untuned string matching: {} reps…", cfg.reps);
+        emit_box(&cs1::fig1(&cfg), &args.out);
+    }
+    if run_cs1_figs {
+        let cfg = cs1_config(&args);
+        eprintln!(
+            "[fig2-4] string-matching tuning: 6 strategies × {} reps × {} iters…",
+            cfg.reps, cfg.iterations
+        );
+        let runs = cs1::run_tuning(&cfg);
+        if matches!(t, "fig2" | "cs1" | "all") {
+            emit_series(&cs1::fig2(&runs), &args.out);
+        }
+        if matches!(t, "fig3" | "cs1" | "all") {
+            emit_series(&cs1::fig3(&runs), &args.out);
+        }
+        if matches!(t, "fig4" | "cs1" | "all") {
+            emit_grouped(&cs1::fig4(&runs), &args.out);
+        }
+    }
+    if matches!(t, "fig5" | "cs2" | "all") {
+        let cfg = cs2_config(&args);
+        eprintln!(
+            "[fig5] per-builder Nelder-Mead timelines: 4 builders × {} reps × {} frames…",
+            cfg.reps, cfg.frames
+        );
+        emit_series(&cs2::fig5(&cfg), &args.out);
+    }
+    if run_cs2_figs {
+        let cfg = cs2_config(&args);
+        eprintln!(
+            "[fig6-8] raytracing tuning: 6 strategies × {} reps × {} frames…",
+            cfg.reps, cfg.frames
+        );
+        let runs = cs2::run_tuning(&cfg);
+        if matches!(t, "fig6" | "cs2" | "all") {
+            emit_series(&cs2::fig6(&runs), &args.out);
+        }
+        if matches!(t, "fig7" | "cs2" | "all") {
+            emit_series(&cs2::fig7(&runs), &args.out);
+        }
+        if matches!(t, "fig8" | "cs2" | "all") {
+            emit_grouped(&cs2::fig8(&runs), &args.out);
+        }
+    }
+    if matches!(t, "patterns" | "all") {
+        let cfg = cs1_config(&args);
+        eprintln!("[patterns] pattern-length study: 8 algorithms × 7 lengths × {} reps…", cfg.reps);
+        emit_grouped(&cs1::pattern_length_study(&cfg), &args.out);
+    }
+    if matches!(t, "scenes" | "all") {
+        let cfg = cs2_config(&args);
+        eprintln!("[scenes] builder × scene-type comparison: {} reps…", cfg.reps);
+        emit_grouped(&cs2::scene_comparison(&cfg), &args.out);
+    }
+    if matches!(t, "dynamic" | "all") {
+        let cfg = cs2_config(&args);
+        eprintln!(
+            "[dynamic] scene-size jump study: 2 strategies × {} reps × {} frames…",
+            cfg.reps, cfg.frames
+        );
+        emit_series(&cs2::dynamic_scene_study(&cfg), &args.out);
+    }
+    if matches!(t, "ablations" | "all") {
+        let reps = args.reps.unwrap_or(10);
+        let iters = args.iters.unwrap_or(300);
+        eprintln!("[ablations] eps/window/phase1/crossover/deployment: {reps} reps × {iters} iters…");
+        emit_series(&ablations::eps_sweep(reps, iters, 1), &args.out);
+        emit_series(&ablations::window_sweep(reps, iters, 2), &args.out);
+        emit_series(&ablations::phase1_swap(reps, iters, 3), &args.out);
+        emit_series(&ablations::crossover(reps, iters, 4), &args.out);
+        let cfg = cs1_config(&args);
+        emit_series(
+            &ablations::deployment_modes(cfg.corpus_bytes, cfg.iterations, cfg.reps, 5),
+            &args.out,
+        );
+    }
+    let known = [
+        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "cs1", "cs2", "patterns", "scenes", "dynamic", "ablations", "all",
+    ];
+    if !known.contains(&t) {
+        eprintln!("unknown target '{t}'; known: {}", known.join(" "));
+        std::process::exit(2);
+    }
+}

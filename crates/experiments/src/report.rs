@@ -1,0 +1,392 @@
+//! Figure data containers, CSV/JSON writers, and ASCII plots.
+//!
+//! Every experiment produces one of three figure shapes, mirroring the
+//! paper's plots:
+//!
+//! * [`SeriesFigure`] — per-iteration line plots (Figures 2, 3, 5, 6, 7),
+//! * [`BoxFigure`] — per-category boxplots (Figure 1),
+//! * [`GroupedBoxFigure`] — strategy × algorithm boxplots (Figures 4, 8).
+//!
+//! Each can render itself as an ASCII chart (for the terminal) and persist
+//! itself as CSV (for external plotting) and JSON (for EXPERIMENTS.md
+//! regeneration).
+
+use autotune::stats::FiveNumber;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A per-iteration line plot with one series per strategy/algorithm.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesFigure {
+    /// Figure id, e.g. `fig2`.
+    pub id: String,
+    pub title: String,
+    pub xlabel: String,
+    pub ylabel: String,
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// A simple per-category boxplot.
+#[derive(Debug, Clone, Serialize)]
+pub struct BoxFigure {
+    pub id: String,
+    pub title: String,
+    pub ylabel: String,
+    pub boxes: Vec<(String, Boxed)>,
+}
+
+/// `FiveNumber` with serde support.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Boxed {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+}
+
+impl From<FiveNumber> for Boxed {
+    fn from(f: FiveNumber) -> Self {
+        Boxed {
+            min: f.min,
+            q1: f.q1,
+            median: f.median,
+            q3: f.q3,
+            max: f.max,
+        }
+    }
+}
+
+/// A grouped boxplot: one box per (group, category) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupedBoxFigure {
+    pub id: String,
+    pub title: String,
+    pub ylabel: String,
+    /// Category labels (x axis, e.g. algorithm names).
+    pub categories: Vec<String>,
+    /// One row per group (e.g. strategy): `(group, boxes per category)`.
+    pub groups: Vec<(String, Vec<Boxed>)>,
+}
+
+fn write_file(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, contents)
+}
+
+impl SeriesFigure {
+    /// CSV: `iteration,<series...>` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("iteration");
+        for (name, _) in &self.series {
+            write!(out, ",{name}").unwrap();
+        }
+        out.push('\n');
+        let len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        for i in 0..len {
+            write!(out, "{i}").unwrap();
+            for (_, v) in &self.series {
+                match v.get(i) {
+                    Some(x) => write!(out, ",{x:.4}").unwrap(),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render an ASCII line chart (one glyph per series).
+    pub fn ascii(&self) -> String {
+        const W: usize = 72;
+        const H: usize = 18;
+        const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, v) in &self.series {
+            for &y in v {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+        if !lo.is_finite() || len == 0 {
+            return format!("{}: (no data)\n", self.title);
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+        let mut grid = vec![vec![' '; W]; H];
+        for (si, (_, v)) in self.series.iter().enumerate() {
+            let g = GLYPHS[si % GLYPHS.len()];
+            for (i, &y) in v.iter().enumerate() {
+                let x = if len <= 1 { 0 } else { i * (W - 1) / (len - 1) };
+                let row = ((hi - y) / (hi - lo) * (H - 1) as f64).round() as usize;
+                grid[row.min(H - 1)][x] = g;
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "{} ({} vs {})", self.title, self.ylabel, self.xlabel).unwrap();
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{hi:>9.2} |")
+            } else if r == H - 1 {
+                format!("{lo:>9.2} |")
+            } else {
+                "          |".to_string()
+            };
+            writeln!(out, "{label}{}", row.iter().collect::<String>()).unwrap();
+        }
+        writeln!(out, "          +{}", "-".repeat(W)).unwrap();
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            writeln!(out, "   {} {}", GLYPHS[si % GLYPHS.len()], name).unwrap();
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.csv` and `<dir>/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        write_file(&dir.join(format!("{}.csv", self.id)), &self.to_csv())?;
+        write_file(
+            &dir.join(format!("{}.json", self.id)),
+            &serde_json::to_string_pretty(self).expect("figure serializes"),
+        )
+    }
+}
+
+impl BoxFigure {
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,min,q1,median,q3,max\n");
+        for (label, b) in &self.boxes {
+            writeln!(
+                out,
+                "{label},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                b.min, b.q1, b.median, b.q3, b.max
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// Horizontal ASCII boxplot.
+    pub fn ascii(&self) -> String {
+        const W: usize = 56;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, b) in &self.boxes {
+            lo = lo.min(b.min);
+            hi = hi.max(b.max);
+        }
+        if !lo.is_finite() {
+            return format!("{}: (no data)\n", self.title);
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+        let pos = |v: f64| (((v - lo) / (hi - lo)) * (W - 1) as f64).round() as usize;
+        let mut out = String::new();
+        writeln!(out, "{} [{}]", self.title, self.ylabel).unwrap();
+        let label_w = self
+            .boxes
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        for (label, b) in &self.boxes {
+            let mut row = vec![' '; W];
+            row[pos(b.min)..=pos(b.max)].fill('-');
+            row[pos(b.q1)..=pos(b.q3)].fill('=');
+            row[pos(b.median)] = '|';
+            writeln!(
+                out,
+                "{label:>label_w$} {} {:8.2}ms",
+                row.iter().collect::<String>(),
+                b.median
+            )
+            .unwrap();
+        }
+        writeln!(out, "{:>label_w$} {:<.2} .. {:.2}", "range", lo, hi).unwrap();
+        out
+    }
+
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        write_file(&dir.join(format!("{}.csv", self.id)), &self.to_csv())?;
+        write_file(
+            &dir.join(format!("{}.json", self.id)),
+            &serde_json::to_string_pretty(self).expect("figure serializes"),
+        )
+    }
+}
+
+impl GroupedBoxFigure {
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("group,category,min,q1,median,q3,max\n");
+        for (group, boxes) in &self.groups {
+            for (cat, b) in self.categories.iter().zip(boxes) {
+                writeln!(
+                    out,
+                    "{group},{cat},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                    b.min, b.q1, b.median, b.q3, b.max
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+
+    /// Median table + per-group mini boxplots.
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{} [{}] (medians)", self.title, self.ylabel).unwrap();
+        let gw = self
+            .groups
+            .iter()
+            .map(|(g, _)| g.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        write!(out, "{:>gw$}", "").unwrap();
+        for c in &self.categories {
+            write!(out, " {c:>14}").unwrap();
+        }
+        out.push('\n');
+        for (group, boxes) in &self.groups {
+            write!(out, "{group:>gw$}").unwrap();
+            for b in boxes {
+                write!(out, " {:>14.1}", b.median).unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        write_file(&dir.join(format!("{}.csv", self.id)), &self.to_csv())?;
+        write_file(
+            &dir.join(format!("{}.json", self.id)),
+            &serde_json::to_string_pretty(self).expect("figure serializes"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> SeriesFigure {
+        SeriesFigure {
+            id: "t".into(),
+            title: "Test".into(),
+            xlabel: "iteration".into(),
+            ylabel: "ms".into(),
+            series: vec![
+                ("a".into(), vec![3.0, 2.0, 1.0]),
+                ("b".into(), vec![1.0, 1.5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        let csv = series().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "iteration,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("2,1.0000,"));
+        assert!(lines[3].ends_with(','), "short series pads with empty");
+    }
+
+    #[test]
+    fn series_ascii_contains_legend_and_axis() {
+        let a = series().ascii();
+        assert!(a.contains("* a"));
+        assert!(a.contains("o b"));
+        assert!(a.contains('|'));
+    }
+
+    #[test]
+    fn empty_series_does_not_panic() {
+        let f = SeriesFigure {
+            id: "e".into(),
+            title: "Empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        assert!(f.ascii().contains("no data"));
+        assert_eq!(f.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let f = SeriesFigure {
+            id: "c".into(),
+            title: "Const".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![("k".into(), vec![5.0, 5.0, 5.0])],
+        };
+        let a = f.ascii();
+        assert!(a.contains('*'));
+    }
+
+    #[test]
+    fn box_figure_csv_and_ascii() {
+        let f = BoxFigure {
+            id: "b".into(),
+            title: "Boxes".into(),
+            ylabel: "ms".into(),
+            boxes: vec![(
+                "alg".into(),
+                Boxed {
+                    min: 1.0,
+                    q1: 2.0,
+                    median: 3.0,
+                    q3: 4.0,
+                    max: 5.0,
+                },
+            )],
+        };
+        assert!(f.to_csv().contains("alg,1.0000,2.0000,3.0000,4.0000,5.0000"));
+        let a = f.ascii();
+        assert!(a.contains('='));
+        assert!(a.contains('|'));
+    }
+
+    #[test]
+    fn grouped_box_tabulates_medians() {
+        let f = GroupedBoxFigure {
+            id: "g".into(),
+            title: "Counts".into(),
+            ylabel: "count".into(),
+            categories: vec!["x".into(), "y".into()],
+            groups: vec![(
+                "s1".into(),
+                vec![
+                    Boxed { min: 0.0, q1: 1.0, median: 2.0, q3: 3.0, max: 4.0 },
+                    Boxed { min: 5.0, q1: 6.0, median: 7.0, q3: 8.0, max: 9.0 },
+                ],
+            )],
+        };
+        let a = f.ascii();
+        assert!(a.contains("s1"));
+        assert!(a.contains("2.0"));
+        assert!(a.contains("7.0"));
+        assert_eq!(f.to_csv().lines().count(), 3);
+    }
+
+    #[test]
+    fn save_writes_csv_and_json() {
+        let dir = std::env::temp_dir().join("algochoice_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        series().save(&dir).unwrap();
+        assert!(dir.join("t.csv").exists());
+        assert!(dir.join("t.json").exists());
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
+        assert_eq!(json["id"], "t");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

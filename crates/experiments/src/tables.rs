@@ -1,0 +1,103 @@
+//! The paper's tables.
+//!
+//! * **Table I** — the parameter-class taxonomy, regenerated from the
+//!   library's own type system so the table and the code cannot drift.
+//! * **Table II** — the benchmark system specification; the paper reports
+//!   its Xeon E5-1620v2, we report the host the reproduction ran on.
+
+use autotune::param::ParamClass;
+use std::fmt::Write as _;
+
+/// Table I rows: (class, distinguishing property, example).
+pub fn table1_rows() -> Vec<(&'static str, &'static str, &'static str)> {
+    ParamClass::all()
+        .into_iter()
+        .map(|c| {
+            let example = match c {
+                ParamClass::Nominal => "Choice of algorithm",
+                ParamClass::Ordinal => "Choice of buffer sizes from a set small, medium, large",
+                ParamClass::Interval => "Percentage of a maximum buffer size",
+                ParamClass::Ratio => "Number of threads",
+            };
+            (c.name(), c.distinguishing_property(), example)
+        })
+        .collect()
+}
+
+/// Render Table I.
+pub fn table1() -> String {
+    let mut out = String::from("Table I — Parameter Classes\n");
+    writeln!(out, "{:<10} {:<36} Example", "Class", "Distinguishing Property").unwrap();
+    for (class, prop, example) in table1_rows() {
+        writeln!(out, "{class:<10} {prop:<36} {example}").unwrap();
+    }
+    out
+}
+
+/// Table II rows: (key, value) pairs describing the benchmark system.
+pub fn table2_rows() -> Vec<(String, String)> {
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+    let model = cpuinfo
+        .lines()
+        .find(|l| l.starts_with("model name"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let meminfo = std::fs::read_to_string("/proc/meminfo").unwrap_or_default();
+    let ram = meminfo
+        .lines()
+        .find(|l| l.starts_with("MemTotal"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| format!("{:.0}GB", kb as f64 / 1024.0 / 1024.0))
+        .unwrap_or_else(|| "unknown".into());
+    vec![
+        ("Processor".into(), model),
+        ("Threads".into(), threads),
+        ("RAM".into(), ram),
+        (
+            "Paper's system".into(),
+            "Intel Xeon E5-1620v2, 3.70GHz, 8 threads, 64GB".into(),
+        ),
+    ]
+}
+
+/// Render Table II.
+pub fn table2() -> String {
+    let mut out = String::from("Table II — Benchmark System\n");
+    for (k, v) in table2_rows() {
+        writeln!(out, "{k:<16} {v}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].0, "Nominal");
+        assert_eq!(rows[0].1, "Labels");
+        assert_eq!(rows[0].2, "Choice of algorithm");
+        assert_eq!(rows[3].0, "Ratio");
+        assert_eq!(rows[3].2, "Number of threads");
+        let rendered = table1();
+        assert!(rendered.contains("Distinguishing Property"));
+        assert!(rendered.contains("Interval"));
+    }
+
+    #[test]
+    fn table2_reports_host_facts() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|(k, _)| k == "Processor"));
+        let rendered = table2();
+        assert!(rendered.contains("Xeon E5-1620v2"), "paper's reference row");
+    }
+}

@@ -1,0 +1,207 @@
+//! Axis-aligned bounding boxes: the geometric primitive of both the SAH
+//! cost model (surface areas) and kD-tree traversal (slab clipping).
+
+use crate::ray::Ray;
+use crate::vec3::Vec3;
+
+/// An axis-aligned box `[min, max]`. An *empty* box has `min > max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box (identity of [`Aabb::union`]).
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+        max: Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+    };
+
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// The box around a set of points.
+    pub fn around(points: impl IntoIterator<Item = Vec3>) -> Self {
+        let mut b = Aabb::EMPTY;
+        for p in points {
+            b = b.expanded(p);
+        }
+        b
+    }
+
+    /// Is this the empty box?
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// The box including `p`.
+    pub fn expanded(&self, p: Vec3) -> Aabb {
+        Aabb::new(self.min.min(p), self.max.max(p))
+    }
+
+    /// The union of two boxes.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb::new(self.min.min(o.min), self.max.max(o.max))
+    }
+
+    /// Edge lengths (non-negative for non-empty boxes).
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Surface area (0 for empty boxes) — the quantity the SAH weighs.
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// The axis with the largest extent.
+    pub fn longest_axis(&self) -> usize {
+        let e = self.extent();
+        if e.x >= e.y && e.x >= e.z {
+            0
+        } else if e.y >= e.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Split into two child boxes at plane `axis = t`.
+    pub fn split(&self, axis: usize, t: f32) -> (Aabb, Aabb) {
+        debug_assert!(t >= self.min.axis(axis) && t <= self.max.axis(axis));
+        let left = Aabb::new(self.min, self.max.with_axis(axis, t));
+        let right = Aabb::new(self.min.with_axis(axis, t), self.max);
+        (left, right)
+    }
+
+    /// Clip a ray against the box: the parameter interval `[t0, t1]` inside
+    /// (intersected with `[t_min, t_max]`), or `None` if the ray misses.
+    /// Robust IEEE slab test using the precomputed reciprocal direction.
+    pub fn clip(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<(f32, f32)> {
+        let mut t0 = t_min;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let inv = ray.inv_direction.axis(axis);
+            let mut near = (self.min.axis(axis) - ray.origin.axis(axis)) * inv;
+            let mut far = (self.max.axis(axis) - ray.origin.axis(axis)) * inv;
+            if near > far {
+                std::mem::swap(&mut near, &mut far);
+            }
+            // NaN (0 * inf) resolves to keeping the previous bound.
+            if near > t0 {
+                t0 = near;
+            }
+            if far < t1 {
+                t1 = far;
+            }
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+
+    /// Does the box contain the point (inclusive)?
+    pub fn contains(&self, p: Vec3) -> bool {
+        (0..3).all(|a| self.min.axis(a) <= p.axis(a) && p.axis(a) <= self.max.axis(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        assert!(Aabb::EMPTY.is_empty());
+        assert_eq!(Aabb::EMPTY.surface_area(), 0.0);
+        let b = Aabb::EMPTY.union(&unit());
+        assert_eq!(b, unit());
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        assert_eq!(unit().surface_area(), 6.0);
+    }
+
+    #[test]
+    fn around_points() {
+        let b = Aabb::around([
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 5.0, 0.0),
+            Vec3::new(0.0, 0.0, 9.0),
+        ]);
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 9.0));
+    }
+
+    #[test]
+    fn longest_axis_selection() {
+        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(3.0, 1.0, 2.0)).longest_axis(), 0);
+        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 3.0, 2.0)).longest_axis(), 1);
+        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)).longest_axis(), 2);
+    }
+
+    #[test]
+    fn split_partitions_surface() {
+        let (l, r) = unit().split(0, 0.25);
+        assert_eq!(l.max.x, 0.25);
+        assert_eq!(r.min.x, 0.25);
+        assert_eq!(l.union(&r), unit());
+    }
+
+    #[test]
+    fn clip_hits_through_center() {
+        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        let (t0, t1) = unit().clip(&ray, 0.0, f32::INFINITY).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_misses_to_the_side() {
+        let ray = Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        assert!(unit().clip(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn clip_from_inside() {
+        let ray = Ray::new(Vec3::new(0.5, 0.5, 0.5), Vec3::new(0.0, 0.0, 1.0));
+        let (t0, t1) = unit().clip(&ray, 0.0, f32::INFINITY).unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_respects_t_range() {
+        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        // The box is at t ∈ [1, 2]; restricting to [0, 0.5] must miss.
+        assert!(unit().clip(&ray, 0.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn clip_axis_parallel_ray_on_boundary_plane() {
+        // Ray travelling in the plane x = 0 (a box face): IEEE inf/NaN path.
+        let ray = Ray::new(Vec3::new(0.0, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = unit().clip(&ray, 0.0, f32::INFINITY);
+        assert!(hit.is_some(), "grazing ray should clip");
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        assert!(unit().contains(Vec3::ZERO));
+        assert!(unit().contains(Vec3::ONE));
+        assert!(unit().contains(Vec3::splat(0.5)));
+        assert!(!unit().contains(Vec3::new(1.1, 0.5, 0.5)));
+    }
+}

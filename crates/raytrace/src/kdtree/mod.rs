@@ -1,0 +1,622 @@
+//! SAH kD-trees: the lookup data structure whose construction the paper's
+//! second case study autotunes.
+//!
+//! Four construction algorithms are provided, mirroring Tillmann et al.
+//! (IPDPS 2016). They differ in how they map primitives to threads and in
+//! the precision of their SAH split search:
+//!
+//! | Builder       | Split search | Parallel structure                          |
+//! |---------------|--------------|---------------------------------------------|
+//! | [`Inplace`]   | binned       | data parallelism inside each node's binning  |
+//! | [`Lazy`]      | binned       | eager to a cutoff depth, rest built on demand during traversal |
+//! | [`Nested`]    | binned       | nested fork-join over child subtrees         |
+//! | [`WaldHavran`]| exact sweep  | tree nodes mapped to tasks (threads)         |
+//!
+//! All four share the tunable parameters of the paper: the parallelization
+//! depth and the SAH cost constants; `Lazy` adds the eager-construction
+//! cutoff ([`BuildConfig`]).
+
+mod inplace;
+mod lazy;
+mod nested;
+mod wald_havran;
+
+pub use inplace::Inplace;
+pub use lazy::Lazy;
+pub use nested::Nested;
+pub use wald_havran::WaldHavran;
+
+use crate::aabb::Aabb;
+use crate::ray::{Hit, Ray};
+use crate::sah::SahParams;
+use crate::triangle::Triangle;
+
+/// Construction-time parameters. `sah` and `parallel_depth` are tunable for
+/// every builder; `eager_cutoff` only affects [`Lazy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildConfig {
+    pub sah: SahParams,
+    /// Child subtrees are built on fresh threads while `depth <
+    /// parallel_depth` (so up to `2^parallel_depth` concurrent tasks);
+    /// for [`Inplace`] this instead sizes the data-parallel worker count
+    /// (`2^parallel_depth` workers).
+    pub parallel_depth: u32,
+    /// [`Lazy`] builds eagerly to this depth; deeper nodes are expanded on
+    /// first traversal.
+    pub eager_cutoff: u32,
+    /// Leaves are not split below this primitive count.
+    pub max_leaf_size: usize,
+    /// Bin count for the binned SAH builders.
+    pub bins: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            sah: SahParams::default(),
+            parallel_depth: 3,
+            eager_cutoff: 8,
+            max_leaf_size: 8,
+            bins: 16,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Depth cap: standard `8 + 1.3·log2(n)` heuristic.
+    pub fn max_depth(&self, n: usize) -> u32 {
+        8 + (1.3 * (n.max(2) as f32).log2()) as u32
+    }
+}
+
+/// Tree shape statistics, used by tests and the experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    pub nodes: usize,
+    pub leaves: usize,
+    pub max_depth: usize,
+    /// Mean primitive references per leaf.
+    pub avg_leaf_refs: f64,
+}
+
+/// An acceleration structure answering ray queries against a triangle set.
+/// The triangle slice passed to the query methods must be the one the
+/// structure was built for.
+pub trait Accel: Send + Sync {
+    /// Nearest hit along the ray, if any.
+    fn intersect(&self, tris: &[Triangle], ray: &Ray) -> Option<Hit>;
+
+    /// Is anything hit strictly within `(t_eps, t_max)`? (Shadow rays.)
+    fn occluded(&self, tris: &[Triangle], ray: &Ray, t_max: f32) -> bool {
+        self.intersect(tris, ray).is_some_and(|h| h.t < t_max)
+    }
+
+    /// Shape statistics.
+    fn stats(&self) -> TreeStats;
+}
+
+/// A kD-tree construction algorithm.
+///
+/// ```
+/// use raytrace::kdtree::{BuildConfig, KdBuilder, WaldHavran};
+/// use raytrace::{random_blobs, Ray, Vec3};
+///
+/// let scene = random_blobs(1, 200);
+/// let accel = WaldHavran.build(&scene.triangles, &BuildConfig::default());
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -10.0), Vec3::new(0.0, 0.0, 1.0));
+/// let _maybe_hit = accel.intersect(&scene.triangles, &ray);
+/// assert!(accel.stats().nodes >= 1);
+/// ```
+pub trait KdBuilder: Sync {
+    /// Name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Build an acceleration structure over `tris`.
+    fn build(&self, tris: &[Triangle], config: &BuildConfig) -> Box<dyn Accel>;
+}
+
+/// The paper's four construction algorithms in figure order:
+/// Inplace, Lazy, Nested, Wald-Havran.
+pub fn all_builders() -> Vec<Box<dyn KdBuilder>> {
+    vec![
+        Box::new(Inplace),
+        Box::new(Lazy),
+        Box::new(Nested),
+        Box::new(WaldHavran),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Shared build machinery
+// ---------------------------------------------------------------------
+
+/// Intermediate pointer-based tree produced by the builders, flattened into
+/// a [`KdTree`] arena afterwards.
+#[derive(Debug)]
+pub(crate) enum BuildNode {
+    Leaf(Vec<u32>),
+    Inner {
+        axis: u8,
+        split: f32,
+        left: Box<BuildNode>,
+        right: Box<BuildNode>,
+    },
+}
+
+/// Partition primitive indices across a split plane. Straddlers go to both
+/// sides; primitives degenerate on the plane go left.
+pub(crate) fn partition_indices(
+    tris: &[Triangle],
+    indices: &[u32],
+    axis: usize,
+    pos: f32,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in indices {
+        let tb = tris[i as usize].bounds();
+        let lo = tb.min.axis(axis);
+        let hi = tb.max.axis(axis);
+        if lo < pos || (lo == pos && hi == pos) {
+            left.push(i);
+        }
+        if hi > pos {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+/// Bounding box over a subset of primitives.
+pub(crate) fn bounds_of(tris: &[Triangle], indices: &[u32]) -> Aabb {
+    indices
+        .iter()
+        .fold(Aabb::EMPTY, |b, &i| b.union(&tris[i as usize].bounds()))
+}
+
+// ---------------------------------------------------------------------
+// The flattened, immutable kD-tree
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Inner {
+        axis: u8,
+        split: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        start: u32,
+        count: u32,
+    },
+}
+
+/// Flattened kD-tree (arena nodes + a shared primitive-reference pool).
+pub struct KdTree {
+    bounds: Aabb,
+    nodes: Vec<Node>,
+    tri_refs: Vec<u32>,
+}
+
+impl KdTree {
+    /// Flatten a [`BuildNode`] tree.
+    pub(crate) fn from_build(root: BuildNode, bounds: Aabb) -> Self {
+        let mut tree = KdTree {
+            bounds,
+            nodes: Vec::new(),
+            tri_refs: Vec::new(),
+        };
+        tree.flatten(root);
+        tree
+    }
+
+    fn flatten(&mut self, node: BuildNode) -> u32 {
+        let my_index = self.nodes.len() as u32;
+        match node {
+            BuildNode::Leaf(refs) => {
+                let start = self.tri_refs.len() as u32;
+                let count = refs.len() as u32;
+                self.tri_refs.extend(refs);
+                self.nodes.push(Node::Leaf { start, count });
+            }
+            BuildNode::Inner {
+                axis,
+                split,
+                left,
+                right,
+            } => {
+                self.nodes.push(Node::Leaf { start: 0, count: 0 }); // placeholder
+                let l = self.flatten(*left);
+                let r = self.flatten(*right);
+                self.nodes[my_index as usize] = Node::Inner {
+                    axis,
+                    split,
+                    left: l,
+                    right: r,
+                };
+            }
+        }
+        my_index
+    }
+
+    /// World bounds the tree was built over.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    fn node_stats(&self, idx: u32, depth: usize, s: &mut TreeStats) {
+        s.nodes += 1;
+        s.max_depth = s.max_depth.max(depth);
+        match self.nodes[idx as usize] {
+            Node::Leaf { count, .. } => {
+                s.leaves += 1;
+                s.avg_leaf_refs += count as f64;
+            }
+            Node::Inner { left, right, .. } => {
+                self.node_stats(left, depth + 1, s);
+                self.node_stats(right, depth + 1, s);
+            }
+        }
+    }
+}
+
+impl Accel for KdTree {
+    fn intersect(&self, tris: &[Triangle], ray: &Ray) -> Option<Hit> {
+        let (t0, t1) = self.bounds.clip(ray, 1e-4, f32::INFINITY)?;
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(64);
+        let mut node = 0u32;
+        let (mut t0, mut t1) = (t0, t1);
+        let mut best: Option<Hit> = None;
+        loop {
+            match self.nodes[node as usize] {
+                Node::Inner {
+                    axis,
+                    split,
+                    left,
+                    right,
+                } => {
+                    let axis = axis as usize;
+                    let o = ray.origin.axis(axis);
+                    let d = ray.direction.axis(axis);
+                    let t_plane = (split - o) * ray.inv_direction.axis(axis);
+                    let below = o < split || (o == split && d <= 0.0);
+                    let (near, far) = if below { (left, right) } else { (right, left) };
+                    if t_plane.is_nan() || t_plane > t1 || t_plane <= 0.0 {
+                        node = near;
+                    } else if t_plane < t0 {
+                        node = far;
+                    } else {
+                        stack.push((far, t_plane, t1));
+                        node = near;
+                        t1 = t_plane;
+                    }
+                }
+                Node::Leaf { start, count } => {
+                    let refs = &self.tri_refs[start as usize..(start + count) as usize];
+                    let t_cap = best.map_or(f32::INFINITY, |h| h.t);
+                    for &i in refs {
+                        if let Some(h) = tris[i as usize].intersect(ray, 1e-4, t_cap, i) {
+                            best = Hit::nearer(best, Some(h));
+                        }
+                    }
+                    // Early exit: a hit inside the current cell cannot be
+                    // beaten by farther cells.
+                    if let Some(h) = best {
+                        if h.t <= t1 + 1e-4 {
+                            return best;
+                        }
+                    }
+                    match stack.pop() {
+                        Some((n, nt0, nt1)) => {
+                            node = n;
+                            t0 = nt0;
+                            t1 = nt1;
+                            let _ = t0;
+                        }
+                        None => return best,
+                    }
+                }
+            }
+        }
+    }
+
+    fn occluded(&self, tris: &[Triangle], ray: &Ray, t_max: f32) -> bool {
+        // Any-hit traversal with the ray clipped to the light distance.
+        let Some((_, t1)) = self.bounds.clip(ray, 1e-4, t_max) else {
+            return false;
+        };
+        let mut stack: Vec<(u32, f32)> = Vec::with_capacity(64);
+        let mut node = 0u32;
+        let mut t1 = t1.min(t_max);
+        loop {
+            match self.nodes[node as usize] {
+                Node::Inner {
+                    axis,
+                    split,
+                    left,
+                    right,
+                } => {
+                    let axis = axis as usize;
+                    let o = ray.origin.axis(axis);
+                    let d = ray.direction.axis(axis);
+                    let t_plane = (split - o) * ray.inv_direction.axis(axis);
+                    let below = o < split || (o == split && d <= 0.0);
+                    let (near, far) = if below { (left, right) } else { (right, left) };
+                    if t_plane.is_nan() || t_plane > t1 || t_plane <= 0.0 {
+                        node = near;
+                    } else {
+                        stack.push((far, t1));
+                        node = near;
+                        t1 = t_plane;
+                    }
+                }
+                Node::Leaf { start, count } => {
+                    let refs = &self.tri_refs[start as usize..(start + count) as usize];
+                    for &i in refs {
+                        if tris[i as usize].intersect(ray, 1e-4, t_max, i).is_some() {
+                            return true;
+                        }
+                    }
+                    match stack.pop() {
+                        Some((n, nt1)) => {
+                            node = n;
+                            t1 = nt1;
+                        }
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> TreeStats {
+        let mut s = TreeStats {
+            nodes: 0,
+            leaves: 0,
+            max_depth: 0,
+            avg_leaf_refs: 0.0,
+        };
+        if !self.nodes.is_empty() {
+            self.node_stats(0, 0, &mut s);
+        }
+        if s.leaves > 0 {
+            s.avg_leaf_refs /= s.leaves as f64;
+        }
+        s
+    }
+}
+
+/// Brute-force reference: intersect every triangle. The differential-
+/// testing oracle for the four builders.
+pub struct BruteForce;
+
+impl Accel for BruteForce {
+    fn intersect(&self, tris: &[Triangle], ray: &Ray) -> Option<Hit> {
+        let mut best: Option<Hit> = None;
+        for (i, t) in tris.iter().enumerate() {
+            let cap = best.map_or(f32::INFINITY, |h| h.t);
+            if let Some(h) = t.intersect(ray, 1e-4, cap, i as u32) {
+                best = Some(h);
+            }
+        }
+        best
+    }
+
+    fn stats(&self) -> TreeStats {
+        TreeStats {
+            nodes: 1,
+            leaves: 1,
+            max_depth: 0,
+            avg_leaf_refs: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use crate::scene::{cathedral, random_blobs};
+    use crate::vec3::Vec3;
+    use autotune::rng::Rng;
+
+    /// Fire `count` deterministic random rays through the scene bounds and
+    /// compare an accel's answers against brute force.
+    pub fn differential_rays(tris: &[Triangle], accel: &dyn Accel, count: usize, seed: u64) {
+        let bounds = tris.iter().fold(Aabb::EMPTY, |b, t| b.union(&t.bounds()));
+        let center = (bounds.min + bounds.max) * 0.5;
+        let extent = bounds.extent().length().max(1.0);
+        let mut rng = Rng::new(seed);
+        let brute = BruteForce;
+        for k in 0..count {
+            let origin = center
+                + Vec3::new(
+                    (rng.next_f64() as f32 - 0.5) * extent * 1.5,
+                    (rng.next_f64() as f32 - 0.5) * extent * 1.5,
+                    (rng.next_f64() as f32 - 0.5) * extent * 1.5,
+                );
+            let target = center
+                + Vec3::new(
+                    (rng.next_f64() as f32 - 0.5) * extent * 0.5,
+                    (rng.next_f64() as f32 - 0.5) * extent * 0.5,
+                    (rng.next_f64() as f32 - 0.5) * extent * 0.5,
+                );
+            let dir = target - origin;
+            if dir.length_squared() == 0.0 {
+                continue;
+            }
+            let ray = Ray::new(origin, dir);
+            let expected = brute.intersect(tris, &ray);
+            let got = accel.intersect(tris, &ray);
+            match (expected, got) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert!(
+                        (e.t - g.t).abs() < 1e-3 * extent,
+                        "ray {k}: t mismatch {e:?} vs {g:?}"
+                    );
+                }
+                (e, g) => panic!("ray {k}: hit/miss mismatch {e:?} vs {g:?}"),
+            }
+        }
+    }
+
+    pub fn small_scene() -> Vec<Triangle> {
+        random_blobs(42, 300).triangles
+    }
+
+    pub fn medium_scene() -> Vec<Triangle> {
+        cathedral(7, 1).triangles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn all_builders_registered_in_figure_order() {
+        let names: Vec<_> = all_builders().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["Inplace", "Lazy", "Nested", "Wald-Havran"]);
+    }
+
+    #[test]
+    fn default_config_is_hand_crafted_best_practice() {
+        let c = BuildConfig::default();
+        assert_eq!(c.sah.traversal_cost, 15.0);
+        assert_eq!(c.sah.intersection_cost, 20.0);
+        assert_eq!(c.parallel_depth, 3);
+    }
+
+    #[test]
+    fn max_depth_grows_logarithmically() {
+        let c = BuildConfig::default();
+        assert!(c.max_depth(1_000) < c.max_depth(1_000_000));
+        assert!(c.max_depth(100_000) < 40);
+    }
+
+    #[test]
+    fn partition_sends_straddlers_both_ways() {
+        let tris = small_scene();
+        let indices: Vec<u32> = (0..tris.len() as u32).collect();
+        let bounds = bounds_of(&tris, &indices);
+        let mid = (bounds.min.x + bounds.max.x) * 0.5;
+        let (l, r) = partition_indices(&tris, &indices, 0, mid);
+        // Conservation: everything is on at least one side.
+        assert!(l.len() + r.len() >= indices.len());
+        for &i in &indices {
+            let tb = tris[i as usize].bounds();
+            let in_l = l.contains(&i);
+            let in_r = r.contains(&i);
+            assert!(in_l || in_r, "triangle {i} lost");
+            if tb.min.x < mid && tb.max.x > mid {
+                assert!(in_l && in_r, "straddler {i} must be in both");
+            }
+        }
+    }
+
+    #[test]
+    fn every_builder_matches_brute_force_on_random_scene() {
+        let tris = small_scene();
+        for b in all_builders() {
+            let accel = b.build(&tris, &BuildConfig::default());
+            differential_rays(&tris, accel.as_ref(), 400, 11);
+        }
+    }
+
+    #[test]
+    fn every_builder_matches_brute_force_on_cathedral() {
+        let tris = medium_scene();
+        for b in all_builders() {
+            let accel = b.build(&tris, &BuildConfig::default());
+            differential_rays(&tris, accel.as_ref(), 200, 13);
+        }
+    }
+
+    #[test]
+    fn builders_work_across_parallel_depths() {
+        let tris = small_scene();
+        for depth in [0, 1, 2, 4] {
+            let config = BuildConfig {
+                parallel_depth: depth,
+                ..Default::default()
+            };
+            for b in all_builders() {
+                let accel = b.build(&tris, &config);
+                differential_rays(&tris, accel.as_ref(), 100, depth as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn builders_handle_tiny_scenes() {
+        let tris = small_scene()[..3].to_vec();
+        for b in all_builders() {
+            let accel = b.build(&tris, &BuildConfig::default());
+            differential_rays(&tris, accel.as_ref(), 50, 17);
+        }
+    }
+
+    #[test]
+    fn builders_handle_single_triangle() {
+        let tris = small_scene()[..1].to_vec();
+        for b in all_builders() {
+            let accel = b.build(&tris, &BuildConfig::default());
+            differential_rays(&tris, accel.as_ref(), 30, 19);
+        }
+    }
+
+    #[test]
+    fn extreme_sah_costs_still_give_correct_trees() {
+        let tris = small_scene();
+        for (ct, ci) in [(1.0, 100.0), (100.0, 1.0), (1.0, 1.0)] {
+            let config = BuildConfig {
+                sah: SahParams {
+                    traversal_cost: ct,
+                    intersection_cost: ci,
+                },
+                ..Default::default()
+            };
+            for b in all_builders() {
+                let accel = b.build(&tris, &config);
+                differential_rays(&tris, accel.as_ref(), 100, 23);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_sensible() {
+        let tris = medium_scene();
+        for b in all_builders() {
+            let accel = b.build(&tris, &BuildConfig::default());
+            let s = accel.stats();
+            assert!(s.nodes >= 1, "{}: {s:?}", b.name());
+            assert!(s.leaves >= 1);
+            assert!(s.leaves <= s.nodes);
+            if b.name() != "Lazy" {
+                // Non-lazy trees should actually subdivide a 3k scene.
+                assert!(s.max_depth >= 3, "{}: {s:?}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn occlusion_agrees_with_intersection() {
+        let tris = small_scene();
+        let b = &all_builders()[3]; // Wald-Havran
+        let accel = b.build(&tris, &BuildConfig::default());
+        let bounds = bounds_of(&tris, &(0..tris.len() as u32).collect::<Vec<_>>());
+        let center = (bounds.min + bounds.max) * 0.5;
+        let origin = center - crate::vec3::Vec3::new(0.0, 0.0, bounds.extent().z);
+        let ray = Ray::new(origin, crate::vec3::Vec3::new(0.0, 0.0, 1.0));
+        let hit = accel.intersect(&tris, &ray);
+        match hit {
+            Some(h) => {
+                assert!(accel.occluded(&tris, &ray, h.t + 1.0));
+                assert!(!accel.occluded(&tris, &ray, h.t * 0.5));
+            }
+            None => assert!(!accel.occluded(&tris, &ray, f32::INFINITY)),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The Wald-Havran construction algorithm: exact O(N log N) SAH with tree
+//! nodes mapped to parallel tasks.
+//!
+//! This is the precision end of the builder spectrum: every primitive
+//! boundary is a candidate split plane (event sweep), so the resulting
+//! trees are the best of the four — at the highest construction cost.
+//! Parallelism follows the original's "mapping tree nodes to OpenMP Tasks":
+//! while the recursion is shallower than the tunable parallelization depth,
+//! the right child subtree is built on a freshly spawned scoped thread
+//! while the current thread descends into the left child.
+
+use crate::aabb::Aabb;
+use crate::kdtree::{
+    bounds_of, partition_indices, Accel, BuildConfig, BuildNode, KdBuilder, KdTree,
+};
+use crate::sah::exact_best_split;
+use crate::triangle::Triangle;
+
+/// Wald-Havran exact-SAH builder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaldHavran;
+
+fn build_node(
+    tris: &[Triangle],
+    indices: Vec<u32>,
+    bounds: Aabb,
+    config: &BuildConfig,
+    depth_left: u32,
+    spawn_depth: u32,
+) -> BuildNode {
+    let n = indices.len();
+    if n <= config.max_leaf_size || depth_left == 0 {
+        return BuildNode::Leaf(indices);
+    }
+    let Some(split) = exact_best_split(tris, &indices, &bounds, &config.sah) else {
+        return BuildNode::Leaf(indices);
+    };
+    if split.cost >= config.sah.leaf_cost(n) {
+        return BuildNode::Leaf(indices);
+    }
+    let (left_idx, right_idx) = partition_indices(tris, &indices, split.axis, split.pos);
+    // Degenerate splits (everything lands on one side, or duplication did
+    // not reduce the problem) terminate the recursion.
+    if left_idx.is_empty() || right_idx.is_empty() || left_idx.len().max(right_idx.len()) >= n {
+        return BuildNode::Leaf(indices);
+    }
+    let (lb, rb) = bounds.split(split.axis, split.pos);
+
+    let (left, right) = if spawn_depth < config.parallel_depth {
+        // Node-to-task parallelism: the right subtree becomes a task.
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                build_node(tris, right_idx, rb, config, depth_left - 1, spawn_depth + 1)
+            });
+            let left = build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth + 1);
+            (left, handle.join().expect("builder task panicked"))
+        })
+    } else {
+        (
+            build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth),
+            build_node(tris, right_idx, rb, config, depth_left - 1, spawn_depth),
+        )
+    };
+    BuildNode::Inner {
+        axis: split.axis as u8,
+        split: split.pos,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+impl KdBuilder for WaldHavran {
+    fn name(&self) -> &'static str {
+        "Wald-Havran"
+    }
+
+    fn build(&self, tris: &[Triangle], config: &BuildConfig) -> Box<dyn Accel> {
+        let indices: Vec<u32> = (0..tris.len() as u32).collect();
+        let bounds = bounds_of(tris, &indices);
+        let max_depth = config.max_depth(tris.len());
+        let root = build_node(tris, indices, bounds, config, max_depth, 0);
+        Box::new(KdTree::from_build(root, bounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdtree::test_util::{differential_rays, medium_scene, small_scene};
+
+    #[test]
+    fn correct_on_small_scene_sequential() {
+        let tris = small_scene();
+        let config = BuildConfig {
+            parallel_depth: 0,
+            ..Default::default()
+        };
+        let accel = WaldHavran.build(&tris, &config);
+        differential_rays(&tris, accel.as_ref(), 300, 1);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        // Node-to-task spawning must not change the resulting tree: the
+        // split decisions are deterministic.
+        let tris = medium_scene();
+        let seq = WaldHavran.build(
+            &tris,
+            &BuildConfig {
+                parallel_depth: 0,
+                ..Default::default()
+            },
+        );
+        let par = WaldHavran.build(
+            &tris,
+            &BuildConfig {
+                parallel_depth: 4,
+                ..Default::default()
+            },
+        );
+        let (s, p) = (seq.stats(), par.stats());
+        assert_eq!(s.nodes, p.nodes);
+        assert_eq!(s.leaves, p.leaves);
+        assert_eq!(s.max_depth, p.max_depth);
+    }
+
+    #[test]
+    fn exact_builder_beats_leaf_only_tree_in_depth() {
+        let tris = medium_scene();
+        let accel = WaldHavran.build(&tris, &BuildConfig::default());
+        let s = accel.stats();
+        assert!(s.max_depth >= 5, "cathedral should subdivide deeply: {s:?}");
+        assert!(s.avg_leaf_refs < 64.0, "leaves should be small: {s:?}");
+    }
+
+    #[test]
+    fn huge_traversal_cost_collapses_to_single_leaf() {
+        let tris = small_scene();
+        let config = BuildConfig {
+            sah: crate::sah::SahParams {
+                traversal_cost: 1e9,
+                intersection_cost: 1.0,
+            },
+            ..Default::default()
+        };
+        let accel = WaldHavran.build(&tris, &config);
+        assert_eq!(accel.stats().leaves, 1, "splitting should never pay off");
+        differential_rays(&tris, accel.as_ref(), 100, 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! # raytrace — SAH kD-tree raytracing substrate
+//!
+//! The substrate for the paper's second case study, reimplementing the
+//! tunable raytracer of Tillmann et al., *"Online-Autotuning of Parallel
+//! SAH kD-Trees"* (IPDPS 2016):
+//!
+//! * geometry ([`vec3`], [`ray`], [`aabb`], [`triangle`]),
+//! * procedural scenes ([`scene`] — a Sibenik-like cathedral generator),
+//! * the SAH cost model with tunable constants ([`sah`]),
+//! * **four kD-tree construction algorithms** ([`kdtree`]): `Inplace`,
+//!   `Lazy`, `Nested`, and `Wald-Havran`, differing in split precision and
+//!   in how they map work to threads,
+//! * the two-stage rendering pipeline ([`render`]): build the acceleration
+//!   structure, then raycast with ambient-occlusion shadow rays,
+//! * the autotuner bridge ([`tunable`]): per-algorithm tuning spaces and
+//!   hand-crafted starting configurations.
+
+pub mod aabb;
+pub mod kdtree;
+pub mod ray;
+pub mod render;
+pub mod sah;
+pub mod scene;
+pub mod triangle;
+pub mod tunable;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use kdtree::{all_builders, Accel, BuildConfig, KdBuilder};
+pub use ray::{Hit, Ray};
+pub use render::{frame, FrameResult, RenderOptions};
+pub use sah::SahParams;
+pub use scene::{cathedral, forest, random_blobs, Camera, Scene};
+pub use triangle::Triangle;
+pub use vec3::Vec3;

@@ -1,0 +1,91 @@
+//! Rays and ray/primitive hit records.
+
+use crate::vec3::Vec3;
+
+/// A half-line `origin + t·direction`, `t ≥ 0`. The reciprocal direction is
+/// precomputed for slab tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    pub origin: Vec3,
+    pub direction: Vec3,
+    /// `1 / direction`, component-wise (±∞ for zero components, which the
+    /// IEEE slab test handles correctly).
+    pub inv_direction: Vec3,
+}
+
+impl Ray {
+    /// Create a ray; the direction need not be normalized (parametric `t`
+    /// is then in units of the direction length).
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        debug_assert!(direction.length_squared() > 0.0, "ray needs a direction");
+        Ray {
+            origin,
+            direction,
+            inv_direction: Vec3::new(1.0 / direction.x, 1.0 / direction.y, 1.0 / direction.z),
+        }
+    }
+
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+}
+
+/// A ray/triangle intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter of the hit point.
+    pub t: f32,
+    /// Index of the hit triangle in the scene.
+    pub triangle: u32,
+    /// Barycentric coordinates (u, v) of the hit inside the triangle.
+    pub u: f32,
+    pub v: f32,
+}
+
+impl Hit {
+    /// The closer of two optional hits.
+    pub fn nearer(a: Option<Hit>, b: Option<Hit>) -> Option<Hit> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.t <= y.t { x } else { y }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn inv_direction_matches() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 8.0));
+        assert_eq!(r.inv_direction, Vec3::new(0.5, -0.25, 0.125));
+    }
+
+    #[test]
+    fn zero_component_gives_infinite_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!(r.inv_direction.y.is_infinite());
+    }
+
+    #[test]
+    fn nearer_picks_smaller_t() {
+        let h1 = Hit { t: 1.0, triangle: 0, u: 0.0, v: 0.0 };
+        let h2 = Hit { t: 2.0, triangle: 1, u: 0.0, v: 0.0 };
+        assert_eq!(Hit::nearer(Some(h1), Some(h2)), Some(h1));
+        assert_eq!(Hit::nearer(Some(h2), Some(h1)), Some(h1));
+        assert_eq!(Hit::nearer(None, Some(h2)), Some(h2));
+        assert_eq!(Hit::nearer(Some(h1), None), Some(h1));
+        assert_eq!(Hit::nearer(None, None), None);
+    }
+}

@@ -1,0 +1,241 @@
+//! Stage 2 of the pipeline: raycasting.
+//!
+//! "Rays are cast from the camera into the scene and tested for
+//! intersection with the geometric primitives … If a primitive is hit, a
+//! second ray is cast toward the light sources to test for ambient
+//! occlusion." Pixels are shaded with a Lambert term attenuated by that
+//! occlusion ray. Rows are rendered on scoped threads.
+
+use crate::kdtree::{Accel, BuildConfig, KdBuilder};
+use crate::ray::Ray;
+use crate::scene::Scene;
+use std::time::Instant;
+
+/// Raster and threading options for a frame.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    pub width: usize,
+    pub height: usize,
+    /// Render worker threads (rows are striped across them).
+    pub threads: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 160,
+            height: 120,
+            threads: 4,
+        }
+    }
+}
+
+/// A rendered grayscale frame plus stage timings.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Row-major luminance in `[0, 1]`.
+    pub pixels: Vec<f32>,
+    pub width: usize,
+    pub height: usize,
+    /// Stage-1 (acceleration structure construction) time.
+    pub build_ms: f64,
+    /// Stage-2 (raycasting) time.
+    pub render_ms: f64,
+}
+
+impl FrameResult {
+    /// Total frame time — the quantity the online tuner minimizes.
+    pub fn total_ms(&self) -> f64 {
+        self.build_ms + self.render_ms
+    }
+
+    /// Mean luminance (used by tests as a cheap image fingerprint).
+    pub fn mean_luminance(&self) -> f32 {
+        self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+    }
+}
+
+/// Generate the primary ray through pixel `(x, y)`.
+fn primary_ray(scene: &Scene, opts: &RenderOptions, x: usize, y: usize) -> Ray {
+    let cam = &scene.camera;
+    let forward = (cam.look_at - cam.position).normalized();
+    let right = forward.cross(cam.up).normalized();
+    let up = right.cross(forward);
+    let aspect = opts.width as f32 / opts.height as f32;
+    let tan_half = (cam.fov_deg.to_radians() * 0.5).tan();
+    // NDC in [-1, 1], y flipped so row 0 is the top.
+    let ndc_x = (2.0 * (x as f32 + 0.5) / opts.width as f32 - 1.0) * aspect * tan_half;
+    let ndc_y = (1.0 - 2.0 * (y as f32 + 0.5) / opts.height as f32) * tan_half;
+    Ray::new(cam.position, forward + right * ndc_x + up * ndc_y)
+}
+
+/// Shade one primary ray: Lambert × shadow test toward the light.
+fn shade(scene: &Scene, accel: &dyn Accel, ray: &Ray) -> f32 {
+    const AMBIENT: f32 = 0.1;
+    let Some(hit) = accel.intersect(&scene.triangles, ray) else {
+        return 0.0; // background
+    };
+    let tri = &scene.triangles[hit.triangle as usize];
+    let point = ray.at(hit.t);
+    let mut normal = tri.normal().normalized();
+    // Face the normal toward the viewer.
+    if normal.dot(ray.direction) > 0.0 {
+        normal = -normal;
+    }
+    let to_light = scene.light - point;
+    let dist = to_light.length();
+    if dist <= 1e-4 {
+        return 1.0;
+    }
+    let dir = to_light / dist;
+    let lambert = normal.dot(dir).max(0.0);
+    // Offset the shadow origin to dodge self-intersection.
+    let shadow = Ray::new(point + normal * 1e-3, dir);
+    let lit = !accel.occluded(&scene.triangles, &shadow, dist);
+    AMBIENT + if lit { 0.9 * lambert } else { 0.0 }
+}
+
+/// Render a frame with an already-built acceleration structure.
+pub fn render(scene: &Scene, accel: &dyn Accel, opts: &RenderOptions) -> Vec<f32> {
+    let mut pixels = vec![0.0f32; opts.width * opts.height];
+    let threads = opts.threads.max(1);
+    let rows_per_band = opts.height.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (band, chunk) in pixels.chunks_mut(rows_per_band * opts.width).enumerate() {
+            let scene = &scene;
+            scope.spawn(move || {
+                let y0 = band * rows_per_band;
+                for (offset, px) in chunk.iter_mut().enumerate() {
+                    let y = y0 + offset / opts.width;
+                    let x = offset % opts.width;
+                    let ray = primary_ray(scene, opts, x, y);
+                    *px = shade(scene, accel, &ray);
+                }
+            });
+        }
+    });
+    pixels
+}
+
+/// Run the full two-stage pipeline for one frame: build the acceleration
+/// structure with `builder` under `config`, then raycast. Returns the
+/// frame with per-stage timings.
+pub fn frame(
+    scene: &Scene,
+    builder: &dyn KdBuilder,
+    config: &BuildConfig,
+    opts: &RenderOptions,
+) -> FrameResult {
+    let t0 = Instant::now();
+    let accel = builder.build(&scene.triangles, config);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let pixels = render(scene, accel.as_ref(), opts);
+    let render_ms = t1.elapsed().as_secs_f64() * 1e3;
+    FrameResult {
+        pixels,
+        width: opts.width,
+        height: opts.height,
+        build_ms,
+        render_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdtree::{all_builders, BruteForce};
+    use crate::scene::cathedral;
+
+    fn opts() -> RenderOptions {
+        RenderOptions {
+            width: 48,
+            height: 36,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn frame_is_nonempty_and_in_range() {
+        let scene = cathedral(1, 1);
+        let builder = &all_builders()[3];
+        let f = frame(&scene, builder.as_ref(), &Default::default(), &opts());
+        assert_eq!(f.pixels.len(), 48 * 36);
+        assert!(f.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Camera inside the hall: most pixels hit geometry.
+        let hit_fraction =
+            f.pixels.iter().filter(|&&p| p > 0.0).count() as f64 / f.pixels.len() as f64;
+        assert!(hit_fraction > 0.9, "hit fraction {hit_fraction}");
+    }
+
+    #[test]
+    fn all_builders_render_the_same_image() {
+        let scene = cathedral(2, 1);
+        let o = opts();
+        let reference = render(&scene, &BruteForce, &o);
+        for b in all_builders() {
+            let accel = b.build(&scene.triangles, &Default::default());
+            let img = render(&scene, accel.as_ref(), &o);
+            let diff: f32 = reference
+                .iter()
+                .zip(&img)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / img.len() as f32;
+            assert!(
+                diff < 0.01,
+                "{} image deviates from brute force by {diff}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_image() {
+        let scene = cathedral(3, 1);
+        let builder = &all_builders()[0];
+        let accel = builder.build(&scene.triangles, &Default::default());
+        let img1 = render(
+            &scene,
+            accel.as_ref(),
+            &RenderOptions {
+                threads: 1,
+                ..opts()
+            },
+        );
+        let img8 = render(
+            &scene,
+            accel.as_ref(),
+            &RenderOptions {
+                threads: 8,
+                ..opts()
+            },
+        );
+        assert_eq!(img1, img8);
+    }
+
+    #[test]
+    fn shadowing_darkens_some_pixels() {
+        let scene = cathedral(1, 1);
+        let builder = &all_builders()[3];
+        let f = frame(&scene, builder.as_ref(), &Default::default(), &opts());
+        // Columns and clutter cast shadows: some lit-geometry pixels must
+        // be at the pure-ambient level.
+        let ambient_only = f
+            .pixels
+            .iter()
+            .filter(|&&p| (p - 0.1).abs() < 1e-3)
+            .count();
+        assert!(ambient_only > 0, "expected some fully-shadowed pixels");
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let scene = cathedral(1, 1);
+        let builder = &all_builders()[1];
+        let f = frame(&scene, builder.as_ref(), &Default::default(), &opts());
+        assert!(f.build_ms >= 0.0);
+        assert!(f.render_ms > 0.0);
+        assert!((f.total_ms() - (f.build_ms + f.render_ms)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,457 @@
+//! Scenes: triangle soup + camera + light, with procedural generators.
+//!
+//! The paper renders the *Sibenik cathedral* scene. That mesh is not
+//! redistributable, so [`cathedral`] procedurally generates a scene with
+//! the same structural mix that drives SAH kD-tree behaviour in
+//! architectural models: large axis-aligned surfaces (floor, walls,
+//! vaulted ceiling), regular rows of high-poly columns, arches, and
+//! scattered small clutter. Triangle count is controlled by the `detail`
+//! knob (Sibenik is ~75k triangles; `detail = 3` lands in that region).
+
+use crate::aabb::Aabb;
+use crate::triangle::Triangle;
+use crate::vec3::Vec3;
+use autotune::rng::Rng;
+
+/// A pinhole camera.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    pub position: Vec3,
+    pub look_at: Vec3,
+    pub up: Vec3,
+    /// Vertical field of view in degrees.
+    pub fov_deg: f32,
+}
+
+/// A renderable scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    pub triangles: Vec<Triangle>,
+    /// Point light position (for the occlusion rays of stage 2).
+    pub light: Vec3,
+    pub camera: Camera,
+}
+
+impl Scene {
+    /// Bounding box of all triangles.
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for t in &self.triangles {
+            b = b.union(&t.bounds());
+        }
+        b
+    }
+}
+
+/// Push the two triangles of the quad `(a, b, c, d)` (in winding order).
+fn push_quad(out: &mut Vec<Triangle>, a: Vec3, b: Vec3, c: Vec3, d: Vec3) {
+    out.push(Triangle::new(a, b, c));
+    out.push(Triangle::new(a, c, d));
+}
+
+/// Push an axis-aligned box (12 triangles).
+fn push_box(out: &mut Vec<Triangle>, min: Vec3, max: Vec3) {
+    let (x0, y0, z0) = (min.x, min.y, min.z);
+    let (x1, y1, z1) = (max.x, max.y, max.z);
+    let p = |x, y, z| Vec3::new(x, y, z);
+    // bottom, top
+    push_quad(out, p(x0, y0, z0), p(x1, y0, z0), p(x1, y0, z1), p(x0, y0, z1));
+    push_quad(out, p(x0, y1, z0), p(x0, y1, z1), p(x1, y1, z1), p(x1, y1, z0));
+    // sides
+    push_quad(out, p(x0, y0, z0), p(x0, y1, z0), p(x1, y1, z0), p(x1, y0, z0));
+    push_quad(out, p(x0, y0, z1), p(x1, y0, z1), p(x1, y1, z1), p(x0, y1, z1));
+    push_quad(out, p(x0, y0, z0), p(x0, y0, z1), p(x0, y1, z1), p(x0, y1, z0));
+    push_quad(out, p(x1, y0, z0), p(x1, y1, z0), p(x1, y1, z1), p(x1, y0, z1));
+}
+
+/// Push a vertical cylinder (column) approximated by `sides` rectangular
+/// faces plus a cap fan.
+fn push_column(out: &mut Vec<Triangle>, center: Vec3, radius: f32, height: f32, sides: usize) {
+    let n = sides.max(3);
+    for i in 0..n {
+        let a0 = (i as f32 / n as f32) * std::f32::consts::TAU;
+        let a1 = ((i + 1) as f32 / n as f32) * std::f32::consts::TAU;
+        let p0 = center + Vec3::new(radius * a0.cos(), 0.0, radius * a0.sin());
+        let p1 = center + Vec3::new(radius * a1.cos(), 0.0, radius * a1.sin());
+        let q0 = p0 + Vec3::new(0.0, height, 0.0);
+        let q1 = p1 + Vec3::new(0.0, height, 0.0);
+        push_quad(out, p0, p1, q1, q0);
+        // cap fan
+        out.push(Triangle::new(
+            center + Vec3::new(0.0, height, 0.0),
+            q0,
+            q1,
+        ));
+    }
+}
+
+/// Procedural "Sibenik-like" cathedral hall.
+///
+/// `detail ≥ 1` scales column tessellation and clutter; triangle counts are
+/// roughly `detail = 1` → ~3k, `detail = 2` → ~20k, `detail = 3` → ~70k.
+/// Deterministic in `seed`.
+pub fn cathedral(seed: u64, detail: u32) -> Scene {
+    assert!(detail >= 1, "detail must be at least 1");
+    let mut rng = Rng::new(seed);
+    let mut tris = Vec::new();
+
+    // Hall: 40 long (z), 16 wide (x), 14 high (y).
+    let (w, h, l) = (16.0f32, 14.0f32, 40.0f32);
+
+    // Floor slabs (tessellated so the floor is not two huge triangles —
+    // large uniform surfaces with fine tessellation are exactly what makes
+    // SAH splits interesting).
+    let tess = 4 * detail as usize;
+    for i in 0..tess {
+        for j in 0..(tess * 2) {
+            let x0 = -w / 2.0 + w * i as f32 / tess as f32;
+            let x1 = -w / 2.0 + w * (i + 1) as f32 / tess as f32;
+            let z0 = l * j as f32 / (tess * 2) as f32;
+            let z1 = l * (j + 1) as f32 / (tess * 2) as f32;
+            push_quad(
+                &mut tris,
+                Vec3::new(x0, 0.0, z0),
+                Vec3::new(x1, 0.0, z0),
+                Vec3::new(x1, 0.0, z1),
+                Vec3::new(x0, 0.0, z1),
+            );
+        }
+    }
+
+    // Walls.
+    push_quad(
+        &mut tris,
+        Vec3::new(-w / 2.0, 0.0, 0.0),
+        Vec3::new(-w / 2.0, h, 0.0),
+        Vec3::new(-w / 2.0, h, l),
+        Vec3::new(-w / 2.0, 0.0, l),
+    );
+    push_quad(
+        &mut tris,
+        Vec3::new(w / 2.0, 0.0, 0.0),
+        Vec3::new(w / 2.0, 0.0, l),
+        Vec3::new(w / 2.0, h, l),
+        Vec3::new(w / 2.0, h, 0.0),
+    );
+    push_quad(
+        &mut tris,
+        Vec3::new(-w / 2.0, 0.0, 0.0),
+        Vec3::new(w / 2.0, 0.0, 0.0),
+        Vec3::new(w / 2.0, h, 0.0),
+        Vec3::new(-w / 2.0, h, 0.0),
+    );
+    push_quad(
+        &mut tris,
+        Vec3::new(-w / 2.0, 0.0, l),
+        Vec3::new(-w / 2.0, h, l),
+        Vec3::new(w / 2.0, h, l),
+        Vec3::new(w / 2.0, 0.0, l),
+    );
+
+    // Vaulted ceiling: ridged strips meeting at the center line.
+    let strips = 8 * detail as usize;
+    for j in 0..strips {
+        let z0 = l * j as f32 / strips as f32;
+        let z1 = l * (j + 1) as f32 / strips as f32;
+        let ridge0 = Vec3::new(0.0, h + 2.0, z0);
+        let ridge1 = Vec3::new(0.0, h + 2.0, z1);
+        push_quad(
+            &mut tris,
+            Vec3::new(-w / 2.0, h, z0),
+            Vec3::new(-w / 2.0, h, z1),
+            ridge1,
+            ridge0,
+        );
+        push_quad(
+            &mut tris,
+            Vec3::new(w / 2.0, h, z0),
+            ridge0,
+            ridge1,
+            Vec3::new(w / 2.0, h, z1),
+        );
+    }
+
+    // Two rows of columns down the nave.
+    let columns = 6;
+    let sides = 8 * detail as usize;
+    for k in 0..columns {
+        let z = 5.0 + 30.0 * k as f32 / (columns - 1) as f32;
+        for x in [-4.5f32, 4.5] {
+            push_column(&mut tris, Vec3::new(x, 0.0, z), 0.7, 10.0, sides);
+            // Capital (box) on top of each column.
+            push_box(
+                &mut tris,
+                Vec3::new(x - 1.0, 10.0, z - 1.0),
+                Vec3::new(x + 1.0, 11.0, z + 1.0),
+            );
+        }
+        // Arch between the column pair: segmented boxes.
+        let arch_segments = 6 * detail as usize;
+        for s in 0..arch_segments {
+            let t0 = s as f32 / arch_segments as f32;
+            let x0 = -4.5 + 9.0 * t0;
+            let y0 = 11.0 + 2.0 * (std::f32::consts::PI * t0).sin();
+            push_box(
+                &mut tris,
+                Vec3::new(x0 - 0.3, y0, z - 0.3),
+                Vec3::new(x0 + 0.3, y0 + 0.5, z + 0.3),
+            );
+        }
+    }
+
+    // Clutter: pews/crates/debris on the floor, randomized. This carries
+    // most of the triangle budget, as fine geometry does in Sibenik.
+    let clutter = 600 * detail as usize * detail as usize;
+    for _ in 0..clutter {
+        let x = rng.next_range_f64(-6.5, 6.5) as f32;
+        let z = rng.next_range_f64(1.0, 39.0) as f32;
+        let sx = rng.next_range_f64(0.2, 1.2) as f32;
+        let sy = rng.next_range_f64(0.2, 1.0) as f32;
+        let sz = rng.next_range_f64(0.2, 1.6) as f32;
+        push_box(
+            &mut tris,
+            Vec3::new(x - sx / 2.0, 0.0, z - sz / 2.0),
+            Vec3::new(x + sx / 2.0, sy, z + sz / 2.0),
+        );
+    }
+
+    Scene {
+        triangles: tris,
+        light: Vec3::new(0.0, h - 1.0, l * 0.35),
+        camera: Camera {
+            position: Vec3::new(0.0, 6.0, 1.5),
+            look_at: Vec3::new(0.0, 5.0, 30.0),
+            up: Vec3::new(0.0, 1.0, 0.0),
+            fov_deg: 65.0,
+        },
+    }
+}
+
+/// Procedural "Fairy-Forest-like" open scene: a ground plane with many
+/// scattered cone trees and rock boxes, no enclosing walls.
+///
+/// Architectural interiors (the [`cathedral`]) and open outdoor scenes
+/// stress the SAH differently — outdoor geometry is spatially uniform with
+/// no huge occluders, so splits are shallower and leaves denser. Tillmann
+/// et al. evaluated both kinds; this generator provides the second regime
+/// for robustness experiments. Triangle count scales with `detail`
+/// (detail 2 ≈ 17k triangles).
+pub fn forest(seed: u64, detail: u32) -> Scene {
+    assert!(detail >= 1, "detail must be at least 1");
+    let mut rng = Rng::new(seed);
+    let mut tris = Vec::new();
+    let half = 30.0f32;
+
+    // Ground plane, tessellated.
+    let tess = 6 * detail as usize;
+    for i in 0..tess {
+        for j in 0..tess {
+            let x0 = -half + 2.0 * half * i as f32 / tess as f32;
+            let x1 = -half + 2.0 * half * (i + 1) as f32 / tess as f32;
+            let z0 = -half + 2.0 * half * j as f32 / tess as f32;
+            let z1 = -half + 2.0 * half * (j + 1) as f32 / tess as f32;
+            push_quad(
+                &mut tris,
+                Vec3::new(x0, 0.0, z0),
+                Vec3::new(x1, 0.0, z0),
+                Vec3::new(x1, 0.0, z1),
+                Vec3::new(x0, 0.0, z1),
+            );
+        }
+    }
+
+    // Trees: trunk (thin column) + canopy (cone fan).
+    let trees = 60 * detail as usize;
+    let cone_sides = 6 * detail as usize;
+    for _ in 0..trees {
+        let x = rng.next_range_f64(-25.0, 25.0) as f32;
+        let z = rng.next_range_f64(-25.0, 25.0) as f32;
+        let height = rng.next_range_f64(2.0, 7.0) as f32;
+        let radius = rng.next_range_f64(0.6, 2.0) as f32;
+        push_column(&mut tris, Vec3::new(x, 0.0, z), 0.15, height * 0.4, 5);
+        // Canopy cone.
+        let base_y = height * 0.3;
+        let apex = Vec3::new(x, base_y + height, z);
+        for s in 0..cone_sides {
+            let a0 = (s as f32 / cone_sides as f32) * std::f32::consts::TAU;
+            let a1 = ((s + 1) as f32 / cone_sides as f32) * std::f32::consts::TAU;
+            let p0 = Vec3::new(x + radius * a0.cos(), base_y, z + radius * a0.sin());
+            let p1 = Vec3::new(x + radius * a1.cos(), base_y, z + radius * a1.sin());
+            tris.push(Triangle::new(p0, p1, apex));
+            tris.push(Triangle::new(p1, p0, Vec3::new(x, base_y, z))); // underside
+        }
+    }
+
+    // Rocks.
+    let rocks = 40 * detail as usize;
+    for _ in 0..rocks {
+        let x = rng.next_range_f64(-28.0, 28.0) as f32;
+        let z = rng.next_range_f64(-28.0, 28.0) as f32;
+        let s = rng.next_range_f64(0.2, 1.0) as f32;
+        push_box(
+            &mut tris,
+            Vec3::new(x - s, 0.0, z - s),
+            Vec3::new(x + s, s * 1.4, z + s),
+        );
+    }
+
+    Scene {
+        triangles: tris,
+        light: Vec3::new(10.0, 25.0, -10.0),
+        camera: Camera {
+            position: Vec3::new(0.0, 4.0, -28.0),
+            look_at: Vec3::new(0.0, 2.0, 0.0),
+            up: Vec3::new(0.0, 1.0, 0.0),
+            fov_deg: 60.0,
+        },
+    }
+}
+
+/// A soup of `n` random small triangles in the unit-ish cube — fast,
+/// structureless test geometry.
+pub fn random_blobs(seed: u64, n: usize) -> Scene {
+    let mut rng = Rng::new(seed);
+    let mut tris = Vec::with_capacity(n);
+    for _ in 0..n {
+        let base = Vec3::new(
+            rng.next_range_f64(-5.0, 5.0) as f32,
+            rng.next_range_f64(-5.0, 5.0) as f32,
+            rng.next_range_f64(0.0, 10.0) as f32,
+        );
+        let e1 = Vec3::new(
+            rng.next_range_f64(-0.5, 0.5) as f32,
+            rng.next_range_f64(-0.5, 0.5) as f32,
+            rng.next_range_f64(-0.5, 0.5) as f32,
+        );
+        let e2 = Vec3::new(
+            rng.next_range_f64(-0.5, 0.5) as f32,
+            rng.next_range_f64(-0.5, 0.5) as f32,
+            rng.next_range_f64(-0.5, 0.5) as f32,
+        );
+        tris.push(Triangle::new(base, base + e1, base + e2));
+    }
+    Scene {
+        triangles: tris,
+        light: Vec3::new(0.0, 8.0, 5.0),
+        camera: Camera {
+            position: Vec3::new(0.0, 0.0, -8.0),
+            look_at: Vec3::new(0.0, 0.0, 5.0),
+            up: Vec3::new(0.0, 1.0, 0.0),
+            fov_deg: 60.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cathedral_is_deterministic() {
+        let a = cathedral(1, 1);
+        let b = cathedral(1, 1);
+        assert_eq!(a.triangles.len(), b.triangles.len());
+        assert_eq!(a.triangles[10], b.triangles[10]);
+    }
+
+    #[test]
+    fn cathedral_detail_scales_triangle_count() {
+        let d1 = cathedral(1, 1).triangles.len();
+        let d2 = cathedral(1, 2).triangles.len();
+        let d3 = cathedral(1, 3).triangles.len();
+        assert!(d1 > 1_000, "detail 1 has {d1} triangles");
+        assert!(d2 > 2 * d1, "detail 2 has {d2}");
+        assert!(d3 > d2, "detail 3 has {d3}");
+    }
+
+    #[test]
+    fn cathedral_detail_3_is_sibenik_scale() {
+        let n = cathedral(1, 3).triangles.len();
+        assert!(
+            (20_000..200_000).contains(&n),
+            "expected Sibenik-order triangle count, got {n}"
+        );
+    }
+
+    #[test]
+    fn camera_and_light_are_inside_the_hall() {
+        let s = cathedral(1, 1);
+        let b = s.bounds();
+        assert!(b.contains(s.camera.position), "camera inside scene bounds");
+        assert!(b.contains(s.light), "light inside scene bounds");
+    }
+
+    #[test]
+    fn all_triangles_finite_and_nondegenerate_mostly() {
+        let s = cathedral(3, 2);
+        let degenerate = s
+            .triangles
+            .iter()
+            .filter(|t| !t.a.is_finite() || !t.b.is_finite() || !t.c.is_finite() || t.area() == 0.0)
+            .count();
+        assert_eq!(degenerate, 0, "no degenerate triangles");
+    }
+
+    #[test]
+    fn forest_is_deterministic_and_scales() {
+        let f1 = forest(2, 1);
+        assert_eq!(f1.triangles.len(), forest(2, 1).triangles.len());
+        let f2 = forest(2, 2);
+        assert!(f2.triangles.len() > 2 * f1.triangles.len());
+        assert!(f1.triangles.len() > 1_000, "{}", f1.triangles.len());
+    }
+
+    #[test]
+    fn forest_has_open_top_unlike_cathedral() {
+        // No enclosing ceiling: a ray fired straight up from above the
+        // trees escapes, which is what distinguishes the outdoor regime.
+        let f = forest(3, 1);
+        let b = f.bounds();
+        // Everything sits below a modest height (trees ≤ ~10 units).
+        assert!(b.max.y < 15.0, "open scene should be flat-ish: {:?}", b.max);
+        assert!(b.extent().x > 3.0 * b.extent().y, "wide and flat");
+    }
+
+    #[test]
+    fn forest_renders_with_all_builders() {
+        use crate::kdtree::{all_builders, BruteForce};
+        use crate::render::{render, RenderOptions};
+        let scene = forest(5, 1);
+        let opts = RenderOptions {
+            width: 32,
+            height: 24,
+            threads: 2,
+        };
+        let reference = render(&scene, &BruteForce, &opts);
+        for b in all_builders() {
+            let accel = b.build(&scene.triangles, &Default::default());
+            let img = render(&scene, accel.as_ref(), &opts);
+            let diff: f32 = reference
+                .iter()
+                .zip(&img)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / img.len() as f32;
+            assert!(diff < 0.01, "{} deviates by {diff}", b.name());
+        }
+    }
+
+    #[test]
+    fn random_blobs_count_and_determinism() {
+        let s = random_blobs(5, 500);
+        assert_eq!(s.triangles.len(), 500);
+        assert_eq!(
+            random_blobs(5, 500).triangles[123],
+            s.triangles[123]
+        );
+    }
+
+    #[test]
+    fn bounds_enclose_everything() {
+        let s = random_blobs(9, 200);
+        let b = s.bounds();
+        for t in &s.triangles {
+            assert!(b.contains(t.a) && b.contains(t.b) && b.contains(t.c));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Triangles: the scene's only geometric primitive.
+
+use crate::aabb::Aabb;
+use crate::ray::{Hit, Ray};
+use crate::vec3::Vec3;
+
+/// A triangle with vertices `a`, `b`, `c` (counter-clockwise front face).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub c: Vec3,
+}
+
+impl Triangle {
+    pub fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Bounding box of the triangle.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::around([self.a, self.b, self.c])
+    }
+
+    /// Centroid (used by binned SAH).
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Geometric (unnormalized) normal.
+    pub fn normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Surface area.
+    pub fn area(&self) -> f32 {
+        self.normal().length() * 0.5
+    }
+
+    /// Möller-Trumbore ray/triangle intersection. Returns the hit with
+    /// parameter `t ∈ (t_min, t_max)`, or `None`. `triangle_index` is
+    /// recorded in the hit for shading.
+    pub fn intersect(
+        &self,
+        ray: &Ray,
+        t_min: f32,
+        t_max: f32,
+        triangle_index: u32,
+    ) -> Option<Hit> {
+        const EPS: f32 = 1e-9;
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let p = ray.direction.cross(e2);
+        let det = e1.dot(p);
+        if det.abs() < EPS {
+            return None; // parallel to the triangle plane
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.origin - self.a;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.direction.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if t <= t_min || t >= t_max {
+            return None;
+        }
+        Some(Hit {
+            t,
+            triangle: triangle_index,
+            u,
+            v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Triangle {
+        // Unit right triangle in the z = 0 plane.
+        Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn bounds_and_centroid() {
+        let t = tri();
+        assert_eq!(t.bounds().min, Vec3::ZERO);
+        assert_eq!(t.bounds().max, Vec3::new(1.0, 1.0, 0.0));
+        let c = t.centroid();
+        assert!((c.x - 1.0 / 3.0).abs() < 1e-6);
+        assert!((c.y - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(c.z, 0.0);
+    }
+
+    #[test]
+    fn area_of_unit_right_triangle() {
+        assert!((tri().area() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_through_interior_hits() {
+        let ray = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = tri().intersect(&ray, 0.0, f32::INFINITY, 7).unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-6);
+        assert_eq!(hit.triangle, 7);
+        assert!((hit.u - 0.25).abs() < 1e-6);
+        assert!((hit.v - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_outside_misses() {
+        let ray = Ray::new(Vec3::new(0.9, 0.9, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri().intersect(&ray, 0.0, f32::INFINITY, 0).is_none());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let ray = Ray::new(Vec3::new(0.1, 0.1, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(tri().intersect(&ray, 0.0, f32::INFINITY, 0).is_none());
+    }
+
+    #[test]
+    fn backface_is_hit_too() {
+        // Möller-Trumbore without culling: rays from behind also intersect.
+        let ray = Ray::new(Vec3::new(0.25, 0.25, 1.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(tri().intersect(&ray, 0.0, f32::INFINITY, 0).is_some());
+    }
+
+    #[test]
+    fn t_range_is_exclusive() {
+        let ray = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        // Hit at t = 1; excluded when t_max = 1.
+        assert!(tri().intersect(&ray, 0.0, 1.0, 0).is_none());
+        assert!(tri().intersect(&ray, 1.0, 2.0, 0).is_none());
+        assert!(tri().intersect(&ray, 0.99, 1.01, 0).is_some());
+    }
+
+    #[test]
+    fn hit_on_edge_counts() {
+        // Through the hypotenuse midpoint (u + v = 1).
+        let ray = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri().intersect(&ray, 0.0, 2.0, 0).is_some());
+    }
+
+    #[test]
+    fn normal_direction() {
+        let n = tri().normal();
+        assert_eq!(n, Vec3::new(0.0, 0.0, 1.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! The bridge between the raytracer and the autotuner: each construction
+//! algorithm's tuning space `T_A`, its hand-crafted starting configuration,
+//! and the decoding of tuner configurations into [`BuildConfig`]s.
+//!
+//! Per the paper: "The parallelization depth as well as the parameters of
+//! the SAH heuristic are tunable parameters in all algorithms. The Lazy
+//! algorithm adds another parameter, controlling the eager construction
+//! cutoff."
+
+use crate::kdtree::BuildConfig;
+use crate::sah::SahParams;
+use autotune::param::Parameter;
+use autotune::space::{Configuration, SearchSpace};
+use autotune::two_phase::AlgorithmSpec;
+
+/// Parameter order inside each algorithm's configuration.
+pub const PARAM_PARALLEL_DEPTH: usize = 0;
+pub const PARAM_TRAVERSAL_COST: usize = 1;
+pub const PARAM_INTERSECTION_COST: usize = 2;
+/// Lazy only.
+pub const PARAM_EAGER_CUTOFF: usize = 3;
+
+/// The common tunable parameters of every builder.
+fn common_params() -> Vec<Parameter> {
+    vec![
+        // Ratio: thread-tree depth has a natural zero (sequential).
+        Parameter::ratio("parallel_depth", 0, 6),
+        // Interval: SAH costs are relative weights without a natural zero
+        // in their useful range.
+        Parameter::interval("sah_traversal_cost", 1, 60),
+        Parameter::interval("sah_intersection_cost", 1, 60),
+    ]
+}
+
+/// The tuning space of a builder, by its figure name.
+pub fn space_for(builder: &str) -> SearchSpace {
+    let mut params = common_params();
+    if builder == "Lazy" {
+        params.push(Parameter::ratio("eager_cutoff", 0, 16));
+    }
+    SearchSpace::new(params)
+}
+
+/// The hand-crafted best-practice starting configuration the paper's
+/// tuner begins from (Wald-Havran SAH constants, moderate parallelism).
+pub fn start_for(builder: &str) -> Configuration {
+    use autotune::param::Value;
+    let mut values = vec![Value::Int(3), Value::Int(15), Value::Int(20)];
+    if builder == "Lazy" {
+        values.push(Value::Int(8));
+    }
+    space_for(builder)
+        .configuration(values)
+        .expect("start configuration is in the space")
+}
+
+/// Decode a tuner configuration for `builder` into a [`BuildConfig`].
+pub fn decode(builder: &str, config: &Configuration) -> BuildConfig {
+    let mut out = BuildConfig {
+        sah: SahParams {
+            traversal_cost: config.get(PARAM_TRAVERSAL_COST).as_i64() as f32,
+            intersection_cost: config.get(PARAM_INTERSECTION_COST).as_i64() as f32,
+        },
+        parallel_depth: config.get(PARAM_PARALLEL_DEPTH).as_i64() as u32,
+        ..Default::default()
+    };
+    if builder == "Lazy" {
+        out.eager_cutoff = config.get(PARAM_EAGER_CUTOFF).as_i64() as u32;
+    }
+    out
+}
+
+/// The four algorithms as [`AlgorithmSpec`]s for the two-phase tuner, in
+/// figure order, each with its hand-crafted start.
+pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
+    crate::kdtree::all_builders()
+        .iter()
+        .map(|b| {
+            AlgorithmSpec::new(b.name(), space_for(b.name())).with_start(start_for(b.name()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_has_the_extra_parameter() {
+        assert_eq!(space_for("Inplace").dims(), 3);
+        assert_eq!(space_for("Nested").dims(), 3);
+        assert_eq!(space_for("Wald-Havran").dims(), 3);
+        assert_eq!(space_for("Lazy").dims(), 4);
+    }
+
+    #[test]
+    fn start_config_is_wald_havran_best_practice() {
+        let c = start_for("Wald-Havran");
+        let bc = decode("Wald-Havran", &c);
+        assert_eq!(bc.sah.traversal_cost, 15.0);
+        assert_eq!(bc.sah.intersection_cost, 20.0);
+        assert_eq!(bc.parallel_depth, 3);
+    }
+
+    #[test]
+    fn lazy_start_has_cutoff() {
+        let c = start_for("Lazy");
+        let bc = decode("Lazy", &c);
+        assert_eq!(bc.eager_cutoff, 8);
+    }
+
+    #[test]
+    fn decode_round_trips_random_configs() {
+        let mut rng = autotune::rng::Rng::new(3);
+        for builder in ["Inplace", "Lazy", "Nested", "Wald-Havran"] {
+            let space = space_for(builder);
+            for _ in 0..50 {
+                let c = space.random(&mut rng);
+                let bc = decode(builder, &c);
+                assert!((0..=6).contains(&bc.parallel_depth));
+                assert!((1.0..=60.0).contains(&bc.sah.traversal_cost));
+                assert!((1.0..=60.0).contains(&bc.sah.intersection_cost));
+                if builder == "Lazy" {
+                    assert!(bc.eager_cutoff <= 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specs_cover_all_builders_in_figure_order() {
+        let specs = algorithm_specs();
+        let names: Vec<_> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["Inplace", "Lazy", "Nested", "Wald-Havran"]);
+        for s in &specs {
+            assert!(s.start.is_some(), "{} needs a hand-crafted start", s.name);
+        }
+    }
+}

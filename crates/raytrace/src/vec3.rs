@@ -1,0 +1,238 @@
+//! Minimal 3-component vector math for the raytracer.
+
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub};
+
+/// A 3-vector of `f32` (position, direction, or color).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    #[inline]
+    pub fn splat(v: f32) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Unit vector in this direction. Panics (debug) on a zero vector.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 0.0, "cannot normalize a zero vector");
+        self / len
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component by axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn axis(self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis index {axis} out of range"),
+        }
+    }
+
+    /// Replace one component.
+    #[inline]
+    pub fn with_axis(mut self, axis: usize, v: f32) -> Vec3 {
+        match axis {
+            0 => self.x = v,
+            1 => self.y = v,
+            2 => self.z = v,
+            _ => panic!("axis index {axis} out of range"),
+        }
+        self
+    }
+
+    /// Are all components finite?
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis index {axis} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        // Anti-commutativity.
+        assert_eq!(x.cross(y), -(y.cross(x)));
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+        assert_eq!(n, Vec3::new(0.6, 0.8, 0.0));
+    }
+
+    #[test]
+    fn axis_access() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v.axis(0), 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v.axis(2), 9.0);
+        assert_eq!(v.with_axis(1, -1.0), Vec3::new(7.0, -1.0, 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_axis_panics() {
+        Vec3::ONE.axis(3);
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 3.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 3.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! BNDM — Backward Nondeterministic DAWG Matching (Navarro & Raffinot
+//! 1998): the plain backward bit-parallel suffix automaton that FSBNDM
+//! extends with its forward character.
+//!
+//! Not part of the paper's seven-algorithm suite; exposed via
+//! [`crate::all_matchers_extended`] so experiments can compare the
+//! forward-simplified variant against its ancestor. The canonical shift
+//! rule is used: `last` tracks the rightmost window position at which a
+//! pattern *prefix* was recognized, which is the farthest safe slide.
+//!
+//! Patterns longer than 64 bytes fall back to KMP.
+
+use crate::{kmp, Matcher};
+
+/// Maximum pattern length of the bit-parallel core.
+pub const MAX_PATTERN: usize = 64;
+
+/// BNDM matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bndm;
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    if m > MAX_PATTERN {
+        return kmp::find_all(pattern, text);
+    }
+
+    // B[c]: bit i set iff pattern[m − 1 − i] == c (reversed pattern).
+    let mut b = [0u64; 256];
+    for (i, &c) in pattern.iter().rev().enumerate() {
+        b[c as usize] |= 1u64 << i;
+    }
+    let full: u64 = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    let prefix_bit = 1u64 << (m - 1);
+
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + m <= n {
+        let mut j = m;
+        let mut last = m;
+        let mut d = full;
+        while d != 0 {
+            d &= b[text[pos + j - 1] as usize];
+            j -= 1;
+            if d & prefix_bit != 0 {
+                if j > 0 {
+                    last = j;
+                } else {
+                    out.push(pos);
+                }
+            }
+            d = (d << 1) & full;
+        }
+        pos += last;
+    }
+    out
+}
+
+impl Matcher for Bndm {
+    fn name(&self) -> &'static str {
+        "BNDM"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn agrees_with_naive_on_english() {
+        let text = b"to be or not to be that is the question".as_slice();
+        for pat in [
+            b"to be".as_slice(),
+            b"be",
+            b"question",
+            b"t",
+            b"that is",
+            b"never",
+        ] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn periodic_patterns_use_prefix_shift_correctly() {
+        for (p, t) in [
+            (b"aaa".as_slice(), b"aaaaaa".as_slice()),
+            (b"abab", b"abababab"),
+            (b"aab", b"aabaabaab"),
+        ] {
+            assert_eq!(find_all(p, t), naive::find_all(p, t), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn full_word_pattern() {
+        let pat = vec![b'z'; 64];
+        let mut text = vec![b'.'; 200];
+        text[70..134].fill(b'z');
+        assert_eq!(find_all(&pat, &text), vec![70]);
+    }
+
+    #[test]
+    fn fallback_above_word_size() {
+        let pat: Vec<u8> = (0..90).map(|i| b'a' + (i % 26)).collect();
+        let mut text = vec![b'-'; 400];
+        text[55..145].copy_from_slice(&pat);
+        assert_eq!(find_all(&pat, &text), vec![55]);
+    }
+
+    #[test]
+    fn matches_fsbndm_everywhere() {
+        // The forward variant must find exactly the same occurrences.
+        let text: Vec<u8> = (0..3000u64).map(|i| b'a' + ((i * 31 / 7) % 5) as u8).collect();
+        for len in [2usize, 5, 17, 40] {
+            let pat = text[100..100 + len].to_vec();
+            assert_eq!(
+                find_all(&pat, &text),
+                crate::fsbndm::find_all(&pat, &text),
+                "len={len}"
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Boyer-Moore (1977) with both the bad-character and the good-suffix
+//! rules.
+//!
+//! The canonical skip-ahead matcher: the pattern is compared right-to-left
+//! against the current window and mismatches allow shifts of up to `m`
+//! positions. Preprocessing builds the two classic tables; the search takes
+//! the maximum of both shift proposals.
+
+use crate::Matcher;
+
+/// Boyer-Moore matcher (bad character + good suffix).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoyerMoore;
+
+/// Bad-character table: for each byte, the index of its rightmost
+/// occurrence in the pattern, or `None` if absent.
+fn bad_character_table(pattern: &[u8]) -> [Option<usize>; 256] {
+    let mut table = [None; 256];
+    for (i, &c) in pattern.iter().enumerate() {
+        table[c as usize] = Some(i);
+    }
+    table
+}
+
+/// Good-suffix table via the border-position construction (Knuth's
+/// preprocessing as presented by Crochemore & Rytter): `shift[j]` is the
+/// shift when a mismatch occurs at pattern index `j − 1` (i.e. the suffix
+/// `pattern[j..]` matched).
+fn good_suffix_table(pattern: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let mut shift = vec![0usize; m + 1];
+    let mut border = vec![0usize; m + 1];
+
+    // Case 1: the matching suffix occurs elsewhere in the pattern.
+    let (mut i, mut j) = (m, m + 1);
+    border[i] = j;
+    while i > 0 {
+        while j <= m && pattern[i - 1] != pattern[j - 1] {
+            if shift[j] == 0 {
+                shift[j] = j - i;
+            }
+            j = border[j];
+        }
+        i -= 1;
+        j -= 1;
+        border[i] = j;
+    }
+
+    // Case 2: only a prefix of the pattern matches a suffix of the suffix.
+    let mut j = border[0];
+    #[allow(clippy::needless_range_loop)] // i is also compared against j
+    for i in 0..=m {
+        if shift[i] == 0 {
+            shift[i] = j;
+        }
+        if i == j {
+            j = border[j];
+        }
+    }
+    shift
+}
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    let bad = bad_character_table(pattern);
+    let good = good_suffix_table(pattern);
+    let mut out = Vec::new();
+    let mut s = 0usize; // current window start
+    while s <= n - m {
+        let mut j = m; // compare right to left; j is 1 past the mismatch
+        while j > 0 && pattern[j - 1] == text[s + j - 1] {
+            j -= 1;
+        }
+        if j == 0 {
+            out.push(s);
+            s += good[0];
+        } else {
+            let c = text[s + j - 1];
+            // Bad-character shift: align the rightmost occurrence of `c`
+            // left of position j−1 under the mismatch (may be ≤ 0 → 1).
+            let bc_shift = match bad[c as usize] {
+                Some(k) if k < j - 1 => j - 1 - k,
+                Some(_) => 1,
+                None => j,
+            };
+            s += bc_shift.max(good[j]);
+        }
+    }
+    out
+}
+
+impl Matcher for BoyerMoore {
+    fn name(&self) -> &'static str {
+        "Boyer-Moore"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn agrees_with_naive_on_classic_examples() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"example", b"here is a simple example of an example"),
+            (b"aaa", b"aaaaaaa"),
+            (b"abcab", b"abcabcabcabcab"),
+            (b"needle", b"haystack without it"),
+            (b"GCAGAGAG", b"GCATCGCAGAGAGTATACAGTACG"),
+        ];
+        for (p, t) in cases {
+            assert_eq!(find_all(p, t), naive::find_all(p, t), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn good_suffix_table_for_known_pattern() {
+        // ABCBAB example verified against the textbook construction.
+        let shift = good_suffix_table(b"abcbab");
+        // A full match (j = 0) shifts by the pattern period.
+        assert!(shift[0] > 0 && shift[0] <= 6);
+        // All shifts are positive (progress is guaranteed).
+        assert!(shift.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn bad_character_rightmost_occurrence() {
+        let t = bad_character_table(b"abcab");
+        assert_eq!(t[b'a' as usize], Some(3));
+        assert_eq!(t[b'b' as usize], Some(4));
+        assert_eq!(t[b'c' as usize], Some(2));
+        assert_eq!(t[b'z' as usize], None);
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        assert_eq!(find_all(b"abab", b"abababab"), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn match_at_start_and_end() {
+        assert_eq!(find_all(b"ab", b"ab..ab"), vec![0, 4]);
+    }
+
+    #[test]
+    fn single_character_pattern() {
+        assert_eq!(find_all(b".", b"a.b.c."), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_and_oversized_patterns() {
+        assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
+        assert_eq!(find_all(b"abcd", b"abc"), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic corpus generators.
+//!
+//! The paper benchmarks on the English King James Bible text and the human
+//! genome sequence; neither can be bundled here, so this module generates
+//! statistically-similar substitutes (see DESIGN.md's substitution table):
+//!
+//! * [`bible_like`] — verse-structured English-like text drawn from a
+//!   KJV-flavoured vocabulary with Zipfian word frequencies, punctuation and
+//!   verse numbers, with the paper's query phrase embedded at a realistic
+//!   (rare) rate. What the string matchers care about — alphabet size,
+//!   word-length distribution, match frequency — is preserved.
+//! * [`dna`] — a 4-letter nucleotide sequence with mildly biased base
+//!   frequencies (GC content ≈ 41%, as in the human genome).
+//!
+//! Both are seeded and fully deterministic, so experiment repetitions are
+//! reproducible byte-for-byte.
+
+use autotune::rng::Rng;
+
+/// KJV-flavoured vocabulary, ordered by (approximate) descending frequency
+/// so that Zipf sampling produces natural-looking frequency structure. The
+/// words of the paper's query phrase are all present so the text produces
+/// realistic partial matches.
+const VOCAB: &[&str] = &[
+    "the", "and", "of", "that", "to", "in", "he", "shall", "unto", "for", "i", "his", "a", "lord",
+    "they", "be", "is", "him", "not", "them", "it", "with", "all", "thou", "thy", "was", "god",
+    "which", "my", "me", "said", "but", "ye", "their", "have", "will", "thee", "from", "as",
+    "are", "when", "this", "out", "were", "upon", "man", "you", "by", "israel", "king", "son",
+    "up", "there", "people", "came", "had", "house", "into", "on", "her", "come", "one", "we",
+    "children", "s", "before", "your", "also", "day", "land", "men", "let", "go", "no", "made",
+    "hand", "us", "saying", "if", "at", "every", "then", "she", "an", "things", "so", "saith",
+    "do", "earth", "things", "great", "against", "jerusalem", "what", "name", "therefore",
+    "father", "down", "sons", "heart", "david", "put", "because", "our", "even", "city", "o",
+    "am", "hath", "heaven", "make", "might", "spirit", "mountain", "high", "water", "fire",
+    "word", "moses", "over", "away", "days", "place", "who", "did", "way", "died", "gave",
+    "now", "sword", "more", "went", "egypt", "thing", "sea", "may", "brought", "offering",
+    "days", "good", "know", "years", "set", "would", "take", "priest", "pass", "part", "army",
+    "voice", "done", "hundred", "eyes", "off", "wife", "light", "tree", "stone", "wilderness",
+];
+
+/// The query phrase the paper searches for, as words.
+const QUERY_WORDS: &[&str] = &["the", "spirit", "to", "a", "great", "and", "high", "mountain"];
+
+/// Generate an English-like, verse-structured corpus of (at least)
+/// `size_bytes` bytes, deterministically from `seed`.
+///
+/// The paper's query phrase is embedded roughly every `query_spacing_words`
+/// words (default in [`bible_like`]: one occurrence per ~40,000 words,
+/// which yields a handful of occurrences in a Bible-sized corpus, matching
+/// the phrase's actual rarity in the KJV).
+pub fn bible_like_with(seed: u64, size_bytes: usize, query_spacing_words: usize) -> Vec<u8> {
+    assert!(query_spacing_words > QUERY_WORDS.len());
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(size_bytes + 128);
+    let mut chapter = 1u32;
+    let mut verse = 1u32;
+    let mut words_in_verse = 0usize;
+    let mut verse_len = 12 + rng.pick_index(18);
+    let mut words_since_query = rng.pick_index(query_spacing_words);
+    out.extend_from_slice(format!("{chapter}:{verse} ").as_bytes());
+    while out.len() < size_bytes {
+        if words_since_query >= query_spacing_words {
+            // Embed the query phrase as a natural run of words.
+            for (i, w) in QUERY_WORDS.iter().enumerate() {
+                if i > 0 {
+                    out.push(b' ');
+                }
+                out.extend_from_slice(w.as_bytes());
+            }
+            words_in_verse += QUERY_WORDS.len();
+            words_since_query = 0;
+        } else {
+            out.extend_from_slice(zipf_word(&mut rng).as_bytes());
+            words_in_verse += 1;
+            words_since_query += 1;
+        }
+        if words_in_verse >= verse_len {
+            // Close the verse with punctuation and start the next.
+            out.extend_from_slice(b".\n");
+            verse += 1;
+            if verse > 30 {
+                verse = 1;
+                chapter += 1;
+            }
+            out.extend_from_slice(format!("{chapter}:{verse} ").as_bytes());
+            words_in_verse = 0;
+            verse_len = 12 + rng.pick_index(18);
+        } else {
+            // Occasional comma, mostly plain spaces.
+            if rng.next_bool(0.08) {
+                out.push(b',');
+            }
+            out.push(b' ');
+        }
+    }
+    out
+}
+
+/// Zipf-ish draw from the vocabulary: rank r chosen with weight ~ 1/(r+3).
+fn zipf_word(rng: &mut Rng) -> &'static str {
+    // Inverse-CDF sampling over the truncated harmonic distribution,
+    // approximated by squaring a uniform draw (cheap, monotone, heavy
+    // headed) — adequate for corpus realism, not a statistics library.
+    let u = rng.next_f64();
+    let idx = ((u * u) * VOCAB.len() as f64) as usize;
+    VOCAB[idx.min(VOCAB.len() - 1)]
+}
+
+/// The default bible-like corpus: 4 MiB (the KJV text is ~4.2 MB), with the
+/// query phrase occurring a handful of times.
+pub fn bible_like(seed: u64, size_bytes: usize) -> Vec<u8> {
+    bible_like_with(seed, size_bytes, 40_000)
+}
+
+/// Deterministic DNA sequence of `size_bytes` bases with human-like base
+/// composition (A 29.5%, T 29.5%, G 20.5%, C 20.5%).
+pub fn dna(seed: u64, size_bytes: usize) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(size_bytes);
+    for _ in 0..size_bytes {
+        let u = rng.next_f64();
+        out.push(if u < 0.295 {
+            b'A'
+        } else if u < 0.59 {
+            b'T'
+        } else if u < 0.795 {
+            b'G'
+        } else {
+            b'C'
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn bible_like_is_deterministic() {
+        assert_eq!(bible_like(7, 10_000), bible_like(7, 10_000));
+        assert_ne!(bible_like(7, 10_000), bible_like(8, 10_000));
+    }
+
+    #[test]
+    fn bible_like_reaches_requested_size() {
+        let c = bible_like(1, 50_000);
+        assert!(c.len() >= 50_000);
+        assert!(c.len() < 50_000 + 256, "no gross overshoot");
+    }
+
+    #[test]
+    fn query_phrase_occurs_at_realistic_rate() {
+        // ~6 words per embedded occurrence spacing of 2_000 in 100 KB
+        // (~18k words) → a handful of hits.
+        let c = bible_like_with(3, 100_000, 2_000);
+        let hits = naive::find_all(crate::PAPER_QUERY, &c);
+        assert!(
+            (2..=30).contains(&hits.len()),
+            "expected a handful of occurrences, got {}",
+            hits.len()
+        );
+    }
+
+    #[test]
+    fn default_corpus_contains_query_at_least_once() {
+        let c = bible_like(42, 2 << 20);
+        let hits = naive::find_all(crate::PAPER_QUERY, &c);
+        assert!(!hits.is_empty(), "query phrase must occur");
+    }
+
+    #[test]
+    fn corpus_is_ascii_lowercase_text() {
+        let c = bible_like(5, 20_000);
+        assert!(c.iter().all(|&b| b.is_ascii()));
+        let letters = c.iter().filter(|b| b.is_ascii_alphabetic()).count();
+        assert!(letters as f64 / c.len() as f64 > 0.6, "mostly letters");
+    }
+
+    #[test]
+    fn verse_structure_present() {
+        let c = bible_like(5, 20_000);
+        let s = String::from_utf8(c).unwrap();
+        assert!(s.contains("1:1 "));
+        assert!(s.contains(".\n"));
+    }
+
+    #[test]
+    fn dna_composition_roughly_human() {
+        let c = dna(11, 200_000);
+        assert_eq!(c.len(), 200_000);
+        let gc = c.iter().filter(|&&b| b == b'G' || b == b'C').count() as f64 / c.len() as f64;
+        assert!((gc - 0.41).abs() < 0.02, "GC content {gc}");
+        assert!(c.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+    }
+
+    #[test]
+    fn dna_is_deterministic() {
+        assert_eq!(dna(3, 1000), dna(3, 1000));
+    }
+}

@@ -1,0 +1,256 @@
+//! EBOM — Extended Backward Oracle Matching (Faro & Lecroq 2008).
+//!
+//! Backward Oracle Matching reads the current window right-to-left through
+//! the *factor oracle* of the reversed pattern: as soon as the oracle dies,
+//! the scanned suffix is provably not a factor of the pattern and the
+//! window can jump past it. EBOM extends BOM with a 256×256 fast-loop table
+//! holding the oracle state reached after the window's last **two**
+//! characters, so most windows are discarded with a single table lookup.
+//!
+//! The factor oracle recognizes a superset of the pattern's factors, so a
+//! fully-read window is verified by direct comparison before being
+//! reported (the verification is what keeps the oracle's weak guarantee
+//! sound).
+
+use crate::Matcher;
+
+/// Sentinel for an undefined oracle transition.
+const NONE: u32 = u32::MAX;
+
+/// Factor oracle of a byte string: `m + 1` states with dense transition
+/// rows. Built with the standard online construction (Allauzen, Crochemore
+/// & Raffinot 1999).
+pub struct FactorOracle {
+    /// `delta[s][c]`: target state or `NONE`.
+    delta: Vec<[u32; 256]>,
+}
+
+impl FactorOracle {
+    /// Build the oracle of `word` (callers pass the reversed pattern).
+    pub fn new(word: &[u8]) -> Self {
+        let m = word.len();
+        let mut delta = vec![[NONE; 256]; m + 1];
+        // Supply function S; S[0] is undefined (represented as NONE).
+        let mut supply = vec![NONE; m + 1];
+        for (i, &c) in word.iter().enumerate() {
+            let new_state = (i + 1) as u32;
+            delta[i][c as usize] = new_state;
+            // Follow the supply chain, adding external transitions.
+            let mut k = supply[i];
+            while k != NONE && delta[k as usize][c as usize] == NONE {
+                delta[k as usize][c as usize] = new_state;
+                k = supply[k as usize];
+            }
+            supply[i + 1] = if k == NONE {
+                0
+            } else {
+                delta[k as usize][c as usize]
+            };
+        }
+        FactorOracle { delta }
+    }
+
+    /// Transition, or `None` if undefined.
+    #[inline(always)]
+    pub fn step(&self, state: u32, c: u8) -> Option<u32> {
+        let t = self.delta[state as usize][c as usize];
+        (t != NONE).then_some(t)
+    }
+
+    /// Number of states (`word.len() + 1`).
+    pub fn states(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Does the oracle accept `s` as a (claimed) factor — i.e. can it read
+    /// `s` from the initial state? Recognizes a superset of the factors.
+    pub fn reads(&self, s: &[u8]) -> bool {
+        let mut state = 0u32;
+        for &c in s {
+            match self.step(state, c) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// EBOM matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ebom;
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    if m == 1 {
+        return text
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c == pattern[0]).then_some(i))
+            .collect();
+    }
+
+    let reversed: Vec<u8> = pattern.iter().rev().copied().collect();
+    let oracle = FactorOracle::new(&reversed);
+
+    // EBOM fast-loop table: state after reading the window's last char c1
+    // then its second-to-last char c2. Flattened 256×256 u32 row-major.
+    let mut pair = vec![NONE; 256 * 256];
+    for c1 in 0..256usize {
+        if let Some(s1) = oracle.step(0, c1 as u8) {
+            let row = &mut pair[c1 * 256..(c1 + 1) * 256];
+            for (c2, slot) in row.iter_mut().enumerate() {
+                if let Some(s2) = oracle.step(s1, c2 as u8) {
+                    *slot = s2;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut j = m - 1; // index of the window's last character
+    while j < n {
+        let c1 = text[j] as usize;
+        let c2 = text[j - 1] as usize;
+        let mut state = pair[c1 * 256 + c2];
+        if state == NONE {
+            // Distinguish "c1 kills" (shift m) from "c2 kills" (shift m−1)
+            // so the shift never skips an occurrence.
+            let shift = if oracle.step(0, c1 as u8).is_none() {
+                m
+            } else {
+                m - 1
+            };
+            j += shift;
+            continue;
+        }
+        // Read the rest of the window backwards.
+        let window_start = j + 1 - m;
+        let mut i = j as isize - 2; // next character to read
+        let mut died_at: Option<usize> = None;
+        while i >= window_start as isize {
+            match oracle.step(state, text[i as usize]) {
+                Some(next) => {
+                    state = next;
+                    i -= 1;
+                }
+                None => {
+                    died_at = Some(i as usize);
+                    break;
+                }
+            }
+        }
+        match died_at {
+            None => {
+                // Whole window read: verify (the oracle over-approximates).
+                if &text[window_start..=j] == pattern {
+                    out.push(window_start);
+                }
+                j += 1;
+            }
+            Some(fail) => {
+                // No factor of the pattern starts at or before `fail`
+                // within this window: slide the window start past it.
+                j = fail + m;
+            }
+        }
+    }
+    out
+}
+
+impl Matcher for Ebom {
+    fn name(&self) -> &'static str {
+        "EBOM"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn oracle_reads_all_factors() {
+        let word = b"abbab";
+        let oracle = FactorOracle::new(word);
+        assert_eq!(oracle.states(), 6);
+        for i in 0..word.len() {
+            for j in i..=word.len() {
+                assert!(
+                    oracle.reads(&word[i..j]),
+                    "factor {:?} must be readable",
+                    &word[i..j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_non_factors() {
+        let oracle = FactorOracle::new(b"abcd");
+        assert!(!oracle.reads(b"ba"));
+        assert!(!oracle.reads(b"e"));
+        assert!(!oracle.reads(b"abd")); // classic oracle may accept some
+                                        // non-factors, but not this one
+    }
+
+    #[test]
+    fn agrees_with_naive_on_english() {
+        let text =
+            b"in the beginning god created the heaven and the earth and the spirit moved"
+                .as_slice();
+        for pat in [
+            b"the".as_slice(),
+            b"heaven",
+            b"the spirit",
+            b"and the earth and the spirit moved",
+            b"absent words",
+            b"d",
+            b"in",
+        ] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_periodic_patterns() {
+        for (p, t) in [
+            (b"aa".as_slice(), b"aaaaaa".as_slice()),
+            (b"aba", b"ababababa"),
+            (b"abab", b"abababab"),
+        ] {
+            assert_eq!(find_all(p, t), naive::find_all(p, t), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn two_byte_pattern_uses_fast_loop_only() {
+        assert_eq!(find_all(b"ab", b"xxabxxabxx"), vec![2, 6]);
+    }
+
+    #[test]
+    fn single_byte_pattern() {
+        assert_eq!(find_all(b"o", b"hello world"), vec![4, 7]);
+    }
+
+    #[test]
+    fn match_at_both_ends() {
+        assert_eq!(find_all(b"abc", b"abcxxabc"), vec![0, 5]);
+    }
+
+    #[test]
+    fn long_pattern_agrees_with_naive() {
+        let text: Vec<u8> = (0..4000u32).map(|i| b'a' + ((i * 7 + i / 13) % 4) as u8).collect();
+        let pat = text[1000..1050].to_vec();
+        assert_eq!(find_all(&pat, &text), naive::find_all(&pat, &text));
+    }
+}

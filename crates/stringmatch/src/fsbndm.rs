@@ -1,0 +1,166 @@
+//! FSBNDM — Forward Simplified Backward Nondeterministic DAWG Matching
+//! (Faro & Lecroq 2008/2009).
+//!
+//! BNDM simulates the nondeterministic suffix automaton of the reversed
+//! pattern with single-word bit-parallelism: the window is read
+//! right-to-left, and the bit state `D` tracks every pattern factor the
+//! scanned suffix could still be. The *forward simplified* variant seeds
+//! `D` with the character **one past** the window (the forward character)
+//! whose mask has an always-set bit 0, lengthening shifts while keeping
+//! every alignment sound.
+//!
+//! The bit layout uses `m + 1` bits: `B[p[i]]` sets bit `m − i`, and bit 0
+//! is set in every mask (the forward "don't care" lane). A full-window
+//! match is recognized when bit `m` survives after reading all `m` window
+//! characters, which happens iff the window equals the pattern — see the
+//! invariant test below.
+//!
+//! Patterns longer than 63 bytes exceed the word and fall back to KMP.
+
+use crate::{kmp, Matcher};
+
+/// Maximum pattern length handled by the bit-parallel core (m + 1 ≤ 64).
+pub const MAX_PATTERN: usize = 63;
+
+/// FSBNDM matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fsbndm;
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    if m > MAX_PATTERN {
+        return kmp::find_all(pattern, text);
+    }
+
+    // B[c]: bit (m − i) set iff p[i] == c; bit 0 set for every character.
+    let mut b = [1u64; 256];
+    for (i, &c) in pattern.iter().enumerate() {
+        b[c as usize] |= 1u64 << (m - i);
+    }
+    let word_mask = u64::MAX >> (63 - m); // low m + 1 bits (m ≤ 63)
+    let match_bit = 1u64 << m;
+
+    let mut out = Vec::new();
+    let mut s = 0usize; // window start
+    while s + m <= n {
+        // Seed with the forward character (or all-ones at the text end,
+        // which is equivalent to an always-compatible forward character).
+        let mut d = if s + m < n { b[text[s + m] as usize] } else { word_mask };
+        // Read the window right-to-left.
+        let mut k = 0usize; // window characters consumed
+        while d != 0 && k < m {
+            d = (d << 1) & b[text[s + m - 1 - k] as usize] & word_mask;
+            k += 1;
+        }
+        if d & match_bit != 0 {
+            // Bit m after m reads certifies window == pattern.
+            out.push(s);
+        }
+        if d == 0 {
+            // Died after k window characters: no occurrence can start at or
+            // before s + m − k (it would cover the dead suffix plus the
+            // forward character).
+            s += m - k + 1;
+        } else {
+            s += 1;
+        }
+    }
+    out
+}
+
+impl Matcher for Fsbndm {
+    fn name(&self) -> &'static str {
+        "FSBNDM"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn agrees_with_naive_on_english() {
+        let text = b"for he shall give his angels charge over thee to keep thee".as_slice();
+        for pat in [
+            b"thee".as_slice(),
+            b"angels",
+            b"charge over thee",
+            b"he",
+            b"missing phrase",
+            b"e",
+        ] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn match_bit_only_on_true_match() {
+        // Adversarial: window shares long prefix/suffix with pattern but
+        // differs in the middle; the bit-0 chain must not survive.
+        let pat = b"abcdefgh";
+        let text = b"abcdXfghabcdefgh";
+        assert_eq!(find_all(pat, text), vec![8]);
+    }
+
+    #[test]
+    fn overlapping_periodic() {
+        for (p, t) in [
+            (b"aa".as_slice(), b"aaaa".as_slice()),
+            (b"abab", b"ababab"),
+            (b"aabaa", b"aabaabaabaa"),
+        ] {
+            assert_eq!(find_all(p, t), naive::find_all(p, t), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn forward_character_at_text_end() {
+        // Occurrence flush against the end of the text: no forward char.
+        assert_eq!(find_all(b"xyz", b"..xyz"), vec![2]);
+        assert_eq!(find_all(b"xyz", b"xyz"), vec![0]);
+    }
+
+    #[test]
+    fn max_core_pattern_length() {
+        let pat: Vec<u8> = (0..63).map(|i| b'a' + (i % 26)).collect();
+        let mut text = vec![b'.'; 300];
+        text[100..163].copy_from_slice(&pat);
+        assert_eq!(find_all(&pat, &text), vec![100]);
+    }
+
+    #[test]
+    fn fallback_beyond_word_size() {
+        let pat: Vec<u8> = (0..80).map(|i| b'a' + (i % 26)).collect();
+        let mut text = vec![b'.'; 300];
+        text[10..90].copy_from_slice(&pat);
+        text[200..280].copy_from_slice(&pat);
+        assert_eq!(find_all(&pat, &text), vec![10, 200]);
+    }
+
+    #[test]
+    fn single_character_pattern() {
+        assert_eq!(find_all(b"z", b"zaz"), vec![0, 2]);
+    }
+
+    #[test]
+    fn no_skipped_occurrence_under_long_shifts() {
+        // Text full of characters absent from the pattern forces maximal
+        // shifts; occurrences right after such regions must still be found.
+        let pat = b"needle";
+        let mut text = vec![b'#'; 1000];
+        for &at in &[0usize, 499, 994] {
+            text[at..at + 6].copy_from_slice(pat);
+        }
+        assert_eq!(find_all(pat, &text), vec![0, 499, 994]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Boyer-Moore-Horspool (1980): the simplified Boyer-Moore using only the
+//! bad-character rule, keyed on the window's *last* character.
+//!
+//! Not part of the paper's seven-algorithm suite, but the classic baseline
+//! the skip-ahead family is measured against (and the ancestor of Hash3's
+//! shift table, which is exactly a Horspool table over 3-grams). Exposed
+//! via [`crate::all_matchers_extended`] for experiments that want a larger
+//! algorithm set.
+
+use crate::Matcher;
+
+/// Boyer-Moore-Horspool matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Horspool;
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    // shift[c]: distance from the rightmost occurrence of `c` among the
+    // first m−1 pattern bytes to the pattern end; m for absent bytes.
+    let mut shift = [m; 256];
+    for (i, &c) in pattern[..m - 1].iter().enumerate() {
+        shift[c as usize] = m - 1 - i;
+    }
+    let mut out = Vec::new();
+    let mut s = 0usize;
+    while s + m <= n {
+        let last = text[s + m - 1];
+        if last == pattern[m - 1] && &text[s..s + m - 1] == &pattern[..m - 1] {
+            out.push(s);
+        }
+        s += shift[last as usize];
+    }
+    out
+}
+
+impl Matcher for Horspool {
+    fn name(&self) -> &'static str {
+        "Horspool"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn agrees_with_naive() {
+        let text = b"she sells sea shells by the sea shore".as_slice();
+        for pat in [
+            b"sea".as_slice(),
+            b"shells",
+            b"sh",
+            b"e",
+            b"shore",
+            b"absent",
+        ] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_and_periodic() {
+        for (p, t) in [
+            (b"aa".as_slice(), b"aaaa".as_slice()),
+            (b"abab", b"abababab"),
+            (b"aba", b"ababa"),
+        ] {
+            assert_eq!(find_all(p, t), naive::find_all(p, t), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn single_byte_pattern_shift_is_one() {
+        assert_eq!(find_all(b"x", b"xxx"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn repeated_last_char_in_pattern() {
+        // Last char also occurs earlier: the shift table must exclude the
+        // final position (classic off-by-one trap).
+        assert_eq!(
+            find_all(b"abcb", b"ababcbabcb"),
+            naive::find_all(b"abcb", b"ababcbabcb")
+        );
+    }
+
+    #[test]
+    fn edges() {
+        assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
+        assert_eq!(find_all(b"abcd", b"abc"), Vec::<usize>::new());
+        assert_eq!(find_all(b"abc", b"abc"), vec![0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The `Hybrid` heuristic matcher from the paper's case study 1:
+//! "a heuristic-based string matcher … that chooses one of the seven
+//! algorithms based on the pattern length".
+//!
+//! The length thresholds follow the well-established performance regimes of
+//! the underlying algorithms on natural-language text (cf. Faro & Lecroq's
+//! SMART survey): bit-parallel automata dominate for very short patterns,
+//! q-gram hashing in the medium range, oracle matching for longer patterns,
+//! and the SSEF block filter once its m ≥ 32 requirement is met.
+//!
+//! `Hybrid` is itself listed as one of the selectable algorithms in the
+//! paper's experiments — a hand-crafted heuristic for the tuner to compete
+//! against.
+
+use crate::{ebom, hash3, shift_or, ssef, Matcher};
+
+/// Pattern-length-dispatching matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hybrid;
+
+/// Which algorithm `Hybrid` delegates to for a pattern of length `m`.
+pub fn choice_for_length(m: usize) -> &'static str {
+    match m {
+        0..=3 => "ShiftOr",
+        4..=15 => "Hash3",
+        16..=31 => "EBOM",
+        _ => "SSEF",
+    }
+}
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    match choice_for_length(pattern.len()) {
+        "ShiftOr" => shift_or::find_all(pattern, text),
+        "Hash3" => hash3::find_all(pattern, text),
+        "EBOM" => ebom::find_all(pattern, text),
+        _ => ssef::find_all(pattern, text),
+    }
+}
+
+impl Matcher for Hybrid {
+    fn name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn thresholds_cover_all_lengths() {
+        assert_eq!(choice_for_length(1), "ShiftOr");
+        assert_eq!(choice_for_length(3), "ShiftOr");
+        assert_eq!(choice_for_length(4), "Hash3");
+        assert_eq!(choice_for_length(15), "Hash3");
+        assert_eq!(choice_for_length(16), "EBOM");
+        assert_eq!(choice_for_length(31), "EBOM");
+        assert_eq!(choice_for_length(32), "SSEF");
+        assert_eq!(choice_for_length(1000), "SSEF");
+    }
+
+    #[test]
+    fn agrees_with_naive_across_all_regimes() {
+        let text = b"whosoever therefore shall humble himself as this little child \
+                     the same is greatest in the kingdom of heaven whosoever"
+            .as_slice();
+        // One pattern per dispatch regime.
+        for pat in [
+            b"the".as_slice(),                                // ShiftOr
+            b"heaven".as_slice(),                             // Hash3
+            b"greatest in the king".as_slice(),               // EBOM (20)
+            b"the same is greatest in the kingdom of heaven", // SSEF (45)
+        ] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn paper_query_dispatches_to_ssef() {
+        assert_eq!(choice_for_length(crate::PAPER_QUERY.len()), "SSEF");
+    }
+}

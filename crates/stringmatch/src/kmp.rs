@@ -1,0 +1,116 @@
+//! Knuth-Morris-Pratt (1977): linear-time matching via the failure
+//! function.
+//!
+//! KMP never skips text characters, which is why Figure 1 shows it among
+//! the slowest algorithms on natural-language text — but it is immune to
+//! pathological inputs (strict `O(n + m)`), and several other matchers in
+//! this crate fall back to it for patterns outside their supported range.
+
+use crate::Matcher;
+
+/// Knuth-Morris-Pratt matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kmp;
+
+/// The KMP failure function: `fail[i]` is the length of the longest proper
+/// border of `pattern[..=i]`.
+pub fn failure_function(pattern: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let mut fail = vec![0usize; m];
+    let mut k = 0;
+    for i in 1..m {
+        while k > 0 && pattern[k] != pattern[i] {
+            k = fail[k - 1];
+        }
+        if pattern[k] == pattern[i] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    fail
+}
+
+/// Free-function form used by fallback paths in other matchers.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    if m == 0 || m > text.len() {
+        return Vec::new();
+    }
+    let fail = failure_function(pattern);
+    let mut out = Vec::new();
+    let mut q = 0usize;
+    for (i, &c) in text.iter().enumerate() {
+        while q > 0 && pattern[q] != c {
+            q = fail[q - 1];
+        }
+        if pattern[q] == c {
+            q += 1;
+        }
+        if q == m {
+            out.push(i + 1 - m);
+            q = fail[q - 1];
+        }
+    }
+    out
+}
+
+impl Matcher for Kmp {
+    fn name(&self) -> &'static str {
+        "Knuth-Morris-Pratt"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn failure_function_of_classic_example() {
+        // "ababaca" → borders 0,0,1,2,3,0,1
+        assert_eq!(failure_function(b"ababaca"), vec![0, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn failure_function_no_borders() {
+        assert_eq!(failure_function(b"abcdef"), vec![0; 6]);
+    }
+
+    #[test]
+    fn failure_function_all_same() {
+        assert_eq!(failure_function(b"aaaa"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_agree_with_naive_on_periodic_text() {
+        let text = b"abababababcabababc".as_slice();
+        for pat in [b"ab".as_slice(), b"abab", b"abc", b"ababc", b"c"] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        assert_eq!(find_all(b"aaa", b"aaaaa"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_byte_pattern() {
+        assert_eq!(find_all(b"x", b"axbxcx"), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn no_match() {
+        assert_eq!(find_all(b"zzz", b"abcabcabc"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
+        assert_eq!(find_all(b"a", b""), Vec::<usize>::new());
+    }
+}

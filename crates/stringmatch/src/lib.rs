@@ -1,0 +1,155 @@
+//! # stringmatch — parallel exact string matching
+//!
+//! The substrate for the paper's first case study: Rust reimplementations of
+//! the seven state-of-the-art exact string matching algorithms evaluated in
+//! Pfaffe et al., *"Parallel String Matching"* (IWMSE 2016), plus the
+//! pattern-length-heuristic `Hybrid` matcher:
+//!
+//! * [`BoyerMoore`] — bad-character + good-suffix skipping,
+//! * [`Ebom`] — Extended Backward Oracle Matching (factor oracle with a
+//!   two-character fast loop),
+//! * [`Fsbndm`] — Forward Simplified Backward Nondeterministic DAWG
+//!   Matching (bit-parallel suffix automaton with a forward lookahead),
+//! * [`Hash3`] — Lecroq-style q-gram (q = 3) hashing with Horspool shifts,
+//! * [`Kmp`] — Knuth-Morris-Pratt,
+//! * [`ShiftOr`] — the classic bit-parallel Shift-Or automaton,
+//! * [`Ssef`] — the SSEF 16-byte block filter (Külekci 2009), here in a
+//!   portable formulation (see [`ssef`] module docs),
+//! * [`Hybrid`] — selects one of the above from the pattern length.
+//!
+//! All algorithms follow the same two-phase pattern the paper describes:
+//! a precomputation on the pattern, then an iterated skip-ahead heuristic
+//! over the text. Precomputation is part of every [`Matcher::find_all`]
+//! call, matching the paper's setup where "any precomputation is part of
+//! the algorithm's runtime".
+//!
+//! Parallel search ([`parallel`]) partitions the text with `m − 1` bytes of
+//! overlap and searches partitions on scoped threads — the same structure
+//! as the OpenMP parallelization of the original C++ implementations.
+//!
+//! The [`corpus`] module generates the deterministic bible-like and DNA
+//! corpora used by the experiment harness (substituting for the King James
+//! Bible text and the human genome, which are not redistributable here).
+
+pub mod bndm;
+pub mod boyer_moore;
+pub mod corpus;
+pub mod ebom;
+pub mod fsbndm;
+pub mod hash3;
+pub mod horspool;
+pub mod hybrid;
+pub mod kmp;
+pub mod naive;
+pub mod parallel;
+pub mod shift_or;
+pub mod ssef;
+
+pub use bndm::Bndm;
+pub use boyer_moore::BoyerMoore;
+pub use ebom::Ebom;
+pub use fsbndm::Fsbndm;
+pub use hash3::Hash3;
+pub use horspool::Horspool;
+pub use hybrid::Hybrid;
+pub use kmp::Kmp;
+pub use naive::Naive;
+pub use parallel::ParallelMatcher;
+pub use shift_or::ShiftOr;
+pub use ssef::Ssef;
+
+/// An exact string matching algorithm.
+///
+/// `find_all` returns the starting offsets of **all** (possibly
+/// overlapping) occurrences of `pattern` in `text`, in increasing order.
+/// An empty pattern matches nowhere by convention.
+///
+/// ```
+/// use stringmatch::{Ebom, Matcher};
+///
+/// let hits = Ebom.find_all(b"ana", b"banana bandana");
+/// assert_eq!(hits, vec![1, 3, 11]);
+/// ```
+pub trait Matcher: Sync {
+    /// Algorithm name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// All occurrence offsets of `pattern` in `text`, sorted ascending.
+    /// Includes the pattern precomputation, per the paper's measurement
+    /// methodology.
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize>;
+
+    /// Count occurrences (default: via `find_all`).
+    fn count(&self, pattern: &[u8], text: &[u8]) -> usize {
+        self.find_all(pattern, text).len()
+    }
+}
+
+/// The seven paper algorithms plus `Hybrid`, in the order of Figure 1's
+/// x-axis: Boyer-Moore, EBOM, FSBNDM, Hash3, Hybrid, Knuth-Morris-Pratt,
+/// ShiftOr, SSEF.
+pub fn all_matchers() -> Vec<Box<dyn Matcher>> {
+    vec![
+        Box::new(BoyerMoore),
+        Box::new(Ebom),
+        Box::new(Fsbndm),
+        Box::new(Hash3),
+        Box::new(Hybrid),
+        Box::new(Kmp),
+        Box::new(ShiftOr),
+        Box::new(Ssef),
+    ]
+}
+
+/// The paper's eight algorithms plus two classical extras (Horspool and
+/// plain BNDM) for experiments wanting a broader algorithm set. The paper
+/// figures always use [`all_matchers`].
+pub fn all_matchers_extended() -> Vec<Box<dyn Matcher>> {
+    let mut ms = all_matchers();
+    ms.push(Box::new(Horspool));
+    ms.push(Box::new(Bndm));
+    ms
+}
+
+/// The paper's benchmark query phrase (from Isaiah-like verse text).
+pub const PAPER_QUERY: &[u8] = b"the spirit to a great and high mountain";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eight_algorithms() {
+        let ms = all_matchers();
+        assert_eq!(ms.len(), 8);
+        let names: Vec<_> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Boyer-Moore",
+                "EBOM",
+                "FSBNDM",
+                "Hash3",
+                "Hybrid",
+                "Knuth-Morris-Pratt",
+                "ShiftOr",
+                "SSEF"
+            ]
+        );
+    }
+
+    #[test]
+    fn extended_registry_appends_the_extras() {
+        let ms = all_matchers_extended();
+        assert_eq!(ms.len(), 10);
+        assert_eq!(ms[8].name(), "Horspool");
+        assert_eq!(ms[9].name(), "BNDM");
+    }
+
+    #[test]
+    fn paper_query_length_is_in_ssef_range() {
+        // SSEF requires patterns of at least 32 bytes; the paper's query
+        // phrase qualifies (39 bytes).
+        assert_eq!(PAPER_QUERY.len(), 39);
+    }
+}

@@ -1,0 +1,85 @@
+//! The brute-force reference matcher.
+//!
+//! Quadratic in the worst case and never the fastest — it exists as the
+//! differential-testing oracle for the seven real algorithms, and as the
+//! fallback the bit-parallel algorithms use for degenerate inputs.
+
+use crate::Matcher;
+
+/// Character-by-character comparison at every text position.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+/// Free-function form used by other modules for verification.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..=(n - m) {
+        if &text[i..i + m] == pattern {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Does `pattern` occur at offset `i` of `text`?
+#[inline]
+pub fn occurs_at(pattern: &[u8], text: &[u8], i: usize) -> bool {
+    i + pattern.len() <= text.len() && &text[i..i + pattern.len()] == pattern
+}
+
+impl Matcher for Naive {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_occurrence() {
+        assert_eq!(find_all(b"world", b"hello world"), vec![6]);
+    }
+
+    #[test]
+    fn finds_multiple_occurrences() {
+        assert_eq!(find_all(b"ab", b"ababab"), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn finds_overlapping_occurrences() {
+        assert_eq!(find_all(b"aa", b"aaaa"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_pattern_matches_nowhere() {
+        assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        assert_eq!(find_all(b"abcdef", b"abc"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn pattern_equals_text() {
+        assert_eq!(find_all(b"abc", b"abc"), vec![0]);
+    }
+
+    #[test]
+    fn occurs_at_boundary_checks() {
+        assert!(occurs_at(b"cd", b"abcd", 2));
+        assert!(!occurs_at(b"cd", b"abcd", 3));
+        assert!(!occurs_at(b"cd", b"abcd", 1));
+    }
+}

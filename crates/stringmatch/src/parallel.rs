@@ -1,0 +1,179 @@
+//! Parallel string matching by text partitioning.
+//!
+//! "The parallelization of the algorithms is based around partitioning the
+//! input text. In all algorithms, each partition is processed by one
+//! thread." Partitions overlap by `m − 1` bytes so occurrences spanning a
+//! boundary are seen by exactly one thread: each thread reports only
+//! occurrences *starting* inside its own partition.
+//!
+//! Threads are plain `std::thread::scope` workers — the Rust analogue of
+//! the original `#pragma omp parallel for` over partitions. The thread
+//! count is an explicit argument because, unlike in a fixed-size OpenMP
+//! pool, the autotuner may want to treat it as a ratio-class tuning
+//! parameter.
+
+use crate::Matcher;
+
+/// A [`Matcher`] run in parallel over text partitions.
+pub struct ParallelMatcher<'a> {
+    inner: &'a dyn Matcher,
+    threads: usize,
+}
+
+impl<'a> ParallelMatcher<'a> {
+    /// Wrap `inner` to search with `threads` partitions. `threads == 1` is
+    /// the sequential algorithm.
+    pub fn new(inner: &'a dyn Matcher, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        ParallelMatcher { inner, threads }
+    }
+
+    /// The number of partitions/threads used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Search all partitions and merge the sorted results.
+    pub fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        let m = pattern.len();
+        let n = text.len();
+        if m == 0 || m > n {
+            return Vec::new();
+        }
+        let threads = self.threads.min(n); // never more partitions than bytes
+        if threads <= 1 {
+            return self.inner.find_all(pattern, text);
+        }
+
+        // Partition boundaries: partition i owns starts in [lo_i, hi_i) and
+        // searches the slice [lo_i, min(hi_i + m - 1, n)).
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Vec<usize>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for i in 0..threads {
+                let lo = i * chunk;
+                if lo >= n {
+                    break;
+                }
+                let hi = ((i + 1) * chunk).min(n);
+                let end = (hi + m - 1).min(n);
+                let slice = &text[lo..end];
+                let inner = self.inner;
+                handles.push(scope.spawn(move || {
+                    let mut hits = inner.find_all(pattern, slice);
+                    // Keep only occurrences starting inside [lo, hi); the
+                    // overlap tail belongs to the next partition.
+                    hits.retain(|&p| lo + p < hi);
+                    for p in &mut hits {
+                        *p += lo;
+                    }
+                    hits
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("matcher thread panicked"));
+            }
+        });
+        // Partitions are disjoint in start positions and already sorted.
+        results.concat()
+    }
+
+    /// Count occurrences.
+    pub fn count(&self, pattern: &[u8], text: &[u8]) -> usize {
+        self.find_all(pattern, text).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive, BoyerMoore, Ebom, Fsbndm, Hash3, Hybrid, Kmp, ShiftOr, Ssef};
+
+    fn text() -> Vec<u8> {
+        // Periodic-ish English with boundary-straddling occurrences.
+        let mut t = Vec::new();
+        for i in 0..400 {
+            t.extend_from_slice(b"and the spirit moved ");
+            if i % 37 == 0 {
+                t.extend_from_slice(b"the spirit to a great and high mountain ");
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn all_algorithms_match_naive_across_thread_counts() {
+        let text = text();
+        let pattern = crate::PAPER_QUERY;
+        let expected = naive::find_all(pattern, &text);
+        assert!(!expected.is_empty());
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(BoyerMoore),
+            Box::new(Ebom),
+            Box::new(Fsbndm),
+            Box::new(Hash3),
+            Box::new(Hybrid),
+            Box::new(Kmp),
+            Box::new(ShiftOr),
+            Box::new(Ssef),
+        ];
+        for m in &matchers {
+            for threads in [1, 2, 3, 4, 8] {
+                let pm = ParallelMatcher::new(m.as_ref(), threads);
+                assert_eq!(
+                    pm.find_all(pattern, &text),
+                    expected,
+                    "{} with {threads} threads",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_straddling_occurrence_found_exactly_once() {
+        // Place an occurrence exactly across a 2-partition boundary.
+        let pattern = b"BOUNDARY";
+        let n = 1000;
+        let mut text = vec![b'.'; n];
+        let mid = n / 2;
+        text[mid - 4..mid + 4].copy_from_slice(pattern);
+        let pm = ParallelMatcher::new(&Kmp, 2);
+        assert_eq!(pm.find_all(pattern, &text), vec![mid - 4]);
+    }
+
+    #[test]
+    fn occurrence_at_partition_start_not_duplicated() {
+        let pattern = b"xx";
+        // chunk boundary at 5 with 2 threads over 10 bytes
+        let text = b"....xx....";
+        for threads in [1, 2, 5, 10] {
+            let pm = ParallelMatcher::new(&Kmp, threads);
+            assert_eq!(pm.find_all(pattern, text), vec![4], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_bytes() {
+        let pm = ParallelMatcher::new(&Kmp, 64);
+        assert_eq!(pm.find_all(b"ab", b"abab"), vec![0, 2]);
+    }
+
+    #[test]
+    fn results_are_sorted() {
+        let text = text();
+        let pm = ParallelMatcher::new(&Hash3, 7);
+        let hits = pm.find_all(b"spirit", &text);
+        let mut sorted = hits.clone();
+        sorted.sort_unstable();
+        assert_eq!(hits, sorted);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        ParallelMatcher::new(&Kmp, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Shift-Or (Baeza-Yates & Gonnet 1992): bit-parallel simulation of the
+//! nondeterministic prefix automaton.
+//!
+//! State is a 64-bit word where bit `i` being **zero** means "a prefix of
+//! length `i + 1` ends here". Each text byte updates the state with one
+//! shift and one OR — no skipping, so like KMP it touches every character
+//! (and lands in the slow group of Figure 1 on long patterns), but its
+//! inner loop is branch-free and extremely fast for short patterns.
+//!
+//! Patterns longer than 64 bytes exceed the machine word and fall back to
+//! KMP, mirroring the word-size guard of the original C implementation.
+
+use crate::{kmp, Matcher};
+
+/// Maximum pattern length handled by the bit-parallel core.
+pub const MAX_PATTERN: usize = 64;
+
+/// Shift-Or matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShiftOr;
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    if m == 0 || m > text.len() {
+        return Vec::new();
+    }
+    if m > MAX_PATTERN {
+        return kmp::find_all(pattern, text);
+    }
+
+    // Preprocessing: mask[c] has bit i CLEAR iff pattern[i] == c.
+    let mut mask = [!0u64; 256];
+    for (i, &c) in pattern.iter().enumerate() {
+        mask[c as usize] &= !(1u64 << i);
+    }
+    let accept = 1u64 << (m - 1);
+
+    let mut out = Vec::new();
+    let mut state = !0u64;
+    for (i, &c) in text.iter().enumerate() {
+        state = (state << 1) | mask[c as usize];
+        if state & accept == 0 {
+            out.push(i + 1 - m);
+        }
+    }
+    out
+}
+
+impl Matcher for ShiftOr {
+    fn name(&self) -> &'static str {
+        "ShiftOr"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn agrees_with_naive() {
+        let text = b"the quick brown fox jumps over the lazy dog".as_slice();
+        for pat in [
+            b"the".as_slice(),
+            b"fox",
+            b"o",
+            b"the quick brown fox jumps over the lazy dog",
+            b"dog",
+            b"zzz",
+        ] {
+            assert_eq!(find_all(pat, text), naive::find_all(pat, text), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        assert_eq!(find_all(b"aa", b"aaaa"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn max_word_size_pattern() {
+        // Exactly 64 bytes: the largest pattern the bit-parallel core takes.
+        let pattern = vec![b'x'; 64];
+        let mut text = vec![b'.'; 200];
+        text[50..114].fill(b'x');
+        let hits = find_all(&pattern, &text);
+        assert_eq!(hits, vec![50]);
+    }
+
+    #[test]
+    fn falls_back_to_kmp_beyond_word_size() {
+        let pattern: Vec<u8> = (0..100).map(|i| b'a' + (i % 26) as u8).collect();
+        let mut text = vec![b'#'; 500];
+        text[123..223].copy_from_slice(&pattern);
+        assert_eq!(find_all(&pattern, &text), vec![123]);
+    }
+
+    #[test]
+    fn single_byte_and_binary_alphabet() {
+        assert_eq!(find_all(b"\x00", b"\x01\x00\x01\x00"), vec![1, 3]);
+        assert_eq!(
+            find_all(b"\x01\x01", b"\x01\x01\x01"),
+            naive::find_all(b"\x01\x01", b"\x01\x01\x01")
+        );
+    }
+
+    #[test]
+    fn empty_pattern() {
+        assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
+    }
+}

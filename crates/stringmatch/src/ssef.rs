@@ -1,0 +1,277 @@
+//! SSEF — the SSE filter matcher (Külekci, 2009), in a portable
+//! formulation.
+//!
+//! SSEF targets **long** patterns (m ≥ 32, as in the original). It
+//! views the text as aligned 16-byte blocks and compresses each block into
+//! a 16-bit *fingerprint* by extracting one chosen bit from every byte —
+//! exactly what the SSE2 `movemask` instruction produces after a shift. Any
+//! occurrence of the pattern fully contains at least `L = ⌊(m − 15) / 16⌋`
+//! consecutive aligned blocks, so inspecting every `L`-th block cannot miss
+//! an occurrence; each inspected block's fingerprint indexes a precomputed
+//! table of candidate pattern alignments which are then verified directly.
+//! The stride of `16·L` bytes per lookup is why SSEF is the fastest
+//! algorithm on long patterns in Figure 1.
+//!
+//! Portability: the original extracts the byte MSB with `_mm_movemask_epi8`
+//! after a left shift chosen per pattern. We compute the identical
+//! fingerprint with scalar bit extraction and pick the *most
+//! discriminating* bit position for the pattern (ASCII text, for example,
+//! has a constant bit 7, which would make the filter useless). On x86-64
+//! the compiler auto-vectorizes the fingerprint loop; behaviour is
+//! identical on every architecture.
+//!
+//! Patterns shorter than 32 bytes fall back to KMP.
+
+use crate::{kmp, Matcher};
+
+/// Block width of the filter (the SSE register width in bytes).
+pub const BLOCK: usize = 16;
+
+/// Minimum pattern length for the filter core. Below 31 bytes a window
+/// need not contain any fully-aligned 16-byte block, so the filter has no
+/// coverage guarantee; the paper's original bound of 32 is kept.
+pub const MIN_PATTERN: usize = 32;
+
+/// SSEF matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ssef;
+
+/// Fingerprint of a 16-byte block: bit `i` of the result is bit `bit` of
+/// `block[i]` — `movemask(block << (7 − bit))` in the original.
+///
+/// On x86-64 this uses the genuine SSE2 instruction pair (a 16-bit-lane
+/// shift does not contaminate byte MSBs, so one shift + `movemask`
+/// suffices); elsewhere a scalar loop computes the identical value.
+#[inline]
+pub fn fingerprint(block: &[u8], bit: u32) -> u16 {
+    debug_assert_eq!(block.len(), BLOCK);
+    debug_assert!(bit < 8);
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SSE2 is part of the x86-64 baseline: no runtime detection needed.
+        unsafe { fingerprint_sse2(block, bit) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        fingerprint_portable(block, bit)
+    }
+}
+
+/// Scalar reference implementation (and the non-x86 path).
+#[inline]
+pub fn fingerprint_portable(block: &[u8], bit: u32) -> u16 {
+    let mut fp = 0u16;
+    for (i, &c) in block.iter().enumerate() {
+        fp |= ((c as u16 >> bit) & 1) << i;
+    }
+    fp
+}
+
+/// SSE2 path: shift bit `bit` of every byte into the byte MSB, then
+/// `movemask`. Shifting 16-bit lanes left by `s ≤ 7` cannot carry a bit
+/// from the low byte into the high byte's MSB (the carried bits reach at
+/// most position `s − 1 < 7`), so the per-byte MSBs are exact.
+///
+/// # Safety
+/// `block` must be at least 16 bytes (guaranteed by the caller's
+/// `debug_assert` and all call sites slicing exactly [`BLOCK`] bytes).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn fingerprint_sse2(block: &[u8], bit: u32) -> u16 {
+    use std::arch::x86_64::*;
+    let v = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+    let shift = _mm_cvtsi32_si128((7 - bit) as i32);
+    let shifted = _mm_sll_epi16(v, shift);
+    (_mm_movemask_epi8(shifted) & 0xFFFF) as u16
+}
+
+/// Choose the bit position whose pattern fingerprints are most varied
+/// (maximum number of distinct fingerprints over all alignments).
+fn best_bit(pattern: &[u8]) -> u32 {
+    let m = pattern.len();
+    let mut best = (0u32, 0usize);
+    for bit in 0..8u32 {
+        let mut seen = vec![false; 1 << 16];
+        let mut distinct = 0usize;
+        for d in 0..=(m - BLOCK) {
+            let fp = fingerprint(&pattern[d..d + BLOCK], bit) as usize;
+            if !seen[fp] {
+                seen[fp] = true;
+                distinct += 1;
+            }
+        }
+        if distinct > best.1 {
+            best = (bit, distinct);
+        }
+    }
+    best.0
+}
+
+/// Free-function form.
+pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    if m < MIN_PATTERN {
+        return kmp::find_all(pattern, text);
+    }
+
+    let bit = best_bit(pattern);
+
+    // Candidate table: fingerprint → pattern alignments d such that
+    // pattern[d..d+16] has that fingerprint. An inspected block at text
+    // offset t is the bytes [t, t+16) of a potential occurrence starting at
+    // p = t − d.
+    let mut table: Vec<Vec<u32>> = vec![Vec::new(); 1 << 16];
+    for d in 0..=(m - BLOCK) {
+        let fp = fingerprint(&pattern[d..d + BLOCK], bit) as usize;
+        table[fp].push(d as u32);
+    }
+
+    // Any m-window contains at least L consecutive aligned blocks; a run of
+    // L consecutive block indices contains a multiple of L, so inspecting
+    // block indices 0, L, 2L, … cannot miss an occurrence.
+    let stride_blocks = ((m - (BLOCK - 1)) / BLOCK).max(1);
+    let stride = stride_blocks * BLOCK;
+
+    let mut out = Vec::new();
+    let mut t = 0usize;
+    while t + BLOCK <= n {
+        let fp = fingerprint(&text[t..t + BLOCK], bit) as usize;
+        for &d in &table[fp] {
+            let d = d as usize;
+            if d > t {
+                continue;
+            }
+            let p = t - d;
+            if p + m <= n && &text[p..p + m] == pattern {
+                out.push(p);
+            }
+        }
+        t += stride;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl Matcher for Ssef {
+    fn name(&self) -> &'static str {
+        "SSEF"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        find_all(pattern, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn english() -> Vec<u8> {
+        b"and I saw a new heaven and a new earth for the first heaven and the \
+          first earth were passed away and there was no more sea and he carried \
+          me away in the spirit to a great and high mountain and shewed me that \
+          great city descending out of heaven"
+            .to_vec()
+    }
+
+    #[test]
+    fn finds_the_paper_query_phrase() {
+        let text = english();
+        let pat = crate::PAPER_QUERY;
+        assert_eq!(find_all(pat, &text), naive::find_all(pat, &text));
+        assert_eq!(find_all(pat, &text).len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_long_patterns() {
+        let text = english();
+        for len in [16, 17, 24, 32, 40, 64, 100] {
+            for start in [0usize, 7, 33, 100] {
+                if start + len > text.len() {
+                    continue;
+                }
+                let pat = &text[start..start + len];
+                assert_eq!(
+                    find_all(pat, &text),
+                    naive::find_all(pat, &text),
+                    "len={len} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn occurrences_at_every_alignment_are_found() {
+        // Stride skipping must not lose occurrences at any offset mod 16.
+        let pat: Vec<u8> = (0..35u8).map(|i| b'A' + (i % 23)).collect();
+        for offset in 0..48 {
+            let mut text = vec![b'~'; 300];
+            text[offset..offset + 35].copy_from_slice(&pat);
+            let hits = find_all(&pat, &text);
+            assert_eq!(hits, vec![offset], "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn multiple_and_overlapping_occurrences() {
+        let pat = vec![b'q'; 20];
+        let text = vec![b'q'; 60];
+        assert_eq!(find_all(&pat, &text), naive::find_all(&pat, &text));
+    }
+
+    #[test]
+    fn short_patterns_fall_back_to_kmp() {
+        assert_eq!(find_all(b"short", b"a short pattern, short"), vec![2, 17]);
+    }
+
+    #[test]
+    fn fingerprint_extracts_requested_bit() {
+        let mut block = [0u8; 16];
+        block[3] = 0b0000_0100; // bit 2 set
+        assert_eq!(fingerprint(&block, 2), 1 << 3);
+        assert_eq!(fingerprint(&block, 1), 0);
+        block[15] = 0xFF;
+        assert_eq!(fingerprint(&block, 7), 1 << 15);
+    }
+
+    #[test]
+    fn sse2_and_portable_fingerprints_are_identical() {
+        // Exhaustive-ish equivalence: random blocks, every bit position.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..500 {
+            let mut block = [0u8; 16];
+            for b in &mut block {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (state >> 56) as u8;
+            }
+            for bit in 0..8 {
+                assert_eq!(
+                    fingerprint(&block, bit),
+                    fingerprint_portable(&block, bit),
+                    "block {block:?} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_bit_avoids_constant_ascii_msb() {
+        // All-ASCII pattern: bit 7 is constant 0 and must not be chosen.
+        let pat = b"the spirit to a great and high mountain";
+        assert_ne!(best_bit(pat), 7);
+    }
+
+    #[test]
+    fn match_at_text_end_with_partial_last_block() {
+        let pat: Vec<u8> = (0..20u8).map(|i| b'a' + i).collect();
+        let mut text = vec![b'.'; 100];
+        text[80..100].copy_from_slice(&pat);
+        assert_eq!(find_all(&pat, &text), vec![80]);
+    }
+}

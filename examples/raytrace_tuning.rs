@@ -1,0 +1,79 @@
+//! Case study 2 as a runnable application: a render loop whose kD-tree
+//! construction algorithm *and* per-algorithm parameters are tuned online,
+//! one frame at a time.
+//!
+//! ```sh
+//! cargo run --release --example raytrace_tuning -- [frames] [detail]
+//! ```
+//!
+//! Renders the procedural cathedral; writes the final frame to
+//! `raytrace_tuning.pgm` (viewable with any image tool) so you can see
+//! what the tuner was rendering.
+
+use algochoice::autotune::prelude::*;
+use algochoice::raytrace::render::{frame, RenderOptions};
+use algochoice::raytrace::{all_builders, cathedral, tunable};
+use std::io::Write as _;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().map_or(60, |a| a.parse().expect("frames"));
+    let detail: u32 = args.next().map_or(1, |a| a.parse().expect("detail"));
+
+    println!("generating cathedral scene (detail {detail})…");
+    let scene = cathedral(1, detail);
+    println!("{} triangles\n", scene.triangles.len());
+
+    let opts = RenderOptions {
+        width: 160,
+        height: 120,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    let builders = all_builders();
+    let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), NominalKind::EpsilonGreedy(0.10), 3);
+
+    let mut last_frame = None;
+    for i in 0..frames {
+        let (alg, config) = tuner.next();
+        let name = builders[alg].name();
+        let build_config = tunable::decode(name, &config);
+        let result = frame(&scene, builders[alg].as_ref(), &build_config, &opts);
+        tuner.report(result.total_ms());
+        if i < 5 || i % 10 == 0 {
+            println!(
+                "frame {i:3}: {name:<12} build {:7.2} ms + render {:7.2} ms = {:8.2} ms  \
+                 (depth={}, Ct={}, Ci={})",
+                result.build_ms,
+                result.render_ms,
+                result.total_ms(),
+                build_config.parallel_depth,
+                build_config.sah.traversal_cost,
+                build_config.sah.intersection_cost,
+            );
+        }
+        last_frame = Some(result);
+    }
+
+    println!("\nselection counts after {frames} frames:");
+    for (b, count) in builders.iter().zip(tuner.selection_counts()) {
+        let bar = "#".repeat(count * 50 / frames.max(1));
+        println!("  {:<12} {count:4}  {bar}", b.name());
+    }
+    let (alg, config, ms) = tuner.best().expect("tuned");
+    println!(
+        "\nbest: {} at {:?} → {:.2} ms/frame",
+        builders[alg].name(),
+        config.values(),
+        ms
+    );
+
+    // Dump the last frame as a PGM so the output is inspectable.
+    if let Some(f) = last_frame {
+        let path = "raytrace_tuning.pgm";
+        let mut out = Vec::with_capacity(f.pixels.len() + 64);
+        write!(out, "P5\n{} {}\n255\n", f.width, f.height).unwrap();
+        out.extend(f.pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8));
+        std::fs::write(path, out).expect("write image");
+        println!("wrote {path}");
+    }
+}

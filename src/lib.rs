@@ -1,0 +1,14 @@
+//! # algochoice — umbrella crate
+//!
+//! Re-exports the three building blocks of the reproduction of
+//! *"Online-Autotuning in the Presence of Algorithmic Choice"* (Pfaffe et
+//! al., IPDPSW 2017) so examples and integration tests can use a single
+//! dependency:
+//!
+//! * [`autotune`] — the tuning framework (the paper's contribution),
+//! * [`stringmatch`] — case study 1's parallel string matching substrate,
+//! * [`raytrace`] — case study 2's SAH kD-tree raytracing substrate.
+
+pub use autotune;
+pub use raytrace;
+pub use stringmatch;

@@ -1,0 +1,104 @@
+//! Integration: the full case-study-2 stack — the two-phase tuner driving
+//! the real raytracing pipeline (kD-tree construction + raycasting).
+
+use algochoice::autotune::prelude::*;
+use algochoice::raytrace::kdtree::BruteForce;
+use algochoice::raytrace::render::{frame, render, RenderOptions};
+use algochoice::raytrace::{all_builders, cathedral, tunable};
+
+fn opts() -> RenderOptions {
+    RenderOptions {
+        width: 40,
+        height: 30,
+        threads: 2,
+    }
+}
+
+#[test]
+fn tuned_frames_render_the_same_image_as_brute_force() {
+    let scene = cathedral(5, 1);
+    let reference = render(&scene, &BruteForce, &opts());
+    let builders = all_builders();
+    let mut rng = algochoice::autotune::rng::Rng::new(3);
+    for b in &builders {
+        // A random legal tuning configuration must never change the image.
+        let space = tunable::space_for(b.name());
+        let config = tunable::decode(b.name(), &space.random(&mut rng));
+        let accel = b.build(&scene.triangles, &config);
+        let img = render(&scene, accel.as_ref(), &opts());
+        let max_diff = reference
+            .iter()
+            .zip(&img)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff < 0.05,
+            "{} with config {config:?} changed the image (max diff {max_diff})",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn two_phase_tuning_over_real_frames_improves_on_the_start() {
+    let scene = cathedral(7, 1);
+    let builders = all_builders();
+    let o = opts();
+    let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), NominalKind::EpsilonGreedy(0.20), 9);
+    let mut first = None;
+    for _ in 0..30 {
+        let s = tuner.step(|alg, c| {
+            let config = tunable::decode(builders[alg].name(), c);
+            frame(&scene, builders[alg].as_ref(), &config, &o).total_ms()
+        });
+        first.get_or_insert(s.value);
+    }
+    let (_, _, best) = tuner.best().expect("tuned");
+    let first = first.unwrap();
+    assert!(
+        best <= first,
+        "tuning must not end worse than the hand-crafted start: {best} vs {first}"
+    );
+}
+
+#[test]
+fn selection_counts_sum_to_frames_for_every_strategy() {
+    let scene = cathedral(2, 1);
+    let builders = all_builders();
+    let o = RenderOptions {
+        width: 24,
+        height: 18,
+        threads: 2,
+    };
+    for kind in [NominalKind::EpsilonGreedy(0.05), NominalKind::OptimumWeighted] {
+        let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), kind, 21);
+        for _ in 0..12 {
+            tuner.step(|alg, c| {
+                let config = tunable::decode(builders[alg].name(), c);
+                frame(&scene, builders[alg].as_ref(), &config, &o).total_ms()
+            });
+        }
+        assert_eq!(tuner.selection_counts().iter().sum::<usize>(), 12);
+        assert!(tuner.best().is_some());
+    }
+}
+
+#[test]
+fn lazy_builder_is_tuned_through_its_fourth_parameter() {
+    // The Lazy space has the extra eager-cutoff dimension; a full tuning
+    // round through the two-phase tuner must produce valid configs for it.
+    let scene = cathedral(4, 1);
+    let builders = all_builders();
+    let o = opts();
+    let specs = vec![tunable::algorithm_specs().remove(1)]; // Lazy only
+    let mut tuner = TwoPhaseTuner::new(specs, NominalKind::EpsilonGreedy(0.0), 2);
+    for _ in 0..10 {
+        let (alg, c) = tuner.next();
+        assert_eq!(alg, 0);
+        assert_eq!(c.len(), 4, "Lazy has 4 tunables");
+        let config = tunable::decode("Lazy", &c);
+        assert!(config.eager_cutoff <= 16);
+        let ms = frame(&scene, builders[1].as_ref(), &config, &o).total_ms();
+        tuner.report(ms);
+    }
+}
