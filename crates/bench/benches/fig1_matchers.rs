@@ -6,7 +6,7 @@
 //! regressions tracking. Expected shape: SSEF, EBOM, Hash3 and Hybrid in
 //! one fast group; Boyer-Moore, KMP, ShiftOr an order of magnitude slower.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use std::hint::black_box;
 use std::time::Duration;
 use stringmatch::{all_matchers, ParallelMatcher, PAPER_QUERY};
@@ -15,7 +15,9 @@ fn bench_matchers(c: &mut Criterion) {
     let text = bench::bench_corpus();
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut group = c.benchmark_group("fig1_matchers");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for m in all_matchers() {
         group.bench_function(m.name(), |b| {
             b.iter(|| {
@@ -27,5 +29,8 @@ fn bench_matchers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matchers);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_matchers(&mut c);
+    c.final_summary();
+}

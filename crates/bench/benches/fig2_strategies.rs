@@ -7,7 +7,7 @@
 //! caught independently of the case studies.
 
 use autotune::two_phase::NominalKind;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -16,7 +16,9 @@ const COSTS: [f64; ARMS] = [120.0, 12.0, 14.0, 10.0, 11.0, 95.0, 110.0, 15.0];
 
 fn bench_strategy_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_strategy_overhead");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     for kind in NominalKind::paper_set() {
         group.bench_function(kind.label(), |b| {
             b.iter_batched(
@@ -28,7 +30,7 @@ fn bench_strategy_overhead(c: &mut Criterion) {
                     }
                     black_box(s.best())
                 },
-                criterion::BatchSize::SmallInput,
+                BatchSize::SmallInput,
             )
         });
     }
@@ -37,7 +39,9 @@ fn bench_strategy_overhead(c: &mut Criterion) {
 
 fn bench_window_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_window_overhead");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     for window in [4usize, 16, 64, 256] {
         for kind in [
             NominalKind::GradientWeighted(window),
@@ -53,7 +57,7 @@ fn bench_window_ablation(c: &mut Criterion) {
                         }
                         black_box(s.best())
                     },
-                    criterion::BatchSize::SmallInput,
+                    BatchSize::SmallInput,
                 )
             });
         }
@@ -61,5 +65,9 @@ fn bench_window_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategy_overhead, bench_window_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_strategy_overhead(&mut c);
+    bench_window_ablation(&mut c);
+    c.final_summary();
+}

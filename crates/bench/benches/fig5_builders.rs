@@ -5,7 +5,7 @@
 //! build; the binned builders are cheaper; Lazy's *eager* build cost falls
 //! with the cutoff.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use raytrace::kdtree::{all_builders, BuildConfig};
 use raytrace::SahParams;
 use std::hint::black_box;
@@ -14,7 +14,9 @@ use std::time::Duration;
 fn bench_builders(c: &mut Criterion) {
     let scene = bench::bench_scene();
     let mut group = c.benchmark_group("fig5_build");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for b in all_builders() {
         group.bench_function(b.name(), |bench| {
             bench.iter(|| {
@@ -33,7 +35,9 @@ fn bench_sah_cost_sensitivity(c: &mut Criterion) {
     let builders = all_builders();
     let wh = &builders[3];
     let mut group = c.benchmark_group("ablation_sah_costs");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (ct, ci) in [(1.0f32, 60.0f32), (15.0, 20.0), (60.0, 1.0)] {
         group.bench_function(format!("wald_havran_ct{ct}_ci{ci}"), |bench| {
             let config = BuildConfig {
@@ -59,7 +63,9 @@ fn bench_lazy_cutoff(c: &mut Criterion) {
     let builders = all_builders();
     let lazy = &builders[1];
     let mut group = c.benchmark_group("ablation_lazy_cutoff");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for cutoff in [0u32, 4, 8, 16] {
         group.bench_function(format!("eager_cutoff_{cutoff}"), |bench| {
             let config = BuildConfig {
@@ -75,5 +81,10 @@ fn bench_lazy_cutoff(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_builders, bench_sah_cost_sensitivity, bench_lazy_cutoff);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_builders(&mut c);
+    bench_sah_cost_sensitivity(&mut c);
+    bench_lazy_cutoff(&mut c);
+    c.final_summary();
+}

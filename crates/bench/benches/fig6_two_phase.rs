@@ -3,7 +3,7 @@
 //! complete two-stage frame (build + render) — per strategy.
 
 use autotune::two_phase::{NominalKind, TwoPhaseTuner};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use raytrace::render::{frame, RenderOptions};
 use raytrace::tunable;
 use std::hint::black_box;
@@ -18,7 +18,9 @@ fn bench_two_phase_frame(c: &mut Criterion) {
         threads: 4,
     };
     let mut group = c.benchmark_group("fig6_two_phase_iteration");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for kind in [
         NominalKind::EpsilonGreedy(0.10),
         NominalKind::SlidingWindowAuc(16),
@@ -38,5 +40,8 @@ fn bench_two_phase_frame(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_two_phase_frame);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_two_phase_frame(&mut c);
+    c.final_summary();
+}

@@ -3,7 +3,7 @@
 //! parallelization-depth scaling for the kD-tree builders (the ratio-class
 //! tuning parameter of case study 2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use raytrace::kdtree::{all_builders, BuildConfig};
 use std::hint::black_box;
 use std::time::Duration;
@@ -12,7 +12,9 @@ use stringmatch::{Hash3, ParallelMatcher, PAPER_QUERY};
 fn bench_matcher_thread_sweep(c: &mut Criterion) {
     let text = bench::bench_corpus();
     let mut group = c.benchmark_group("parallel_matcher_threads");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(format!("hash3_t{threads}"), |b| {
             let pm = ParallelMatcher::new(&Hash3, threads);
@@ -26,10 +28,12 @@ fn bench_builder_depth_sweep(c: &mut Criterion) {
     let scene = bench::bench_scene();
     let builders = all_builders();
     let mut group = c.benchmark_group("parallel_builder_depth");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for depth in [0u32, 2, 4] {
         // Wald-Havran (node-to-task) and Nested (fork-join) are the two
-        // thread-spawning builders.
+        // pool-dispatching builders.
         for idx in [2usize, 3] {
             let b = &builders[idx];
             group.bench_function(format!("{}_d{depth}", b.name()), |bench| {
@@ -47,5 +51,9 @@ fn bench_builder_depth_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matcher_thread_sweep, bench_builder_depth_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_matcher_thread_sweep(&mut c);
+    bench_builder_depth_sweep(&mut c);
+    c.final_summary();
+}

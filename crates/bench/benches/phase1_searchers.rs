@@ -11,7 +11,7 @@ use autotune::search::{
     NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,
 };
 use autotune::space::{Configuration, SearchSpace};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -42,9 +42,14 @@ type SearcherFactory = Box<dyn Fn() -> Box<dyn Searcher>>;
 
 fn bench_searchers(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase1_searchers");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     let factories: Vec<(&str, SearcherFactory)> = vec![
-        ("hill-climbing", Box::new(|| Box::new(HillClimbing::new(space(), 1)))),
+        (
+            "hill-climbing",
+            Box::new(|| Box::new(HillClimbing::new(space(), 1))),
+        ),
         (
             "nelder-mead",
             Box::new(|| Box::new(NelderMead::new(space(), NelderMeadOptions::default()))),
@@ -65,20 +70,29 @@ fn bench_searchers(c: &mut Criterion) {
             "simulated-annealing",
             Box::new(|| Box::new(SimulatedAnnealing::new(space(), 1, Default::default()))),
         ),
-        ("exhaustive", Box::new(|| Box::new(ExhaustiveSearch::new(space())))),
-        ("random", Box::new(|| Box::new(RandomSearch::new(space(), 1)))),
+        (
+            "exhaustive",
+            Box::new(|| Box::new(ExhaustiveSearch::new(space()))),
+        ),
+        (
+            "random",
+            Box::new(|| Box::new(RandomSearch::new(space(), 1))),
+        ),
     ];
     for (name, factory) in &factories {
         group.bench_function(*name, |b| {
             b.iter_batched(
                 factory,
                 |mut s| black_box(run_iterations(s.as_mut(), 200)),
-                criterion::BatchSize::SmallInput,
+                BatchSize::SmallInput,
             )
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_searchers);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_searchers(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,160 @@
+//! The two overheads removed by the execution-substrate refactor, pinned
+//! side by side so the win stays recorded in the perf trajectory:
+//!
+//! 1. **Dispatch**: per-call `std::thread::scope` spawn (the pre-refactor
+//!    shape of `ParallelMatcher::find_all` / `render`) vs. dispatch onto
+//!    the persistent [`Pool`]. Spawning an OS thread costs tens of
+//!    microseconds; at small inputs that dominates the tuned operation
+//!    and distorts what the online tuner measures.
+//! 2. **Per-ray stack**: heap-allocated `Vec::with_capacity(64)` vs. the
+//!    fixed-size [`TraversalStack`] now used by kD-tree traversal.
+//!
+//! Both comparisons run the *identical* work on both sides; only the
+//! substrate differs.
+
+use autotune::pool::Pool;
+use bench::harness::Criterion;
+use raytrace::kdtree::TraversalStack;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+// ------------------------------------------------------------------
+// Dispatch: scope-spawn vs. persistent-pool par_index.
+// ------------------------------------------------------------------
+
+fn spin(work: u64) -> u64 {
+    (0..work).fold(0u64, |acc, i| acc ^ i.wrapping_mul(0x9E37_79B9))
+}
+
+/// The pre-refactor dispatch shape: spawn fresh helper threads for every
+/// call, chunk-claiming over a shared cursor, caller participating.
+fn scope_dispatch(threads: usize, chunks: usize, work: u64) -> u64 {
+    let total = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let claim = |total: &AtomicU64, cursor: &AtomicUsize| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= chunks {
+            break;
+        }
+        total.fetch_add(spin(work), Ordering::Relaxed);
+    };
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(|| claim(&total, &cursor));
+        }
+        claim(&total, &cursor);
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// The post-refactor shape: same chunk-claiming loop, but the helpers are
+/// the long-lived pool workers.
+fn pool_dispatch(threads: usize, chunks: usize, work: u64) -> u64 {
+    let total = AtomicU64::new(0);
+    Pool::global().par_index(threads, chunks, &|_| {
+        total.fetch_add(spin(work), Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let threads = 4;
+    let mut group = c.benchmark_group("phase_overhead_dispatch");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    // Small: the regime where spawn cost dominates (a tuner probing a
+    // cheap configuration). Large: spawn cost amortized; the pool must
+    // not regress here.
+    for (label, chunks, work) in [("small", 8usize, 500u64), ("large", 512, 50_000)] {
+        group.bench_function(format!("scope_{label}"), |b| {
+            b.iter(|| black_box(scope_dispatch(threads, chunks, work)))
+        });
+        group.bench_function(format!("pool_{label}"), |b| {
+            b.iter(|| black_box(pool_dispatch(threads, chunks, work)))
+        });
+    }
+    group.finish();
+}
+
+// ------------------------------------------------------------------
+// Per-ray stack: Vec::with_capacity vs. fixed-size TraversalStack.
+// ------------------------------------------------------------------
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+const RAYS: usize = 512;
+
+/// A synthetic kD-traversal: pop a node, maybe push both children with a
+/// shrinking t-interval — the exact push/pop pattern of
+/// `KdTree::intersect`, minus the geometry. The Vec variant pays one heap
+/// allocation per ray, as `intersect` did before the refactor.
+fn traverse_vec() -> u64 {
+    let mut acc = 0u64;
+    let mut state = 0x5eed_cafe_u64;
+    for _ in 0..RAYS {
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(64);
+        stack.push((0, 0.0, 1.0));
+        while let Some((node, tmin, tmax)) = stack.pop() {
+            acc = acc.wrapping_add(node as u64);
+            if lcg(&mut state) & 1 == 0 && tmax - tmin > 1e-3 {
+                let mid = 0.5 * (tmin + tmax);
+                stack.push((node * 2 + 2, mid, tmax));
+                stack.push((node * 2 + 1, tmin, mid));
+            }
+        }
+    }
+    acc
+}
+
+/// Identical traversal (same LCG seed, same node sequence) on the
+/// allocation-free stack.
+fn traverse_array_stack() -> u64 {
+    let mut acc = 0u64;
+    let mut state = 0x5eed_cafe_u64;
+    for _ in 0..RAYS {
+        let mut stack: TraversalStack<(u32, f32, f32), 64> = TraversalStack::new();
+        stack.push((0, 0.0, 1.0));
+        while let Some((node, tmin, tmax)) = stack.pop() {
+            acc = acc.wrapping_add(node as u64);
+            if lcg(&mut state) & 1 == 0 && tmax - tmin > 1e-3 {
+                let mid = 0.5 * (tmin + tmax);
+                stack.push((node * 2 + 2, mid, tmax));
+                stack.push((node * 2 + 1, tmin, mid));
+            }
+        }
+    }
+    acc
+}
+
+fn bench_ray_stack(c: &mut Criterion) {
+    assert_eq!(
+        traverse_vec(),
+        traverse_array_stack(),
+        "both variants must do identical work"
+    );
+    let mut group = c.benchmark_group("phase_overhead_ray_stack");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("vec_with_capacity", |b| {
+        b.iter(|| black_box(traverse_vec()))
+    });
+    group.bench_function("array_stack", |b| {
+        b.iter(|| black_box(traverse_array_stack()))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_dispatch(&mut c);
+    bench_ray_stack(&mut c);
+    c.final_summary();
+}

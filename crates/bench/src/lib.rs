@@ -1,9 +1,14 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the in-repo benchmark harness.
 //!
 //! Each bench target regenerates the timing side of one paper artifact
 //! (see `crates/bench/benches/`); the full statistical experiments — 100
 //! repetitions, medians over iterations — live in the `experiments`
 //! binary, which produces the actual figure data.
+//!
+//! The build environment is fully offline, so `criterion` is replaced by
+//! [`harness`]: a deliberately small measured-loop runner with the same
+//! group/bench_function surface, median-of-samples reporting, and a
+//! `BENCH_QUICK=1` smoke mode for CI.
 
 use std::sync::OnceLock;
 
@@ -19,9 +24,200 @@ pub fn bench_scene() -> &'static raytrace::Scene {
     SCENE.get_or_init(|| raytrace::cathedral(99, 1))
 }
 
+pub mod harness {
+    //! A minimal benchmark runner mirroring the subset of the criterion
+    //! API the bench targets use: calibrated iteration batches, a fixed
+    //! number of timed samples, and median/min reporting per bench.
+
+    use std::time::{Duration, Instant};
+
+    /// Batching hint, kept for criterion-API familiarity. The harness
+    /// re-runs setup before every routine invocation either way.
+    #[derive(Debug, Clone, Copy)]
+    pub enum BatchSize {
+        SmallInput,
+    }
+
+    /// Top-level runner: owns the collected results for a final summary.
+    #[derive(Default)]
+    pub struct Criterion {
+        results: Vec<BenchResult>,
+    }
+
+    /// One bench's timing summary, in nanoseconds per iteration.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        pub group: String,
+        pub name: String,
+        pub median_ns: f64,
+        pub min_ns: f64,
+        pub samples: usize,
+    }
+
+    fn quick_mode() -> bool {
+        std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+    }
+
+    impl Criterion {
+        pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+            BenchmarkGroup {
+                criterion: self,
+                group: name.into(),
+                sample_size: 20,
+                measurement_time: Duration::from_secs(2),
+            }
+        }
+
+        /// Print a one-line-per-bench summary of everything measured.
+        pub fn final_summary(&self) {
+            println!();
+            println!("{:<58} {:>14} {:>14}", "benchmark", "median", "min");
+            for r in &self.results {
+                println!(
+                    "{:<58} {:>14} {:>14}",
+                    format!("{}/{}", r.group, r.name),
+                    format_ns(r.median_ns),
+                    format_ns(r.min_ns),
+                );
+            }
+        }
+
+        /// All collected results (used by tests and comparison benches).
+        pub fn results(&self) -> &[BenchResult] {
+            &self.results
+        }
+    }
+
+    fn format_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    }
+
+    /// A named group of benches sharing sample/time settings.
+    pub struct BenchmarkGroup<'a> {
+        criterion: &'a mut Criterion,
+        group: String,
+        sample_size: usize,
+        measurement_time: Duration,
+    }
+
+    impl BenchmarkGroup<'_> {
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.sample_size = n.max(2);
+            self
+        }
+
+        pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+            self.measurement_time = t;
+            self
+        }
+
+        /// Measure one bench: calibrate the per-sample iteration count so
+        /// the whole bench fits the group's measurement time, collect the
+        /// samples, and record median/min nanoseconds per iteration.
+        pub fn bench_function(
+            &mut self,
+            name: impl Into<String>,
+            mut f: impl FnMut(&mut Bencher),
+        ) -> &mut Self {
+            let name = name.into();
+            let (samples, budget) = if quick_mode() {
+                (2, Duration::from_millis(50))
+            } else {
+                (self.sample_size, self.measurement_time)
+            };
+
+            // Calibration pass: one measured iteration (also the warmup).
+            let mut bencher = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+            let per_sample = budget.div_duration_f64(per_iter) / samples as f64;
+            let iters = (per_sample as u64).clamp(1, 1 << 24);
+
+            let mut ns_per_iter: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let mut b = Bencher {
+                        iters,
+                        elapsed: Duration::ZERO,
+                    };
+                    f(&mut b);
+                    b.elapsed.as_secs_f64() * 1e9 / iters as f64
+                })
+                .collect();
+            ns_per_iter.sort_by(f64::total_cmp);
+            let result = BenchResult {
+                group: self.group.clone(),
+                name: name.clone(),
+                median_ns: ns_per_iter[ns_per_iter.len() / 2],
+                min_ns: ns_per_iter[0],
+                samples,
+            };
+            println!(
+                "{:<58} {:>14} (min {:>12}, {} samples x {} iters)",
+                format!("{}/{}", self.group, name),
+                format_ns(result.median_ns),
+                format_ns(result.min_ns),
+                samples,
+                iters,
+            );
+            self.criterion.results.push(result);
+            self
+        }
+
+        pub fn finish(&mut self) {}
+    }
+
+    /// Passed to the bench closure; `iter`/`iter_batched` run the measured
+    /// loop for the harness-chosen iteration count.
+    pub struct Bencher {
+        iters: u64,
+        elapsed: Duration,
+    }
+
+    impl Bencher {
+        /// Time `routine` over the calibrated iteration count.
+        pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(routine());
+            }
+            self.elapsed = start.elapsed();
+        }
+
+        /// Time `routine` on fresh `setup()` output each iteration; setup
+        /// time is excluded from the measurement.
+        pub fn iter_batched<S, T>(
+            &mut self,
+            mut setup: impl FnMut() -> S,
+            mut routine: impl FnMut(S) -> T,
+            _size: BatchSize,
+        ) {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.elapsed = total;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn fixtures_are_cached_and_nonempty() {
@@ -30,5 +226,27 @@ mod tests {
         assert_eq!(a, b, "corpus built once");
         assert!(bench_corpus().len() >= 256 << 10);
         assert!(!bench_scene().triangles.is_empty());
+    }
+
+    #[test]
+    fn harness_measures_and_records() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = harness::Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                harness::BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.median_ns > 0.0));
+        assert!(results.iter().all(|r| r.min_ns <= r.median_ns));
+        c.final_summary();
     }
 }

@@ -24,6 +24,10 @@
 //!   (phase 1, Nelder-Mead by default).
 //! * **Online tuning-loop drivers** ([`tuner`]) and measurement plumbing
 //!   ([`measure`]).
+//! * **A persistent work-stealing executor** ([`pool`]): the shared
+//!   execution substrate for every parallel kernel in the workspace, with
+//!   dispatch-time thread caps so parallelism stays a tunable ratio
+//!   parameter.
 //!
 //! ## Quick example
 //!
@@ -53,10 +57,12 @@
 //! ```
 
 pub mod history;
+pub mod json;
 pub mod measure;
 pub mod mixed;
 pub mod nominal;
 pub mod param;
+pub mod pool;
 pub mod rng;
 pub mod search;
 pub mod space;
@@ -67,17 +73,18 @@ pub mod two_phase;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::measure::{duration_ms, time_ms, Context, Measure, Sample};
+    pub use crate::mixed::MixedTuner;
     pub use crate::nominal::{
         EpsilonGradient, EpsilonGreedy, GradientWeighted, NominalStrategy, OptimumWeighted,
         SlidingWindowAuc, Softmax,
     };
     pub use crate::param::{Domain, ParamClass, Parameter, Value};
+    pub use crate::pool::Pool;
     pub use crate::rng::Rng;
     pub use crate::search::{
         DifferentialEvolution, ExhaustiveSearch, GeneticAlgorithm, HillClimbing, NelderMead,
         NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,
     };
-    pub use crate::mixed::MixedTuner;
     pub use crate::space::{Configuration, SearchSpace};
     pub use crate::tuner::{OnlineTuner, Termination};
     pub use crate::two_phase::{

@@ -6,14 +6,14 @@
 //! for deterministic tests this crate also supports arbitrary synthetic cost
 //! functions.
 
+use crate::json::{Json, JsonError};
 use crate::space::Configuration;
-use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// The tuning context `K = (K_A, K_S)`: which application on which system.
 /// The paper assumes the context constant during tuning; we carry it along
 /// for bookkeeping and result labeling.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Context {
     /// `K_A`: the application (e.g. "string-matching/bible").
     pub application: String,
@@ -34,11 +34,36 @@ impl Context {
         let system = std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".to_string());
         Context::new(application, system)
     }
+
+    /// JSON encoding: `{"application": ..., "system": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("application", Json::Str(self.application.clone())),
+            ("system", Json::Str(self.system.clone())),
+        ])
+    }
+
+    /// Inverse of [`Context::to_json`].
+    pub fn from_json(json: &Json) -> Result<Context, JsonError> {
+        let field = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError {
+                    message: format!("context needs a string '{key}' field"),
+                    offset: 0,
+                })
+        };
+        Ok(Context {
+            application: field("application")?,
+            system: field("system")?,
+        })
+    }
 }
 
 /// One observation: configuration `C_i` produced measurement `m(C_i)` at
 /// tuning iteration `i`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Global tuning iteration index at which the sample was taken.
     pub iteration: usize,
@@ -46,6 +71,42 @@ pub struct Sample {
     pub config: Configuration,
     /// Measured value (lower is better; typically seconds).
     pub value: f64,
+}
+
+impl Sample {
+    /// JSON encoding: `{"iteration": ..., "config": ..., "value": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("iteration", Json::Num(self.iteration as f64)),
+            ("config", self.config.to_json()),
+            ("value", Json::Num(self.value)),
+        ])
+    }
+
+    /// Inverse of [`Sample::to_json`].
+    pub fn from_json(json: &Json) -> Result<Sample, JsonError> {
+        let fail = |m: &str| JsonError {
+            message: m.to_string(),
+            offset: 0,
+        };
+        let iteration = json
+            .get("iteration")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| fail("sample needs an iteration"))? as usize;
+        let config = Configuration::from_json(
+            json.get("config")
+                .ok_or_else(|| fail("sample needs a config"))?,
+        )?;
+        let value = json
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| fail("sample needs a value"))?;
+        Ok(Sample {
+            iteration,
+            config,
+            value,
+        })
+    }
 }
 
 /// A measurement function `m_K : T → ℝ`. Implemented by the application

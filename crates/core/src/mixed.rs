@@ -277,7 +277,10 @@ mod tests {
         let (best, v) = t.best().unwrap();
         assert_eq!(best.get(0).as_index(), 1, "sort-b");
         assert_eq!(best.get(2).as_index(), 1, "soa");
-        assert!((best.get(1).as_i64() - 24).abs() <= 2, "block ≈ 24: {best:?}");
+        assert!(
+            (best.get(1).as_i64() - 24).abs() <= 2,
+            "block ≈ 24: {best:?}"
+        );
         assert!(v < 3.0, "near the optimum of 2.0, got {v}");
     }
 
@@ -324,10 +327,7 @@ mod tests {
         let space = SearchSpace::new(
             (0..4)
                 .map(|i| {
-                    Parameter::nominal(
-                        format!("n{i}"),
-                        (0..6).map(|j| format!("v{j}")).collect(),
-                    )
+                    Parameter::nominal(format!("n{i}"), (0..6).map(|j| format!("v{j}")).collect())
                 })
                 .collect(),
         );

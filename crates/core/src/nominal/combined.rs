@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn name_encodes_parameters() {
-        assert_eq!(EpsilonGradient::new(2, 0.05, 16, 0).name(), "e-gradient(5%,w=16)");
+        assert_eq!(
+            EpsilonGradient::new(2, 0.05, 16, 0).name(),
+            "e-gradient(5%,w=16)"
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ mod tests {
         let costs = [1.0, 100.0];
         let mut s = EpsilonGreedy::new(2, 0.10, 13);
         let counts = drive(&mut s, &costs, 5000);
-        assert!(counts[1] > 50, "slow arm must still be explored: {counts:?}");
+        assert!(
+            counts[1] > 50,
+            "slow arm must still be explored: {counts:?}"
+        );
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
         s.report(1, 0.4);
         let w = s.weights();
         assert_eq!(w[0], 2.0);
-        assert!(w[1] > 0.0 && w[1] < 0.2, "expected collapsed weight, got {w:?}");
+        assert!(
+            w[1] > 0.0 && w[1] < 0.2,
+            "expected collapsed weight, got {w:?}"
+        );
         // Selection probability stays positive: the degraded arm is still
         // picked occasionally.
         let mut counts = [0usize; 2];

@@ -77,7 +77,9 @@ impl SelectionState {
     pub fn new(num_algorithms: usize, seed: u64) -> Self {
         assert!(num_algorithms > 0, "need at least one algorithm");
         SelectionState {
-            histories: (0..num_algorithms).map(|_| AlgorithmHistory::new()).collect(),
+            histories: (0..num_algorithms)
+                .map(|_| AlgorithmHistory::new())
+                .collect(),
             iteration: 0,
             rng: Rng::new(seed),
         }

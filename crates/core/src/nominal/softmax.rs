@@ -51,15 +51,19 @@ impl Softmax {
                 }
             })
             .collect();
-        let q_max_defined = q
-            .iter()
-            .flatten()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let fallback = if q_max_defined.is_finite() { q_max_defined } else { 0.0 };
+        let q_max_defined = q.iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let fallback = if q_max_defined.is_finite() {
+            q_max_defined
+        } else {
+            0.0
+        };
         let q: Vec<f64> = q.iter().map(|v| v.unwrap_or(fallback)).collect();
         // Numerically stable softmax.
         let m = q.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let exps: Vec<f64> = q.iter().map(|&v| ((v - m) / self.temperature).exp()).collect();
+        let exps: Vec<f64> = q
+            .iter()
+            .map(|&v| ((v - m) / self.temperature).exp())
+            .collect();
         let z: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / z).collect()
     }

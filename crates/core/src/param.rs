@@ -18,11 +18,11 @@
 //! strategies of [`crate::nominal`] can legally manipulate a nominal
 //! parameter.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// The four Stevens classes. Ordered weakest (`Nominal`) to strongest
 /// (`Ratio`); a class subsumes every weaker class' properties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ParamClass {
     /// Only labels: values can be compared for equality, nothing else.
     Nominal,
@@ -87,7 +87,7 @@ impl ParamClass {
 /// closed integer intervals"; nominal and ordinal parameters carry explicit
 /// label lists and are represented by label *indices* in configurations.
 /// Interval and ratio parameters may also be continuous (`FloatRange`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Parameter {
     name: String,
     class: ParamClass,
@@ -95,7 +95,7 @@ pub struct Parameter {
 }
 
 /// The value domain of a [`Parameter`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Domain {
     /// A finite label set; configuration values are indices into it.
     Labels(Vec<String>),
@@ -106,7 +106,7 @@ pub enum Domain {
 }
 
 /// A concrete value a parameter can take inside a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// Index into a label domain (nominal / ordinal parameters).
     Index(usize),
@@ -147,10 +147,145 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Externally-tagged JSON encoding (`{"Int": 3}`), the shape serde
+    /// would have produced for this enum.
+    pub fn to_json(self) -> Json {
+        match self {
+            Value::Index(i) => Json::obj(vec![("Index", Json::Num(i as f64))]),
+            Value::Int(v) => Json::obj(vec![("Int", Json::Num(v as f64))]),
+            Value::Float(v) => Json::obj(vec![("Float", Json::Num(v))]),
+        }
+    }
+
+    /// Inverse of [`Value::to_json`].
+    pub fn from_json(json: &Json) -> Result<Value, JsonError> {
+        let fail = |m: &str| JsonError {
+            message: m.to_string(),
+            offset: 0,
+        };
+        if let Some(x) = json.get("Index").and_then(Json::as_f64) {
+            Ok(Value::Index(x as usize))
+        } else if let Some(x) = json.get("Int").and_then(Json::as_f64) {
+            Ok(Value::Int(x as i64))
+        } else if let Some(x) = json.get("Float").and_then(Json::as_f64) {
+            Ok(Value::Float(x))
+        } else {
+            Err(fail("expected a tagged Value object"))
+        }
+    }
+}
+
+impl Domain {
+    fn to_json(&self) -> Json {
+        match self {
+            Domain::Labels(ls) => Json::obj(vec![(
+                "Labels",
+                Json::Arr(ls.iter().map(|l| Json::Str(l.clone())).collect()),
+            )]),
+            Domain::IntRange { lo, hi } => Json::obj(vec![(
+                "IntRange",
+                Json::obj(vec![
+                    ("lo", Json::Num(*lo as f64)),
+                    ("hi", Json::Num(*hi as f64)),
+                ]),
+            )]),
+            Domain::FloatRange { lo, hi } => Json::obj(vec![(
+                "FloatRange",
+                Json::obj(vec![("lo", Json::Num(*lo)), ("hi", Json::Num(*hi))]),
+            )]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Domain, JsonError> {
+        let fail = |m: &str| JsonError {
+            message: m.to_string(),
+            offset: 0,
+        };
+        if let Some(arr) = json.get("Labels").and_then(Json::as_arr) {
+            let labels = arr
+                .iter()
+                .map(|l| l.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| fail("Labels must be strings"))?;
+            Ok(Domain::Labels(labels))
+        } else if let Some(r) = json.get("IntRange") {
+            let lo = r
+                .get("lo")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("IntRange.lo"))?;
+            let hi = r
+                .get("hi")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("IntRange.hi"))?;
+            Ok(Domain::IntRange {
+                lo: lo as i64,
+                hi: hi as i64,
+            })
+        } else if let Some(r) = json.get("FloatRange") {
+            let lo = r
+                .get("lo")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("FloatRange.lo"))?;
+            let hi = r
+                .get("hi")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("FloatRange.hi"))?;
+            Ok(Domain::FloatRange { lo, hi })
+        } else {
+            Err(fail("expected a tagged Domain object"))
+        }
+    }
+}
+
+impl ParamClass {
+    fn from_name(name: &str) -> Option<ParamClass> {
+        ParamClass::all().into_iter().find(|c| c.name() == name)
+    }
+}
+
 impl Parameter {
+    /// JSON encoding: `{"name": ..., "class": ..., "domain": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("class", Json::Str(self.class.name().to_string())),
+            ("domain", self.domain.to_json()),
+        ])
+    }
+
+    /// Inverse of [`Parameter::to_json`].
+    pub fn from_json(json: &Json) -> Result<Parameter, JsonError> {
+        let fail = |m: &str| JsonError {
+            message: m.to_string(),
+            offset: 0,
+        };
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("parameter needs a name"))?;
+        let class = json
+            .get("class")
+            .and_then(Json::as_str)
+            .and_then(ParamClass::from_name)
+            .ok_or_else(|| fail("parameter needs a valid class"))?;
+        let domain = Domain::from_json(
+            json.get("domain")
+                .ok_or_else(|| fail("parameter needs a domain"))?,
+        )?;
+        Ok(Parameter {
+            name: name.to_string(),
+            class,
+            domain,
+        })
+    }
+
     /// A nominal parameter over a label set — e.g. the choice of algorithm.
     pub fn nominal(name: impl Into<String>, labels: Vec<String>) -> Self {
-        assert!(!labels.is_empty(), "a nominal parameter needs at least one label");
+        assert!(
+            !labels.is_empty(),
+            "a nominal parameter needs at least one label"
+        );
         Parameter {
             name: name.into(),
             class: ParamClass::Nominal,
@@ -161,7 +296,10 @@ impl Parameter {
     /// An ordinal parameter over an *ordered* label set — e.g. buffer sizes
     /// `small < medium < large`.
     pub fn ordinal(name: impl Into<String>, levels: Vec<String>) -> Self {
-        assert!(!levels.is_empty(), "an ordinal parameter needs at least one level");
+        assert!(
+            !levels.is_empty(),
+            "an ordinal parameter needs at least one level"
+        );
         Parameter {
             name: name.into(),
             class: ParamClass::Ordinal,
@@ -183,7 +321,10 @@ impl Parameter {
 
     /// A continuous interval parameter over a closed real range.
     pub fn interval_f64(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad domain [{lo}, {hi}]");
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad domain [{lo}, {hi}]"
+        );
         Parameter {
             name: name.into(),
             class: ParamClass::Interval,
@@ -203,7 +344,10 @@ impl Parameter {
 
     /// A continuous ratio parameter over a closed real range.
     pub fn ratio_f64(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad domain [{lo}, {hi}]");
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad domain [{lo}, {hi}]"
+        );
         Parameter {
             name: name.into(),
             class: ParamClass::Ratio,
@@ -263,7 +407,11 @@ impl Parameter {
                 Value::Index(c.round() as usize)
             }
             Domain::IntRange { lo, hi } => {
-                let c = if x.is_nan() { *lo as f64 } else { x.clamp(*lo as f64, *hi as f64) };
+                let c = if x.is_nan() {
+                    *lo as f64
+                } else {
+                    x.clamp(*lo as f64, *hi as f64)
+                };
                 Value::Int(c.round() as i64)
             }
             Domain::FloatRange { lo, hi } => {
@@ -374,10 +522,7 @@ mod tests {
         assert_eq!(rows[0], ("Nominal", "Labels"));
         assert_eq!(rows[1], ("Ordinal", "Order"));
         assert_eq!(rows[2], ("Interval", "Distance"));
-        assert_eq!(
-            rows[3],
-            ("Ratio", "Natural Zero, Equality of Ratios")
-        );
+        assert_eq!(rows[3], ("Ratio", "Natural Zero, Equality of Ratios"));
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! A persistent work-stealing executor: the execution substrate shared by
+//! every parallel kernel in the workspace.
+//!
+//! ## Why a persistent pool
+//!
+//! The online tuner minimizes *measured wall time per iteration*. With
+//! per-call `std::thread::scope` parallelism, every measured kernel pays
+//! thread spawn/join latency (tens of microseconds per worker) *inside the
+//! measurement window*. That fixed overhead both slows the system and — far
+//! worse for the tuner — injects scheduling noise that degrades phase-1
+//! Nelder–Mead and phase-2 nominal-strategy convergence. A pool of
+//! long-lived workers moves that cost out of the measured region entirely:
+//! dispatching a parallel region becomes one queue push plus condvar wakes
+//! of already-running threads.
+//!
+//! ## Why chunk claiming ("work stealing" at chunk granularity)
+//!
+//! Static partitioning (e.g. fixed row bands in the raytracer) load-
+//! imbalances badly on uneven workloads: the band containing the detailed
+//! part of a scene dominates the critical path while other workers idle.
+//! Here every parallel region is a shared atomic cursor over its chunk
+//! index space; workers (and the calling thread, which always participates)
+//! *steal* the next unclaimed chunk with one `fetch_add`. Fast workers
+//! automatically take more chunks — dynamic load balancing without any
+//! per-chunk locks.
+//!
+//! ## Worker count stays a tunable ratio parameter
+//!
+//! Unlike a fixed-size OpenMP pool, every dispatch takes an explicit
+//! `threads` cap: the number of threads (caller + helpers) allowed to work
+//! on the region. The autotuner can therefore still treat parallelism as a
+//! ratio-class tuning parameter — `threads == 1` runs the body inline on
+//! the caller with *zero* pool involvement, so a 1-thread dispatch is
+//! bit-identical to (and exactly as cheap as) sequential code.
+//!
+//! ## Nesting and deadlock freedom
+//!
+//! The calling thread always participates in its own region and never
+//! blocks waiting for an idle worker, so a dispatch *completes even if no
+//! pool worker ever shows up*. A worker that encounters a nested dispatch
+//! inside a chunk body simply opens a sub-region and participates in it
+//! the same way. Every blocked thread waits only on chunks that some other
+//! thread is actively executing, and the nesting depth is finite, so the
+//! wait graph is acyclic: no deadlock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased chunk body: `call(data, chunk_index)`.
+///
+/// `data` points at a `&(dyn Fn(usize) + Sync)` that lives on the
+/// dispatching thread's stack. The dispatch protocol guarantees the caller
+/// does not return before every claimed chunk has finished, so the pointer
+/// never dangles while a worker can still dereference it.
+struct Region {
+    call: unsafe fn(*const (), usize),
+    data: *const (),
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Total chunks in the region.
+    chunks: usize,
+    /// Chunks fully executed.
+    done: AtomicUsize,
+    /// Remaining helper slots (dispatch cap minus the caller).
+    helper_slots: AtomicUsize,
+    /// Completion latch the caller parks on.
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+// SAFETY: `data` is only dereferenced through `call` while the dispatching
+// stack frame is alive (see the completion protocol in `Pool::par_index`),
+// and the pointee is `Sync`.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Claim and run chunks until the cursor is exhausted. Signals the
+    /// completion latch when the last chunk finishes (which may happen on
+    /// any participating thread).
+    fn work(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks {
+                return;
+            }
+            // SAFETY: per the struct invariant, `data` outlives the region.
+            unsafe { (self.call)(self.data, i) };
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.chunks {
+                *self.finished.lock().expect("pool latch poisoned") = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+
+    /// Is there still unclaimed work?
+    fn has_work(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) < self.chunks
+    }
+}
+
+struct Shared {
+    /// Active regions workers can help with. Regions are pushed by
+    /// dispatchers and pruned once exhausted.
+    regions: Mutex<VecDeque<Arc<Region>>>,
+    /// Signals workers that a region was pushed (or shutdown requested).
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent work-stealing executor. See the module docs.
+///
+/// Most code should use [`Pool::global`]; private pools exist so tests can
+/// pin exact worker counts.
+///
+/// ```
+/// use autotune::pool::Pool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let sum = AtomicUsize::new(0);
+/// Pool::global().par_index(4, 100, &|i| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 99 * 100 / 2);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// A pool with `workers` background worker threads. The calling thread
+    /// of every dispatch also participates, so total parallelism for a
+    /// region is `min(threads_cap, workers + 1)`.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            regions: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("autotune-pool-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// `available_parallelism() - 1` workers (the dispatching thread is the
+    /// +1). Lives for the rest of the process.
+    ///
+    /// The `AUTOTUNE_POOL_WORKERS` environment variable, if set before
+    /// first use, pins the worker count instead — used by tests and
+    /// experiments to verify scheduling independence at fixed pool sizes.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("AUTOTUNE_POOL_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()) - 1);
+            Pool::new(workers)
+        })
+    }
+
+    /// Number of background workers (not counting dispatching callers).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `body(i)` for every `i in 0..chunks`, on up to `threads` threads
+    /// (the caller plus at most `threads - 1` pool workers). Chunks are
+    /// claimed dynamically; every chunk runs exactly once. Returns after
+    /// all chunks completed.
+    ///
+    /// `threads <= 1` (or `chunks <= 1`) runs everything inline on the
+    /// caller — the sequential path, bit-identical to a plain loop.
+    pub fn par_index(&self, threads: usize, chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        let helpers = threads
+            .saturating_sub(1)
+            .min(self.handles.len())
+            .min(chunks - 1);
+        if helpers == 0 {
+            for i in 0..chunks {
+                body(i);
+            }
+            return;
+        }
+
+        // Double-indirection erasure: `data` is a pointer to the wide
+        // reference `&dyn Fn(usize) + Sync` itself.
+        unsafe fn call_body(data: *const (), i: usize) {
+            // SAFETY: `data` was created from `&&dyn Fn(usize)` below and
+            // outlives the region (completion latch).
+            let f = unsafe { &*(data as *const &(dyn Fn(usize) + Sync)) };
+            f(i)
+        }
+        let region = Arc::new(Region {
+            call: call_body,
+            data: (&raw const body).cast(),
+            cursor: AtomicUsize::new(0),
+            chunks,
+            done: AtomicUsize::new(0),
+            helper_slots: AtomicUsize::new(helpers),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        });
+        {
+            let mut regions = self.shared.regions.lock().expect("pool lock poisoned");
+            regions.push_back(Arc::clone(&region));
+        }
+        self.shared.wake.notify_all();
+
+        // The caller is always a participant: the region completes even if
+        // every worker is busy elsewhere.
+        region.work();
+
+        // Wait for helpers still running their last claimed chunk. The
+        // latch is signaled by whichever thread completes the final chunk.
+        let mut finished = region.finished.lock().expect("pool latch poisoned");
+        while !*finished {
+            finished = region
+                .finished_cv
+                .wait(finished)
+                .expect("pool latch poisoned");
+        }
+        drop(finished);
+
+        // Prune our region so the active list stays small.
+        let mut regions = self.shared.regions.lock().expect("pool lock poisoned");
+        regions.retain(|r| !Arc::ptr_eq(r, &region));
+    }
+
+    /// Map `i -> f(i)` over `0..n` in parallel and collect the results **in
+    /// index order** — an index-keyed merge, so the output is independent
+    /// of chunk completion order.
+    pub fn par_map<T: Send>(
+        &self,
+        threads: usize,
+        n: usize,
+        f: &(dyn Fn(usize) -> T + Sync),
+    ) -> Vec<T> {
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.par_index(threads, n, &|i| {
+            let v = f(i);
+            *slots[i].lock().expect("slot poisoned") = Some(v);
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("chunk ran exactly once")
+            })
+            .collect()
+    }
+
+    /// Split `data` into consecutive chunks of `chunk_len` elements (the
+    /// last may be shorter) and run `body(chunk_index, chunk)` for each,
+    /// with dynamic claiming. Chunk `i` covers
+    /// `data[i * chunk_len .. (i + 1) * chunk_len]`, so the mapping from
+    /// index to data is deterministic regardless of scheduling.
+    pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+        &self,
+        threads: usize,
+        data: &mut [T],
+        chunk_len: usize,
+        body: F,
+    ) {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let slots: Vec<Mutex<&mut [T]>> = data.chunks_mut(chunk_len).map(Mutex::new).collect();
+        self.par_index(threads, slots.len(), &|i| {
+            let mut chunk = slots[i].lock().expect("chunk poisoned");
+            body(i, &mut chunk);
+        });
+    }
+
+    /// Fork-join: run `a` and `b`, potentially in parallel, and return both
+    /// results. The caller runs at least one of them itself; the other is
+    /// offered to the pool. Used by the kd-tree builders in place of
+    /// per-call `std::thread::scope` spawns.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let fa = Mutex::new(Some(a));
+        let fb = Mutex::new(Some(b));
+        let ra: Mutex<Option<RA>> = Mutex::new(None);
+        let rb: Mutex<Option<RB>> = Mutex::new(None);
+        self.par_index(2, 2, &|i| {
+            if i == 0 {
+                let f = fa.lock().expect("fork poisoned").take().expect("ran once");
+                *ra.lock().expect("fork poisoned") = Some(f());
+            } else {
+                let f = fb.lock().expect("fork poisoned").take().expect("ran once");
+                *rb.lock().expect("fork poisoned") = Some(f());
+            }
+        });
+        (
+            ra.into_inner().expect("fork poisoned").expect("a ran"),
+            rb.into_inner().expect("fork poisoned").expect("b ran"),
+        )
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let region = {
+            let mut regions = shared.regions.lock().expect("pool lock poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Find a region with both unclaimed work and a free helper
+                // slot; exhausted regions are pruned opportunistically.
+                regions.retain(|r| r.has_work());
+                let found = regions.iter().find(|r| {
+                    r.has_work()
+                        && r.helper_slots
+                            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| s.checked_sub(1))
+                            .is_ok()
+                });
+                match found {
+                    Some(r) => break Arc::clone(r),
+                    None => {
+                        regions = shared.wake.wait(regions).expect("pool lock poisoned");
+                    }
+                }
+            }
+        };
+        region.work();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_index_runs_every_chunk_exactly_once() {
+        let pool = Pool::new(3);
+        for chunks in [0usize, 1, 2, 7, 64, 1000] {
+            let counts: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.par_index(4, chunks, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "chunk {i} of {chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_is_sequential_and_deterministic() {
+        // threads == 1 must run inline in index order: observable via a
+        // sequence log, which would interleave under any parallelism.
+        let pool = Pool::new(4);
+        let log = Mutex::new(Vec::new());
+        pool.par_index(1, 50, &|i| log.lock().unwrap().push(i));
+        assert_eq!(*log.lock().unwrap(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_results_are_index_ordered_for_any_schedule() {
+        let pool = Pool::new(7);
+        for _ in 0..20 {
+            let out = pool.par_map(8, 100, &|i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let pool = Pool::new(4);
+        let run = || {
+            let mut data = vec![0u64; 512];
+            pool.par_chunks_mut(8, &mut data, 13, |ci, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (ci * 13 + k) as u64 * 2654435761;
+                }
+            });
+            data
+        };
+        let first = run();
+        for _ in 0..10 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_the_whole_slice() {
+        let pool = Pool::new(2);
+        let mut data = vec![0u8; 101]; // not a multiple of the chunk len
+        pool.par_chunks_mut(4, &mut data, 10, |_, chunk| chunk.fill(1));
+        assert!(data.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests_deeply_without_deadlock() {
+        fn fib(pool: &Pool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        // 2 workers, recursion fan-out far beyond the pool size: progress
+        // must come from callers executing their own forks.
+        let pool = Pool::new(2);
+        assert_eq!(fib(&pool, 16), 987);
+    }
+
+    #[test]
+    fn nested_dispatch_from_multiple_threads_does_not_deadlock() {
+        // Many OS threads hammer one tiny pool with nested regions.
+        let pool = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let pool = &pool;
+                let total = &total;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        pool.par_index(4, 8, &|_outer| {
+                            pool.par_index(3, 4, &|_inner| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 6 * 20 * 8 * 4);
+    }
+
+    #[test]
+    fn caller_completes_even_with_zero_workers() {
+        let pool = Pool::new(0);
+        let sum = AtomicUsize::new(0);
+        pool.par_index(8, 100, &|i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 5050);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = Pool::global() as *const Pool;
+        let b = Pool::global() as *const Pool;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_equal_sequential_for_all_thread_counts() {
+        let pool = Pool::new(7);
+        let reference: Vec<u64> = (0..300u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = pool.par_map(threads, 300, &|i| (i as u64).wrapping_mul(0x9E3779B9));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+}

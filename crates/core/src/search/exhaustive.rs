@@ -48,7 +48,10 @@ impl Searcher for ExhaustiveSearch {
     }
 
     fn propose(&mut self) -> Configuration {
-        assert!(self.pending.is_none(), "propose() called twice without report()");
+        assert!(
+            self.pending.is_none(),
+            "propose() called twice without report()"
+        );
         let c = if self.next < self.queue.len() {
             let c = self.queue[self.next].clone();
             self.next += 1;

@@ -60,7 +60,10 @@ pub struct GeneticAlgorithm {
 impl GeneticAlgorithm {
     pub fn new(space: SearchSpace, seed: u64, opts: GeneticOptions) -> Self {
         assert!(opts.population >= 2, "population must be at least 2");
-        assert!(opts.elites < opts.population, "elites must leave room for offspring");
+        assert!(
+            opts.elites < opts.population,
+            "elites must leave room for offspring"
+        );
         assert!(opts.tournament >= 1, "tournament size must be positive");
         let mut rng = Rng::new(seed);
         // Deterministic first individual plus random rest, mirroring the

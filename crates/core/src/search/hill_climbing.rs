@@ -82,7 +82,10 @@ impl Searcher for HillClimbing {
     }
 
     fn propose(&mut self) -> Configuration {
-        assert!(self.pending.is_none(), "propose() called twice without report()");
+        assert!(
+            self.pending.is_none(),
+            "propose() called twice without report()"
+        );
         let c = match &self.state {
             State::EvalStart => self.current.clone(),
             State::EvalNeighbors { queue, next, .. } => queue[*next].clone(),

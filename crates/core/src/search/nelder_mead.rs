@@ -113,9 +113,18 @@ impl NelderMead {
     pub fn from_start(space: SearchSpace, start: &Configuration, opts: NelderMeadOptions) -> Self {
         reject_nominal(&space, "Nelder-Mead");
         assert!(space.contains(start), "start configuration not in space");
-        assert!(opts.alpha > 0.0 && opts.gamma > 1.0, "bad reflection/expansion");
-        assert!(opts.rho > 0.0 && opts.rho <= 0.5, "bad contraction coefficient");
-        assert!(opts.sigma > 0.0 && opts.sigma < 1.0, "bad shrink coefficient");
+        assert!(
+            opts.alpha > 0.0 && opts.gamma > 1.0,
+            "bad reflection/expansion"
+        );
+        assert!(
+            opts.rho > 0.0 && opts.rho <= 0.5,
+            "bad contraction coefficient"
+        );
+        assert!(
+            opts.sigma > 0.0 && opts.sigma < 1.0,
+            "bad shrink coefficient"
+        );
 
         let n = space.dims();
         let x0 = start.as_coords();
@@ -199,8 +208,7 @@ impl NelderMead {
         // Centroid of all vertices except the worst.
         let n = self.n();
         for d in 0..n {
-            self.centroid[d] =
-                self.simplex[..n].iter().map(|(x, _)| x[d]).sum::<f64>() / n as f64;
+            self.centroid[d] = self.simplex[..n].iter().map(|(x, _)| x[d]).sum::<f64>() / n as f64;
         }
         let worst = &self.simplex[n].0;
         let xr: Vec<f64> = (0..n)
@@ -234,7 +242,10 @@ impl Searcher for NelderMead {
     }
 
     fn propose(&mut self) -> Configuration {
-        assert!(self.pending.is_none(), "propose() called twice without report()");
+        assert!(
+            self.pending.is_none(),
+            "propose() called twice without report()"
+        );
         let coords = match self.queued.take() {
             Some(q) => q,
             None => match &self.state {
@@ -287,9 +298,7 @@ impl Searcher for NelderMead {
                 if fr < f_best {
                     // Try to expand further in the same direction.
                     let xe: Vec<f64> = (0..self.n())
-                        .map(|d| {
-                            self.centroid[d] + self.opts.gamma * (xr[d] - self.centroid[d])
-                        })
+                        .map(|d| self.centroid[d] + self.opts.gamma * (xr[d] - self.centroid[d]))
                         .collect();
                     self.state = State::Expand { xr, fr };
                     self.queued = Some(xe);
@@ -299,9 +308,7 @@ impl Searcher for NelderMead {
                 } else if fr < f_worst {
                     // Outside contraction between centroid and reflection.
                     let xc: Vec<f64> = (0..self.n())
-                        .map(|d| {
-                            self.centroid[d] + self.opts.rho * (xr[d] - self.centroid[d])
-                        })
+                        .map(|d| self.centroid[d] + self.opts.rho * (xr[d] - self.centroid[d]))
                         .collect();
                     self.state = State::ContractOutside { fr };
                     self.queued = Some(xc);
@@ -310,9 +317,7 @@ impl Searcher for NelderMead {
                     // Inside contraction towards the worst vertex.
                     let worst = &self.simplex[self.n()].0;
                     let xc: Vec<f64> = (0..self.n())
-                        .map(|d| {
-                            self.centroid[d] + self.opts.rho * (worst[d] - self.centroid[d])
-                        })
+                        .map(|d| self.centroid[d] + self.opts.rho * (worst[d] - self.centroid[d]))
                         .collect();
                     self.state = State::ContractInside;
                     self.queued = Some(xc);

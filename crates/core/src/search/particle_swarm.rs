@@ -63,7 +63,10 @@ impl ParticleSwarm {
     pub fn new(space: SearchSpace, seed: u64, opts: ParticleSwarmOptions) -> Self {
         reject_nominal(&space, "particle swarm");
         assert!(opts.particles >= 2, "swarm needs at least 2 particles");
-        assert!(opts.max_velocity_fraction > 0.0, "velocity cap must be positive");
+        assert!(
+            opts.max_velocity_fraction > 0.0,
+            "velocity cap must be positive"
+        );
         let mut rng = Rng::new(seed);
         let n = space.dims();
         let mut particles = Vec::with_capacity(opts.particles);

@@ -36,7 +36,10 @@ impl Searcher for RandomSearch {
     }
 
     fn propose(&mut self) -> Configuration {
-        assert!(self.pending.is_none(), "propose() called twice without report()");
+        assert!(
+            self.pending.is_none(),
+            "propose() called twice without report()"
+        );
         let c = self.space.random(&mut self.rng);
         self.pending = Some(c.clone());
         c
@@ -70,7 +73,10 @@ mod tests {
             s.report(v);
         }
         let (_, best) = s.best().unwrap();
-        assert!(best < 30.0, "random search should stumble close-ish: {best}");
+        assert!(
+            best < 30.0,
+            "random search should stumble close-ish: {best}"
+        );
     }
 
     #[test]

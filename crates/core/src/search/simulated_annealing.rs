@@ -58,7 +58,10 @@ impl SimulatedAnnealing {
     /// Anneal from the deterministic minimum corner of the space.
     pub fn new(space: SearchSpace, seed: u64, opts: SimulatedAnnealingOptions) -> Self {
         reject_nominal(&space, "simulated annealing");
-        assert!(opts.initial_temperature > 0.0, "temperature must be positive");
+        assert!(
+            opts.initial_temperature > 0.0,
+            "temperature must be positive"
+        );
         assert!(
             opts.cooling > 0.0 && opts.cooling < 1.0,
             "cooling factor must be in (0, 1)"
@@ -99,7 +102,10 @@ impl Searcher for SimulatedAnnealing {
     }
 
     fn propose(&mut self) -> Configuration {
-        assert!(self.pending.is_none(), "propose() called twice without report()");
+        assert!(
+            self.pending.is_none(),
+            "propose() called twice without report()"
+        );
         let c = match self.state {
             State::EvalStart => self.current.clone(),
             State::EvalNeighbor => match self.random_neighbor() {
@@ -125,8 +131,7 @@ impl Searcher for SimulatedAnnealing {
             }
             State::EvalNeighbor => {
                 let delta = value - self.current_value;
-                let accept = delta <= 0.0
-                    || self.rng.next_bool((-delta / self.temperature).exp());
+                let accept = delta <= 0.0 || self.rng.next_bool((-delta / self.temperature).exp());
                 if accept {
                     self.current = c;
                     self.current_value = value;
@@ -204,11 +209,7 @@ mod tests {
 
     #[test]
     fn temperature_cools_monotonically() {
-        let mut s = SimulatedAnnealing::new(
-            bowl_space(),
-            1,
-            SimulatedAnnealingOptions::default(),
-        );
+        let mut s = SimulatedAnnealing::new(bowl_space(), 1, SimulatedAnnealingOptions::default());
         let mut f = |c: &Configuration| bowl(c);
         let t0 = s.temperature();
         run_loop(&mut s, &mut f, 50);

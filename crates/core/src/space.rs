@@ -4,13 +4,13 @@
 //! product of a finite set of tuning parameters `τ_0 × τ_1 × … × τ_J`; a
 //! configuration `C ∈ T` is one point in that product.
 
+use crate::json::{Json, JsonError};
 use crate::param::{Domain, ParamClass, Parameter, Value};
 use crate::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A point in a [`SearchSpace`]: one [`Value`] per parameter, in parameter
 /// order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Configuration {
     values: Vec<Value>,
 }
@@ -49,10 +49,33 @@ impl Configuration {
     pub fn as_coords(&self) -> Vec<f64> {
         self.values.iter().map(|v| v.as_f64()).collect()
     }
+
+    /// JSON encoding: `{"values": [...]}` with externally-tagged values.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "values",
+            Json::Arr(self.values.iter().map(|v| v.to_json()).collect()),
+        )])
+    }
+
+    /// Inverse of [`Configuration::to_json`].
+    pub fn from_json(json: &Json) -> Result<Configuration, JsonError> {
+        let values = json
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError {
+                message: "configuration needs a values array".to_string(),
+                offset: 0,
+            })?
+            .iter()
+            .map(Value::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Configuration { values })
+    }
 }
 
 /// The product of a finite list of [`Parameter`]s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchSpace {
     params: Vec<Parameter>,
 }
@@ -120,7 +143,11 @@ impl SearchSpace {
     /// Is `c` a member of this space?
     pub fn contains(&self, c: &Configuration) -> bool {
         c.len() == self.params.len()
-            && self.params.iter().zip(c.values()).all(|(p, &v)| p.contains(v))
+            && self
+                .params
+                .iter()
+                .zip(c.values())
+                .all(|(p, &v)| p.contains(v))
     }
 
     /// A uniformly random configuration.
@@ -185,6 +212,29 @@ impl SearchSpace {
         }
     }
 
+    /// JSON encoding: `{"params": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "params",
+            Json::Arr(self.params.iter().map(|p| p.to_json()).collect()),
+        )])
+    }
+
+    /// Inverse of [`SearchSpace::to_json`].
+    pub fn from_json(json: &Json) -> Result<SearchSpace, JsonError> {
+        let params = json
+            .get("params")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError {
+                message: "search space needs a params array".to_string(),
+                offset: 0,
+            })?
+            .iter()
+            .map(Parameter::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SearchSpace { params })
+    }
+
     /// The full neighborhood of `c`: all configurations differing in exactly
     /// one parameter by one step. Empty for purely-nominal spaces.
     pub fn neighbors(&self, c: &Configuration) -> Vec<Configuration> {
@@ -217,10 +267,20 @@ impl std::fmt::Display for SpaceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpaceError::WrongArity { expected, got } => {
-                write!(f, "configuration has {got} values, space has {expected} parameters")
+                write!(
+                    f,
+                    "configuration has {got} values, space has {expected} parameters"
+                )
             }
-            SpaceError::OutOfDomain { param, index, value } => {
-                write!(f, "value {value:?} out of domain for parameter '{param}' (index {index})")
+            SpaceError::OutOfDomain {
+                param,
+                index,
+                value,
+            } => {
+                write!(
+                    f,
+                    "value {value:?} out of domain for parameter '{param}' (index {index})"
+                )
             }
         }
     }
@@ -275,7 +335,13 @@ mod tests {
     #[test]
     fn validation_rejects_wrong_arity() {
         let err = space().configuration(vec![Value::Int(1)]).unwrap_err();
-        assert_eq!(err, SpaceError::WrongArity { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            SpaceError::WrongArity {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -335,9 +401,6 @@ mod tests {
         let s = space();
         assert!(s.contains(&s.min_corner()));
         assert_eq!(s.min_corner(), s.min_corner());
-        assert_eq!(
-            s.min_corner().values(),
-            &[Value::Int(1), Value::Int(0)]
-        );
+        assert_eq!(s.min_corner().values(), &[Value::Int(1), Value::Int(0)]);
     }
 }

@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn per_iteration_reduce_handles_ragged_series() {
-        let series = vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
+        let series = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0, 7.0, 8.0],
+        ];
         let medians = per_iteration_reduce(&series, median);
         assert_eq!(medians, vec![3.0, 4.0, 5.0, 8.0]);
     }

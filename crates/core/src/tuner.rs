@@ -171,10 +171,7 @@ mod tests {
 
     #[test]
     fn runs_until_iteration_budget() {
-        let mut t = OnlineTuner::new(
-            RandomSearch::new(space(), 1),
-            Termination::Iterations(25),
-        );
+        let mut t = OnlineTuner::new(RandomSearch::new(space(), 1), Termination::Iterations(25));
         let mut m = |c: &Configuration| cost(c);
         let samples = t.run(&mut m, 1000);
         assert_eq!(samples.len(), 25);

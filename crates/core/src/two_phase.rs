@@ -17,9 +17,7 @@ use crate::nominal::{
     EpsilonGradient, EpsilonGreedy, GradientWeighted, NominalStrategy, OptimumWeighted,
     SlidingWindowAuc, Softmax,
 };
-use crate::search::{
-    HillClimbing, NelderMead, NelderMeadOptions, RandomSearch, Searcher,
-};
+use crate::search::{HillClimbing, NelderMead, NelderMeadOptions, RandomSearch, Searcher};
 use crate::space::{Configuration, SearchSpace};
 
 /// Description of one tunable algorithm: its name, its own parameter space
@@ -244,7 +242,10 @@ impl TwoPhaseTuner {
     /// Named `next` for the ask/tell protocol; not an `Iterator`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> (usize, Configuration) {
-        assert!(self.pending.is_none(), "next() called twice without report()");
+        assert!(
+            self.pending.is_none(),
+            "next() called twice without report()"
+        );
         let algorithm = self.strategy.select();
         let config = self.searchers[algorithm].propose();
         self.pending = Some((algorithm, config.clone()));
@@ -311,7 +312,10 @@ impl std::fmt::Debug for TwoPhaseTuner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TwoPhaseTuner")
             .field("strategy", &self.strategy.name())
-            .field("algorithms", &self.specs.iter().map(|s| &s.name).collect::<Vec<_>>())
+            .field(
+                "algorithms",
+                &self.specs.iter().map(|s| &s.name).collect::<Vec<_>>(),
+            )
             .field("iteration", &self.iteration)
             .finish()
     }

@@ -21,28 +21,34 @@ fn bowl_space() -> SearchSpace {
 }
 
 #[test]
-fn parameters_and_configurations_round_trip_through_serde() {
+fn parameters_and_configurations_round_trip_through_json() {
     let space = SearchSpace::new(vec![
         Parameter::nominal("alg", vec!["a".into(), "b".into()]),
         Parameter::ordinal("size", vec!["s".into(), "m".into(), "l".into()]),
         Parameter::interval("pct", 0, 100),
         Parameter::ratio_f64("scale", 0.5, 4.0),
     ]);
-    let json = serde_json::to_string(&space).expect("space serializes");
-    let back: SearchSpace = serde_json::from_str(&json).expect("space deserializes");
+    let json = space.to_json().to_string();
+    let back = SearchSpace::from_json(&autotune::json::Json::parse(&json).expect("space parses"))
+        .expect("space deserializes");
     assert_eq!(space, back);
 
     let mut rng = Rng::new(4);
     for _ in 0..50 {
         let c = space.random(&mut rng);
-        let json = serde_json::to_string(&c).expect("config serializes");
-        let back: Configuration = serde_json::from_str(&json).expect("config deserializes");
+        let json = c.to_json().to_string();
+        let back =
+            Configuration::from_json(&autotune::json::Json::parse(&json).expect("config parses"))
+                .expect("config deserializes");
         // Discrete values are exact; floats may differ in the last ulp
         // through the JSON text representation.
         for (a, b) in c.values().iter().zip(back.values()) {
             match (a, b) {
                 (Value::Float(x), Value::Float(y)) => {
-                    assert!((x - y).abs() <= f64::EPSILON * x.abs().max(1.0), "{x} vs {y}")
+                    assert!(
+                        (x - y).abs() <= f64::EPSILON * x.abs().max(1.0),
+                        "{x} vs {y}"
+                    )
                 }
                 _ => assert_eq!(a, b),
             }
@@ -77,9 +83,8 @@ fn exhaustive_and_nelder_mead_agree_on_a_tiny_space() {
         Parameter::ratio("a", 0, 6),
         Parameter::ratio("b", 0, 6),
     ]);
-    let f = |c: &Configuration| {
-        (c.get(0).as_f64() - 2.0).powi(2) + (c.get(1).as_f64() - 5.0).powi(2)
-    };
+    let f =
+        |c: &Configuration| (c.get(0).as_f64() - 2.0).powi(2) + (c.get(1).as_f64() - 5.0).powi(2);
     let mut ex = ExhaustiveSearch::new(space.clone());
     while !ex.converged() {
         let c = ex.propose();

@@ -259,8 +259,9 @@ pub fn deployment_modes(
     let matchers = all_matchers();
     let query = stringmatch::PAPER_QUERY;
 
+    type PickFn = Box<dyn FnMut(usize, &[f64]) -> usize>;
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut run_mode = |label: &str, mut pick: Box<dyn FnMut(usize, &[f64]) -> usize>| {
+    let mut run_mode = |label: &str, mut pick: PickFn| {
         let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(reps);
         for _ in 0..reps {
             let mut best_seen = vec![f64::INFINITY; matchers.len()];

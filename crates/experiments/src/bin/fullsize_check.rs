@@ -26,7 +26,11 @@ fn median_ms(m: &dyn Matcher, text: &[u8], reps: usize) -> f64 {
 }
 
 fn main() {
-    let sizes = [(256usize << 10, "256KiB"), (1 << 20, "1MiB"), (4 << 20, "4MiB")];
+    let sizes = [
+        (256usize << 10, "256KiB"),
+        (1 << 20, "1MiB"),
+        (4 << 20, "4MiB"),
+    ];
     let texts: Vec<(Vec<u8>, &str)> = sizes
         .iter()
         .map(|&(bytes, label)| (corpus::bible_like_with(7, bytes, 40_000), label))

@@ -64,13 +64,20 @@ pub fn timed_search(matcher: &dyn Matcher, threads: usize, text: &[u8]) -> f64 {
     let (hits, ms) = time_ms(|| pm.find_all(PAPER_QUERY, text));
     // The phrase is embedded in the corpus; a zero count would mean a
     // broken matcher, which must not silently corrupt the benchmark.
-    assert!(!hits.is_empty(), "query phrase not found by {}", matcher.name());
+    assert!(
+        !hits.is_empty(),
+        "query phrase not found by {}",
+        matcher.name()
+    );
     ms
 }
 
 /// All eight matcher names in figure order.
 pub fn algorithm_names() -> Vec<String> {
-    all_matchers().iter().map(|m| m.name().to_string()).collect()
+    all_matchers()
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect()
 }
 
 /// Raw data for Figure 1: per-algorithm single-search times over `reps`
@@ -92,12 +99,7 @@ pub fn untuned_times(cfg: &Cs1Config) -> Vec<(String, Vec<f64>)> {
 pub fn fig1(cfg: &Cs1Config) -> BoxFigure {
     let boxes = untuned_times(cfg)
         .into_iter()
-        .map(|(name, times)| {
-            (
-                name,
-                Boxed::from(FiveNumber::of(&times).expect("reps > 0")),
-            )
-        })
+        .map(|(name, times)| (name, Boxed::from(FiveNumber::of(&times).expect("reps > 0"))))
         .collect();
     BoxFigure {
         id: "fig1".into(),
@@ -257,8 +259,7 @@ pub(crate) fn selection_histogram(runs: &Cs1Runs, id: &str, what: &str) -> Group
         .map(|(label, reps)| {
             let boxes = (0..runs.algorithm_labels.len())
                 .map(|alg| {
-                    let per_rep: Vec<f64> =
-                        reps.iter().map(|counts| counts[alg] as f64).collect();
+                    let per_rep: Vec<f64> = reps.iter().map(|counts| counts[alg] as f64).collect();
                     Boxed::from(FiveNumber::of(&per_rep).expect("reps > 0"))
                 })
                 .collect();

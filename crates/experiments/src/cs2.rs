@@ -157,7 +157,10 @@ pub fn run_tuning(cfg: &Cs2Config) -> Cs1Runs {
     Cs1Runs {
         times,
         counts,
-        strategy_labels: crate::cs1::strategies().into_iter().map(|(l, _)| l).collect(),
+        strategy_labels: crate::cs1::strategies()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect(),
         algorithm_labels: algorithm_names(),
     }
 }
@@ -172,12 +175,7 @@ pub fn fig7(runs: &Cs1Runs) -> SeriesFigure {
     reduce_figure(runs, "fig7", "mean", stats::mean)
 }
 
-fn reduce_figure(
-    runs: &Cs1Runs,
-    id: &str,
-    name: &str,
-    reducer: fn(&[f64]) -> f64,
-) -> SeriesFigure {
+fn reduce_figure(runs: &Cs1Runs, id: &str, name: &str, reducer: fn(&[f64]) -> f64) -> SeriesFigure {
     let series = runs
         .strategy_labels
         .iter()
@@ -222,7 +220,9 @@ pub fn scene_comparison(cfg: &Cs2Config) -> crate::report::GroupedBoxFigure {
                 .iter()
                 .map(|(_, scene)| {
                     let times: Vec<f64> = (0..cfg.reps)
-                        .map(|_| frame(scene, b.as_ref(), &BuildConfig::default(), &opts).total_ms())
+                        .map(|_| {
+                            frame(scene, b.as_ref(), &BuildConfig::default(), &opts).total_ms()
+                        })
                         .collect();
                     Boxed::from(FiveNumber::of(&times).expect("reps > 0"))
                 })
@@ -319,7 +319,10 @@ mod tests {
     fn scene_comparison_covers_builders_and_scene_types() {
         let f = scene_comparison(&tiny());
         assert_eq!(f.groups.len(), 4);
-        assert_eq!(f.categories, vec!["cathedral".to_string(), "forest".to_string()]);
+        assert_eq!(
+            f.categories,
+            vec!["cathedral".to_string(), "forest".to_string()]
+        );
         for (name, boxes) in &f.groups {
             assert!(boxes.iter().all(|b| b.median > 0.0), "{name}");
         }

@@ -40,10 +40,7 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let mut target_set = false;
     while let Some(a) = it.next() {
-        let mut grab = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
-        };
+        let mut grab = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match a.as_str() {
             "--paper" => args.paper = true,
             "--reps" => args.reps = Some(grab("--reps").parse().expect("--reps N")),
@@ -178,12 +175,18 @@ fn main() {
     }
     if matches!(t, "patterns" | "all") {
         let cfg = cs1_config(&args);
-        eprintln!("[patterns] pattern-length study: 8 algorithms × 7 lengths × {} reps…", cfg.reps);
+        eprintln!(
+            "[patterns] pattern-length study: 8 algorithms × 7 lengths × {} reps…",
+            cfg.reps
+        );
         emit_grouped(&cs1::pattern_length_study(&cfg), &args.out);
     }
     if matches!(t, "scenes" | "all") {
         let cfg = cs2_config(&args);
-        eprintln!("[scenes] builder × scene-type comparison: {} reps…", cfg.reps);
+        eprintln!(
+            "[scenes] builder × scene-type comparison: {} reps…",
+            cfg.reps
+        );
         emit_grouped(&cs2::scene_comparison(&cfg), &args.out);
     }
     if matches!(t, "dynamic" | "all") {
@@ -197,7 +200,9 @@ fn main() {
     if matches!(t, "ablations" | "all") {
         let reps = args.reps.unwrap_or(10);
         let iters = args.iters.unwrap_or(300);
-        eprintln!("[ablations] eps/window/phase1/crossover/deployment: {reps} reps × {iters} iters…");
+        eprintln!(
+            "[ablations] eps/window/phase1/crossover/deployment: {reps} reps × {iters} iters…"
+        );
         emit_series(&ablations::eps_sweep(reps, iters, 1), &args.out);
         emit_series(&ablations::window_sweep(reps, iters, 2), &args.out);
         emit_series(&ablations::phase1_swap(reps, iters, 3), &args.out);
@@ -209,8 +214,23 @@ fn main() {
         );
     }
     let known = [
-        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "cs1", "cs2", "patterns", "scenes", "dynamic", "ablations", "all",
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "cs1",
+        "cs2",
+        "patterns",
+        "scenes",
+        "dynamic",
+        "ablations",
+        "all",
     ];
     if !known.contains(&t) {
         eprintln!("unknown target '{t}'; known: {}", known.join(" "));

@@ -11,13 +11,13 @@
 //! itself as CSV (for external plotting) and JSON (for EXPERIMENTS.md
 //! regeneration).
 
+use autotune::json::Json;
 use autotune::stats::FiveNumber;
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// A per-iteration line plot with one series per strategy/algorithm.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesFigure {
     /// Figure id, e.g. `fig2`.
     pub id: String,
@@ -28,7 +28,7 @@ pub struct SeriesFigure {
 }
 
 /// A simple per-category boxplot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BoxFigure {
     pub id: String,
     pub title: String,
@@ -36,8 +36,8 @@ pub struct BoxFigure {
     pub boxes: Vec<(String, Boxed)>,
 }
 
-/// `FiveNumber` with serde support.
-#[derive(Debug, Clone, Copy, Serialize)]
+/// `FiveNumber` with a JSON encoding.
+#[derive(Debug, Clone, Copy)]
 pub struct Boxed {
     pub min: f64,
     pub q1: f64,
@@ -58,8 +58,24 @@ impl From<FiveNumber> for Boxed {
     }
 }
 
+impl Boxed {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("min", Json::Num(self.min)),
+            ("q1", Json::Num(self.q1)),
+            ("median", Json::Num(self.median)),
+            ("q3", Json::Num(self.q3)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+}
+
+fn num_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&x| Json::Num(x)).collect())
+}
+
 /// A grouped boxplot: one box per (group, category) pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GroupedBoxFigure {
     pub id: String,
     pub title: String,
@@ -146,12 +162,31 @@ impl SeriesFigure {
         out
     }
 
+    /// JSON encoding, tuples-as-arrays like the original serde layout.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("xlabel", Json::Str(self.xlabel.clone())),
+            ("ylabel", Json::Str(self.ylabel.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|(name, v)| Json::Arr(vec![Json::Str(name.clone()), num_arr(v)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Write `<dir>/<id>.csv` and `<dir>/<id>.json`.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         write_file(&dir.join(format!("{}.csv", self.id)), &self.to_csv())?;
         write_file(
             &dir.join(format!("{}.json", self.id)),
-            &serde_json::to_string_pretty(self).expect("figure serializes"),
+            &self.to_json().to_string_pretty(),
         )
     }
 }
@@ -211,11 +246,29 @@ impl BoxFigure {
         out
     }
 
+    /// JSON encoding, tuples-as-arrays like the original serde layout.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("ylabel", Json::Str(self.ylabel.clone())),
+            (
+                "boxes",
+                Json::Arr(
+                    self.boxes
+                        .iter()
+                        .map(|(label, b)| Json::Arr(vec![Json::Str(label.clone()), b.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         write_file(&dir.join(format!("{}.csv", self.id)), &self.to_csv())?;
         write_file(
             &dir.join(format!("{}.json", self.id)),
-            &serde_json::to_string_pretty(self).expect("figure serializes"),
+            &self.to_json().to_string_pretty(),
         )
     }
 }
@@ -262,11 +315,43 @@ impl GroupedBoxFigure {
         out
     }
 
+    /// JSON encoding, tuples-as-arrays like the original serde layout.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("ylabel", Json::Str(self.ylabel.clone())),
+            (
+                "categories",
+                Json::Arr(
+                    self.categories
+                        .iter()
+                        .map(|c| Json::Str(c.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "groups",
+                Json::Arr(
+                    self.groups
+                        .iter()
+                        .map(|(group, boxes)| {
+                            Json::Arr(vec![
+                                Json::Str(group.clone()),
+                                Json::Arr(boxes.iter().map(|b| b.to_json()).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         write_file(&dir.join(format!("{}.csv", self.id)), &self.to_csv())?;
         write_file(
             &dir.join(format!("{}.json", self.id)),
-            &serde_json::to_string_pretty(self).expect("figure serializes"),
+            &self.to_json().to_string_pretty(),
         )
     }
 }
@@ -349,7 +434,9 @@ mod tests {
                 },
             )],
         };
-        assert!(f.to_csv().contains("alg,1.0000,2.0000,3.0000,4.0000,5.0000"));
+        assert!(f
+            .to_csv()
+            .contains("alg,1.0000,2.0000,3.0000,4.0000,5.0000"));
         let a = f.ascii();
         assert!(a.contains('='));
         assert!(a.contains('|'));
@@ -365,8 +452,20 @@ mod tests {
             groups: vec![(
                 "s1".into(),
                 vec![
-                    Boxed { min: 0.0, q1: 1.0, median: 2.0, q3: 3.0, max: 4.0 },
-                    Boxed { min: 5.0, q1: 6.0, median: 7.0, q3: 8.0, max: 9.0 },
+                    Boxed {
+                        min: 0.0,
+                        q1: 1.0,
+                        median: 2.0,
+                        q3: 3.0,
+                        max: 4.0,
+                    },
+                    Boxed {
+                        min: 5.0,
+                        q1: 6.0,
+                        median: 7.0,
+                        q3: 8.0,
+                        max: 9.0,
+                    },
                 ],
             )],
         };
@@ -384,9 +483,8 @@ mod tests {
         series().save(&dir).unwrap();
         assert!(dir.join("t.csv").exists());
         assert!(dir.join("t.json").exists());
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
-        assert_eq!(json["id"], "t");
+        let json = Json::parse(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
+        assert_eq!(json.get("id").and_then(Json::as_str), Some("t"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,7 +27,12 @@ pub fn table1_rows() -> Vec<(&'static str, &'static str, &'static str)> {
 /// Render Table I.
 pub fn table1() -> String {
     let mut out = String::from("Table I — Parameter Classes\n");
-    writeln!(out, "{:<10} {:<36} Example", "Class", "Distinguishing Property").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:<36} Example",
+        "Class", "Distinguishing Property"
+    )
+    .unwrap();
     for (class, prop, example) in table1_rows() {
         writeln!(out, "{class:<10} {prop:<36} {example}").unwrap();
     }

@@ -15,6 +15,7 @@ use crate::kdtree::{
 };
 use crate::sah::Split;
 use crate::triangle::Triangle;
+use autotune::pool::Pool;
 
 /// Data-parallel binned-SAH builder.
 #[derive(Debug, Clone, Copy, Default)]
@@ -119,21 +120,13 @@ fn gather_histograms(
         return h;
     }
     let chunk = indices.len().div_ceil(workers);
-    let partials: Vec<Histograms> = std::thread::scope(|scope| {
-        let handles: Vec<_> = indices
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let mut h = Histograms::new(config.bins);
-                    h.accumulate(tris, slice, bounds, config.bins);
-                    h
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("histogram worker panicked"))
-            .collect()
+    let parts = indices.len().div_ceil(chunk);
+    let partials: Vec<Histograms> = Pool::global().par_map(workers, parts, &|i| {
+        let lo = i * chunk;
+        let hi = ((i + 1) * chunk).min(indices.len());
+        let mut h = Histograms::new(config.bins);
+        h.accumulate(tris, &indices[lo..hi], bounds, config.bins);
+        h
     });
     let mut merged = Histograms::new(config.bins);
     for p in &partials {

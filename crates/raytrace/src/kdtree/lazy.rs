@@ -16,7 +16,9 @@
 //! actually contend for.
 
 use crate::aabb::Aabb;
-use crate::kdtree::{bounds_of, partition_indices, Accel, BuildConfig, KdBuilder, TreeStats};
+use crate::kdtree::{
+    bounds_of, partition_indices, Accel, BuildConfig, KdBuilder, TraversalStack, TreeStats,
+};
 use crate::ray::{Hit, Ray};
 use crate::sah::binned_best_split;
 use crate::triangle::Triangle;
@@ -77,7 +79,9 @@ impl LazyKdTree {
         let depth = {
             let nodes = self.nodes.read().expect("lock poisoned");
             match &nodes[node as usize] {
-                LazyNode::Leaf { depth, is_final, .. } if !is_final => *depth,
+                LazyNode::Leaf {
+                    depth, is_final, ..
+                } if !is_final => *depth,
                 _ => return,
             }
         };
@@ -124,8 +128,7 @@ impl LazyKdTree {
             return finalize(&mut nodes);
         }
         let (left_idx, right_idx) = partition_indices(tris, &refs, split.axis, split.pos);
-        if left_idx.is_empty() || right_idx.is_empty() || left_idx.len().max(right_idx.len()) >= n
-        {
+        if left_idx.is_empty() || right_idx.is_empty() || left_idx.len().max(right_idx.len()) >= n {
             return finalize(&mut nodes);
         }
         let (lb, rb) = bounds.split(split.axis, split.pos);
@@ -200,7 +203,7 @@ impl LazyKdTree {
 impl Accel for LazyKdTree {
     fn intersect(&self, tris: &[Triangle], ray: &Ray) -> Option<Hit> {
         let (t0, t1) = self.bounds.clip(ray, 1e-4, f32::INFINITY)?;
-        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(64);
+        let mut stack: TraversalStack<(u32, f32, f32), 64> = TraversalStack::new();
         let mut node = 0u32;
         let (mut t0, mut t1) = (t0, t1);
         let mut best: Option<Hit> = None;

@@ -19,11 +19,13 @@
 mod inplace;
 mod lazy;
 mod nested;
+pub mod stack;
 mod wald_havran;
 
 pub use inplace::Inplace;
 pub use lazy::Lazy;
 pub use nested::Nested;
+pub use stack::TraversalStack;
 pub use wald_havran::WaldHavran;
 
 use crate::aabb::Aabb;
@@ -264,7 +266,7 @@ impl KdTree {
 impl Accel for KdTree {
     fn intersect(&self, tris: &[Triangle], ray: &Ray) -> Option<Hit> {
         let (t0, t1) = self.bounds.clip(ray, 1e-4, f32::INFINITY)?;
-        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(64);
+        let mut stack: TraversalStack<(u32, f32, f32), 64> = TraversalStack::new();
         let mut node = 0u32;
         let (mut t0, mut t1) = (t0, t1);
         let mut best: Option<Hit> = None;
@@ -326,7 +328,7 @@ impl Accel for KdTree {
         let Some((_, t1)) = self.bounds.clip(ray, 1e-4, t_max) else {
             return false;
         };
-        let mut stack: Vec<(u32, f32)> = Vec::with_capacity(64);
+        let mut stack: TraversalStack<(u32, f32), 64> = TraversalStack::new();
         let mut node = 0u32;
         let mut t1 = t1.min(t_max);
         loop {

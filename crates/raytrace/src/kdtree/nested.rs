@@ -13,6 +13,7 @@ use crate::kdtree::{
 };
 use crate::sah::binned_best_split;
 use crate::triangle::Triangle;
+use autotune::pool::Pool;
 
 /// Nested fork-join binned-SAH builder.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,17 +44,12 @@ fn build_node(
     let (lb, rb) = bounds.split(split.axis, split.pos);
 
     let (left, right) = if spawn_depth < config.parallel_depth {
-        // Fork-join: both children on their own threads.
-        std::thread::scope(|scope| {
-            let lh = scope
-                .spawn(|| build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth + 1));
-            let rh = scope
-                .spawn(|| build_node(tris, right_idx, rb, config, depth_left - 1, spawn_depth + 1));
-            (
-                lh.join().expect("left builder panicked"),
-                rh.join().expect("right builder panicked"),
-            )
-        })
+        // Fork-join on the shared pool: both children may run in parallel;
+        // the calling thread always executes at least one of them itself.
+        Pool::global().join(
+            || build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth + 1),
+            || build_node(tris, right_idx, rb, config, depth_left - 1, spawn_depth + 1),
+        )
     } else {
         (
             build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth),
@@ -138,7 +134,13 @@ mod tests {
         // Binned SAH with few bins cannot produce a better (lower-cost)
         // subdivision than the exact sweep; sanity-check via leaf sizes.
         let tris = medium_scene();
-        let nested = Nested.build(&tris, &BuildConfig { bins: 4, ..Default::default() });
+        let nested = Nested.build(
+            &tris,
+            &BuildConfig {
+                bins: 4,
+                ..Default::default()
+            },
+        );
         let wh = crate::kdtree::WaldHavran.build(&tris, &BuildConfig::default());
         assert!(
             nested.stats().avg_leaf_refs >= wh.stats().avg_leaf_refs * 0.5,

@@ -1,0 +1,148 @@
+//! A fixed-size, allocation-free traversal stack with a guarded spill path.
+//!
+//! Ray traversal pushes at most one deferred subtree per tree level, so the
+//! stack depth is bounded by the tree depth — `8 + 1.3·log₂(n)` under the
+//! default [`super::BuildConfig`], i.e. comfortably under 64 for any scene
+//! that fits in memory. Allocating a `Vec` per ray put a malloc/free pair
+//! on the hottest path in the renderer *inside the tuner's measurement
+//! window*; this stack keeps the common case entirely on the machine
+//! stack. In the (practically unreachable) case of overflow it spills to a
+//! heap `Vec` instead of corrupting memory, so correctness never depends
+//! on the depth bound.
+
+use std::mem::MaybeUninit;
+
+/// An inline stack of up to `N` elements that spills to the heap beyond.
+///
+/// Invariant: `len` is the *total* element count; logical slots `0..N`
+/// live in `inline` and slots `N..len` in `spill` (so
+/// `spill.len() == len.saturating_sub(N)`). Keeping a single counter means
+/// `pop`'s fast path is one compare against zero and one against `N` —
+/// the spill `Vec` is never touched unless the stack actually overflowed.
+pub struct TraversalStack<T: Copy, const N: usize> {
+    /// Total number of live elements (inline + spilled).
+    len: usize,
+    inline: [MaybeUninit<T>; N],
+    /// Overflow storage; empty and unallocated until the stack exceeds `N`.
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> TraversalStack<T, N> {
+    /// An empty stack. Performs no heap allocation.
+    #[inline]
+    pub fn new() -> Self {
+        TraversalStack {
+            len: 0,
+            inline: [MaybeUninit::uninit(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Push a value. Allocation-free while the depth stays within `N`.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            // SAFETY: `len < N` was just checked. The unchecked access keeps
+            // the redundant bounds check (and its panic branch) off the
+            // per-node hot path.
+            unsafe { self.inline.get_unchecked_mut(self.len).write(value) };
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Pop the most recently pushed value, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.len < N {
+            // SAFETY: inline slots below `N` at logical index < `len` were
+            // initialized by `push`; `T: Copy` means reading them out needs
+            // no drop bookkeeping.
+            Some(unsafe { self.inline.get_unchecked(self.len).assume_init() })
+        } else {
+            self.spill.pop()
+        }
+    }
+
+    /// Current number of elements (inline + spilled).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Copy, const N: usize> Default for TraversalStack<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_within_inline_capacity() {
+        let mut s: TraversalStack<u32, 8> = TraversalStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        for i in 0..8 {
+            s.push(i);
+        }
+        assert_eq!(s.len(), 8);
+        for i in (0..8).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn spill_path_preserves_lifo_order() {
+        let mut s: TraversalStack<usize, 4> = TraversalStack::new();
+        for i in 0..100 {
+            s.push(i);
+        }
+        assert_eq!(s.len(), 100);
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(), Some(i), "element {i}");
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_the_boundary() {
+        let mut s: TraversalStack<i64, 2> = TraversalStack::new();
+        s.push(1);
+        s.push(2);
+        s.push(3); // spills
+        assert_eq!(s.pop(), Some(3));
+        s.push(4); // spills again
+        s.push(5);
+        assert_eq!(s.pop(), Some(5));
+        assert_eq!(s.pop(), Some(4));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn tuple_payload_round_trips() {
+        let mut s: TraversalStack<(u32, f32, f32), 64> = TraversalStack::new();
+        for i in 0..64 {
+            s.push((i, i as f32 * 0.5, i as f32 * 2.0));
+        }
+        for i in (0..64).rev() {
+            assert_eq!(s.pop(), Some((i, i as f32 * 0.5, i as f32 * 2.0)));
+        }
+    }
+}

@@ -15,6 +15,7 @@ use crate::kdtree::{
 };
 use crate::sah::exact_best_split;
 use crate::triangle::Triangle;
+use autotune::pool::Pool;
 
 /// Wald-Havran exact-SAH builder.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,14 +48,12 @@ fn build_node(
     let (lb, rb) = bounds.split(split.axis, split.pos);
 
     let (left, right) = if spawn_depth < config.parallel_depth {
-        // Node-to-task parallelism: the right subtree becomes a task.
-        std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
-                build_node(tris, right_idx, rb, config, depth_left - 1, spawn_depth + 1)
-            });
-            let left = build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth + 1);
-            (left, handle.join().expect("builder task panicked"))
-        })
+        // Node-to-task parallelism: the right subtree becomes a pool task
+        // while the caller descends into the left subtree.
+        Pool::global().join(
+            || build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth + 1),
+            || build_node(tris, right_idx, rb, config, depth_left - 1, spawn_depth + 1),
+        )
     } else {
         (
             build_node(tris, left_idx, lb, config, depth_left - 1, spawn_depth),

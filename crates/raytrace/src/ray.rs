@@ -80,8 +80,18 @@ mod tests {
 
     #[test]
     fn nearer_picks_smaller_t() {
-        let h1 = Hit { t: 1.0, triangle: 0, u: 0.0, v: 0.0 };
-        let h2 = Hit { t: 2.0, triangle: 1, u: 0.0, v: 0.0 };
+        let h1 = Hit {
+            t: 1.0,
+            triangle: 0,
+            u: 0.0,
+            v: 0.0,
+        };
+        let h2 = Hit {
+            t: 2.0,
+            triangle: 1,
+            u: 0.0,
+            v: 0.0,
+        };
         assert_eq!(Hit::nearer(Some(h1), Some(h2)), Some(h1));
         assert_eq!(Hit::nearer(Some(h2), Some(h1)), Some(h1));
         assert_eq!(Hit::nearer(None, Some(h2)), Some(h2));

@@ -55,13 +55,49 @@ fn push_box(out: &mut Vec<Triangle>, min: Vec3, max: Vec3) {
     let (x1, y1, z1) = (max.x, max.y, max.z);
     let p = |x, y, z| Vec3::new(x, y, z);
     // bottom, top
-    push_quad(out, p(x0, y0, z0), p(x1, y0, z0), p(x1, y0, z1), p(x0, y0, z1));
-    push_quad(out, p(x0, y1, z0), p(x0, y1, z1), p(x1, y1, z1), p(x1, y1, z0));
+    push_quad(
+        out,
+        p(x0, y0, z0),
+        p(x1, y0, z0),
+        p(x1, y0, z1),
+        p(x0, y0, z1),
+    );
+    push_quad(
+        out,
+        p(x0, y1, z0),
+        p(x0, y1, z1),
+        p(x1, y1, z1),
+        p(x1, y1, z0),
+    );
     // sides
-    push_quad(out, p(x0, y0, z0), p(x0, y1, z0), p(x1, y1, z0), p(x1, y0, z0));
-    push_quad(out, p(x0, y0, z1), p(x1, y0, z1), p(x1, y1, z1), p(x0, y1, z1));
-    push_quad(out, p(x0, y0, z0), p(x0, y0, z1), p(x0, y1, z1), p(x0, y1, z0));
-    push_quad(out, p(x1, y0, z0), p(x1, y1, z0), p(x1, y1, z1), p(x1, y0, z1));
+    push_quad(
+        out,
+        p(x0, y0, z0),
+        p(x0, y1, z0),
+        p(x1, y1, z0),
+        p(x1, y0, z0),
+    );
+    push_quad(
+        out,
+        p(x0, y0, z1),
+        p(x1, y0, z1),
+        p(x1, y1, z1),
+        p(x0, y1, z1),
+    );
+    push_quad(
+        out,
+        p(x0, y0, z0),
+        p(x0, y0, z1),
+        p(x0, y1, z1),
+        p(x0, y1, z0),
+    );
+    push_quad(
+        out,
+        p(x1, y0, z0),
+        p(x1, y1, z0),
+        p(x1, y1, z1),
+        p(x1, y0, z1),
+    );
 }
 
 /// Push a vertical cylinder (column) approximated by `sides` rectangular
@@ -77,11 +113,7 @@ fn push_column(out: &mut Vec<Triangle>, center: Vec3, radius: f32, height: f32, 
         let q1 = p1 + Vec3::new(0.0, height, 0.0);
         push_quad(out, p0, p1, q1, q0);
         // cap fan
-        out.push(Triangle::new(
-            center + Vec3::new(0.0, height, 0.0),
-            q0,
-            q1,
-        ));
+        out.push(Triangle::new(center + Vec3::new(0.0, height, 0.0), q0, q1));
     }
 }
 
@@ -440,10 +472,7 @@ mod tests {
     fn random_blobs_count_and_determinism() {
         let s = random_blobs(5, 500);
         assert_eq!(s.triangles.len(), 500);
-        assert_eq!(
-            random_blobs(5, 500).triangles[123],
-            s.triangles[123]
-        );
+        assert_eq!(random_blobs(5, 500).triangles[123], s.triangles[123]);
     }
 
     #[test]

@@ -40,13 +40,7 @@ impl Triangle {
     /// Möller-Trumbore ray/triangle intersection. Returns the hit with
     /// parameter `t ∈ (t_min, t_max)`, or `None`. `triangle_index` is
     /// recorded in the hit for shading.
-    pub fn intersect(
-        &self,
-        ray: &Ray,
-        t_min: f32,
-        t_max: f32,
-        triangle_index: u32,
-    ) -> Option<Hit> {
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32, triangle_index: u32) -> Option<Hit> {
         const EPS: f32 = 1e-9;
         let e1 = self.b - self.a;
         let e2 = self.c - self.a;

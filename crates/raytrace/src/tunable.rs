@@ -75,9 +75,7 @@ pub fn decode(builder: &str, config: &Configuration) -> BuildConfig {
 pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
     crate::kdtree::all_builders()
         .iter()
-        .map(|b| {
-            AlgorithmSpec::new(b.name(), space_for(b.name())).with_start(start_for(b.name()))
-        })
+        .map(|b| AlgorithmSpec::new(b.name(), space_for(b.name())).with_start(start_for(b.name())))
         .collect()
 }
 

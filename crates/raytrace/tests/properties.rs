@@ -1,122 +1,150 @@
 //! Property-based tests of the raytracer's geometric and structural
 //! invariants.
+//!
+//! The build environment is fully offline, so instead of `proptest` these
+//! use the in-repo xoshiro [`Rng`] to drive randomized cases from fixed
+//! seeds — deterministic, shrink-free property tests.
 
-use proptest::prelude::*;
+use autotune::rng::Rng;
 use raytrace::kdtree::{all_builders, BruteForce, BuildConfig};
 use raytrace::{random_blobs, Aabb, Accel, Ray, SahParams, Triangle, Vec3};
 
-fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
-    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn rand_vec3(rng: &mut Rng, range: f32) -> Vec3 {
+    Vec3::new(
+        rng.next_range_f64(-range as f64, range as f64) as f32,
+        rng.next_range_f64(-range as f64, range as f64) as f32,
+        rng.next_range_f64(-range as f64, range as f64) as f32,
+    )
 }
 
-fn arb_ray() -> impl Strategy<Value = Ray> {
-    (arb_vec3(10.0), arb_vec3(1.0))
-        .prop_filter("nonzero direction", |(_, d)| d.length_squared() > 1e-6)
-        .prop_map(|(o, d)| Ray::new(o, d))
+fn rand_ray(rng: &mut Rng) -> Ray {
+    loop {
+        let o = rand_vec3(rng, 10.0);
+        let d = rand_vec3(rng, 1.0);
+        if d.length_squared() > 1e-6 {
+            return Ray::new(o, d);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rand_extent(rng: &mut Rng, lo: f32, hi: f32) -> Vec3 {
+    Vec3::new(
+        rng.next_range_f64(lo as f64, hi as f64) as f32,
+        rng.next_range_f64(lo as f64, hi as f64) as f32,
+        rng.next_range_f64(lo as f64, hi as f64) as f32,
+    )
+}
 
-    #[test]
-    fn aabb_clip_interval_points_lie_inside_the_box(
-        min in arb_vec3(5.0),
-        extent in (0.1f32..5.0, 0.1f32..5.0, 0.1f32..5.0),
-        ray in arb_ray(),
-    ) {
-        let max = min + Vec3::new(extent.0, extent.1, extent.2);
+#[test]
+fn aabb_clip_interval_points_lie_inside_the_box() {
+    let mut rng = Rng::new(0xa1b0_0001);
+    for _ in 0..128 {
+        let min = rand_vec3(&mut rng, 5.0);
+        let max = min + rand_extent(&mut rng, 0.1, 5.0);
+        let ray = rand_ray(&mut rng);
         let bx = Aabb::new(min, max);
         if let Some((t0, t1)) = bx.clip(&ray, 0.0, f32::INFINITY) {
-            prop_assert!(t0 <= t1);
+            assert!(t0 <= t1);
             // Points at the clipped interval bounds are on/in the box
             // (within float tolerance scaled by distance).
             for t in [t0, t1, 0.5 * (t0 + t1)] {
                 let p = ray.at(t);
                 let tol = 1e-3 * (1.0 + t.abs()) * (1.0 + ray.direction.length());
                 for a in 0..3 {
-                    prop_assert!(p.axis(a) >= bx.min.axis(a) - tol, "axis {a}: {p:?}");
-                    prop_assert!(p.axis(a) <= bx.max.axis(a) + tol, "axis {a}: {p:?}");
+                    assert!(p.axis(a) >= bx.min.axis(a) - tol, "axis {a}: {p:?}");
+                    assert!(p.axis(a) <= bx.max.axis(a) + tol, "axis {a}: {p:?}");
                 }
             }
-        } else {
-            // A miss must mean the midpoint of any interval is outside …
-            // verified indirectly: the ray origin is outside or points away.
-            // (Full inverse checking is ill-conditioned; the hit branch
-            // carries the load.)
         }
+        // A miss carries no checkable obligation here; the hit branch
+        // carries the load (full inverse checking is ill-conditioned).
     }
+}
 
-    #[test]
-    fn aabb_union_contains_both_operands(
-        a_min in arb_vec3(5.0), a_ext in (0.0f32..4.0, 0.0f32..4.0, 0.0f32..4.0),
-        b_min in arb_vec3(5.0), b_ext in (0.0f32..4.0, 0.0f32..4.0, 0.0f32..4.0),
-    ) {
-        let a = Aabb::new(a_min, a_min + Vec3::new(a_ext.0, a_ext.1, a_ext.2));
-        let b = Aabb::new(b_min, b_min + Vec3::new(b_ext.0, b_ext.1, b_ext.2));
+#[test]
+fn aabb_union_contains_both_operands() {
+    let mut rng = Rng::new(0xa1b0_0002);
+    for _ in 0..128 {
+        let a_min = rand_vec3(&mut rng, 5.0);
+        let a = Aabb::new(a_min, a_min + rand_extent(&mut rng, 0.0, 4.0));
+        let b_min = rand_vec3(&mut rng, 5.0);
+        let b = Aabb::new(b_min, b_min + rand_extent(&mut rng, 0.0, 4.0));
         let u = a.union(&b);
-        prop_assert!(u.contains(a.min) && u.contains(a.max));
-        prop_assert!(u.contains(b.min) && u.contains(b.max));
-        prop_assert!(u.surface_area() + 1e-3 >= a.surface_area().max(b.surface_area()));
+        assert!(u.contains(a.min) && u.contains(a.max));
+        assert!(u.contains(b.min) && u.contains(b.max));
+        assert!(u.surface_area() + 1e-3 >= a.surface_area().max(b.surface_area()));
     }
+}
 
-    #[test]
-    fn aabb_split_preserves_membership(
-        min in arb_vec3(5.0),
-        extent in (0.5f32..4.0, 0.5f32..4.0, 0.5f32..4.0),
-        axis in 0usize..3,
-        frac in 0.0f32..1.0,
-        probe in (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
-    ) {
-        let bx = Aabb::new(min, min + Vec3::new(extent.0, extent.1, extent.2));
+#[test]
+fn aabb_split_preserves_membership() {
+    let mut rng = Rng::new(0xa1b0_0003);
+    for _ in 0..128 {
+        let min = rand_vec3(&mut rng, 5.0);
+        let bx = Aabb::new(min, min + rand_extent(&mut rng, 0.5, 4.0));
+        let axis = rng.pick_index(3);
+        let frac = rng.next_range_f64(0.0, 1.0) as f32;
         let t = bx.min.axis(axis) + frac * bx.extent().axis(axis);
         let (l, r) = bx.split(axis, t);
-        let p = bx.min + Vec3::new(
-            probe.0 * bx.extent().x,
-            probe.1 * bx.extent().y,
-            probe.2 * bx.extent().z,
-        );
-        prop_assert!(bx.contains(p));
-        prop_assert!(l.contains(p) || r.contains(p), "split lost a point");
+        let p = bx.min
+            + Vec3::new(
+                rng.next_range_f64(0.0, 1.0) as f32 * bx.extent().x,
+                rng.next_range_f64(0.0, 1.0) as f32 * bx.extent().y,
+                rng.next_range_f64(0.0, 1.0) as f32 * bx.extent().z,
+            );
+        assert!(bx.contains(p));
+        assert!(l.contains(p) || r.contains(p), "split lost a point");
     }
+}
 
-    #[test]
-    fn triangle_hits_have_valid_barycentrics_and_points_on_plane(
-        a in arb_vec3(4.0), b in arb_vec3(4.0), c in arb_vec3(4.0),
-        ray in arb_ray(),
-    ) {
+#[test]
+fn triangle_hits_have_valid_barycentrics_and_points_on_plane() {
+    let mut rng = Rng::new(0xa1b0_0004);
+    let mut cases = 0;
+    while cases < 128 {
+        let a = rand_vec3(&mut rng, 4.0);
+        let b = rand_vec3(&mut rng, 4.0);
+        let c = rand_vec3(&mut rng, 4.0);
+        let ray = rand_ray(&mut rng);
         let tri = Triangle::new(a, b, c);
-        prop_assume!(tri.area() > 1e-3);
+        if tri.area() <= 1e-3 {
+            continue;
+        }
+        cases += 1;
         if let Some(hit) = tri.intersect(&ray, 1e-4, f32::INFINITY, 0) {
-            prop_assert!(hit.u >= 0.0 && hit.v >= 0.0 && hit.u + hit.v <= 1.0 + 1e-5);
+            assert!(hit.u >= 0.0 && hit.v >= 0.0 && hit.u + hit.v <= 1.0 + 1e-5);
             // The hit point reconstructed from barycentrics matches at(t).
             let p_bary = a + (b - a) * hit.u + (c - a) * hit.v;
             let p_ray = ray.at(hit.t);
             let scale = 1.0 + p_ray.length() + ray.direction.length() * hit.t.abs();
-            prop_assert!((p_bary - p_ray).length() < 2e-2 * scale,
-                "{p_bary:?} vs {p_ray:?}");
+            assert!(
+                (p_bary - p_ray).length() < 2e-2 * scale,
+                "{p_bary:?} vs {p_ray:?}"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn builders_agree_with_brute_force_under_random_configs(
-        seed in any::<u64>(),
-        n in 20usize..120,
-        ct in 1.0f32..60.0,
-        ci in 1.0f32..60.0,
-        cutoff in 0u32..12,
-    ) {
+#[test]
+fn builders_agree_with_brute_force_under_random_configs() {
+    let mut outer = Rng::new(0xa1b0_0005);
+    for _ in 0..10 {
+        let seed = outer.next_u64();
+        let n = 20 + outer.pick_index(100);
+        let ct = outer.next_range_f64(1.0, 60.0) as f32;
+        let ci = outer.next_range_f64(1.0, 60.0) as f32;
+        let cutoff = outer.pick_index(12) as u32;
         let scene = random_blobs(seed, n);
         let config = BuildConfig {
-            sah: SahParams { traversal_cost: ct, intersection_cost: ci },
+            sah: SahParams {
+                traversal_cost: ct,
+                intersection_cost: ci,
+            },
             eager_cutoff: cutoff,
             ..Default::default()
         };
         let brute = BruteForce;
-        let mut rng = autotune::rng::Rng::new(seed ^ 0xF00D);
+        let mut rng = Rng::new(seed ^ 0xF00D);
         for b in all_builders() {
             let accel = b.build(&scene.triangles, &config);
             for _ in 0..25 {
@@ -130,26 +158,34 @@ proptest! {
                     rng.next_range_f64(-1.0, 1.0) as f32,
                     rng.next_range_f64(-1.0, 1.0) as f32,
                 );
-                if dir.length_squared() < 1e-6 { continue; }
+                if dir.length_squared() < 1e-6 {
+                    continue;
+                }
                 let ray = Ray::new(origin, dir);
                 let e = brute.intersect(&scene.triangles, &ray);
                 let g = accel.intersect(&scene.triangles, &ray);
                 match (e, g) {
                     (None, None) => {}
-                    (Some(x), Some(y)) =>
-                        prop_assert!((x.t - y.t).abs() < 1e-2, "{}: {x:?} vs {y:?}", b.name()),
-                    other => prop_assert!(false, "{}: {other:?}", b.name()),
+                    (Some(x), Some(y)) => {
+                        assert!((x.t - y.t).abs() < 1e-2, "{}: {x:?} vs {y:?}", b.name())
+                    }
+                    other => panic!("{}: {other:?}", b.name()),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn occluded_is_consistent_with_intersect(seed in any::<u64>(), n in 20usize..100) {
+#[test]
+fn occluded_is_consistent_with_intersect() {
+    let mut outer = Rng::new(0xa1b0_0006);
+    for _ in 0..10 {
+        let seed = outer.next_u64();
+        let n = 20 + outer.pick_index(80);
         let scene = random_blobs(seed, n);
         let builders = all_builders();
         let accel = builders[3].build(&scene.triangles, &BuildConfig::default());
-        let mut rng = autotune::rng::Rng::new(seed ^ 0xBEEF);
+        let mut rng = Rng::new(seed ^ 0xBEEF);
         for _ in 0..40 {
             let origin = Vec3::new(
                 rng.next_range_f64(-8.0, 8.0) as f32,
@@ -161,29 +197,36 @@ proptest! {
                 rng.next_range_f64(-1.0, 1.0) as f32,
                 rng.next_range_f64(-1.0, 1.0) as f32,
             );
-            if dir.length_squared() < 1e-6 { continue; }
+            if dir.length_squared() < 1e-6 {
+                continue;
+            }
             let ray = Ray::new(origin, dir);
             match accel.intersect(&scene.triangles, &ray) {
                 Some(h) => {
-                    prop_assert!(accel.occluded(&scene.triangles, &ray, h.t * 1.5 + 1.0));
-                    prop_assert!(!accel.occluded(&scene.triangles, &ray, h.t * 0.5));
+                    assert!(accel.occluded(&scene.triangles, &ray, h.t * 1.5 + 1.0));
+                    assert!(!accel.occluded(&scene.triangles, &ray, h.t * 0.5));
                 }
-                None => prop_assert!(!accel.occluded(&scene.triangles, &ray, 1e6)),
+                None => assert!(!accel.occluded(&scene.triangles, &ray, 1e6)),
             }
         }
     }
+}
 
-    #[test]
-    fn tree_stats_are_internally_consistent(seed in any::<u64>(), n in 10usize..200) {
+#[test]
+fn tree_stats_are_internally_consistent() {
+    let mut outer = Rng::new(0xa1b0_0007);
+    for _ in 0..10 {
+        let seed = outer.next_u64();
+        let n = 10 + outer.pick_index(190);
         let scene = random_blobs(seed, n);
         for b in all_builders() {
             let accel = b.build(&scene.triangles, &BuildConfig::default());
             let s = accel.stats();
-            prop_assert!(s.leaves >= 1, "{}", b.name());
-            prop_assert!(s.nodes >= s.leaves, "{}", b.name());
+            assert!(s.leaves >= 1, "{}", b.name());
+            assert!(s.nodes >= s.leaves, "{}", b.name());
             // A binary tree with L leaves has exactly 2L − 1 nodes.
-            prop_assert_eq!(s.nodes, 2 * s.leaves - 1, "{}", b.name());
-            prop_assert!(s.avg_leaf_refs >= 0.0);
+            assert_eq!(s.nodes, 2 * s.leaves - 1, "{}", b.name());
+            assert!(s.avg_leaf_refs >= 0.0);
         }
     }
 }

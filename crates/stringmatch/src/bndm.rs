@@ -121,7 +121,9 @@ mod tests {
     #[test]
     fn matches_fsbndm_everywhere() {
         // The forward variant must find exactly the same occurrences.
-        let text: Vec<u8> = (0..3000u64).map(|i| b'a' + ((i * 31 / 7) % 5) as u8).collect();
+        let text: Vec<u8> = (0..3000u64)
+            .map(|i| b'a' + ((i * 31 / 7) % 5) as u8)
+            .collect();
         for len in [2usize, 5, 17, 40] {
             let pat = text[100..100 + len].to_vec();
             assert_eq!(

@@ -22,24 +22,171 @@ use autotune::rng::Rng;
 /// words of the paper's query phrase are all present so the text produces
 /// realistic partial matches.
 const VOCAB: &[&str] = &[
-    "the", "and", "of", "that", "to", "in", "he", "shall", "unto", "for", "i", "his", "a", "lord",
-    "they", "be", "is", "him", "not", "them", "it", "with", "all", "thou", "thy", "was", "god",
-    "which", "my", "me", "said", "but", "ye", "their", "have", "will", "thee", "from", "as",
-    "are", "when", "this", "out", "were", "upon", "man", "you", "by", "israel", "king", "son",
-    "up", "there", "people", "came", "had", "house", "into", "on", "her", "come", "one", "we",
-    "children", "s", "before", "your", "also", "day", "land", "men", "let", "go", "no", "made",
-    "hand", "us", "saying", "if", "at", "every", "then", "she", "an", "things", "so", "saith",
-    "do", "earth", "things", "great", "against", "jerusalem", "what", "name", "therefore",
-    "father", "down", "sons", "heart", "david", "put", "because", "our", "even", "city", "o",
-    "am", "hath", "heaven", "make", "might", "spirit", "mountain", "high", "water", "fire",
-    "word", "moses", "over", "away", "days", "place", "who", "did", "way", "died", "gave",
-    "now", "sword", "more", "went", "egypt", "thing", "sea", "may", "brought", "offering",
-    "days", "good", "know", "years", "set", "would", "take", "priest", "pass", "part", "army",
-    "voice", "done", "hundred", "eyes", "off", "wife", "light", "tree", "stone", "wilderness",
+    "the",
+    "and",
+    "of",
+    "that",
+    "to",
+    "in",
+    "he",
+    "shall",
+    "unto",
+    "for",
+    "i",
+    "his",
+    "a",
+    "lord",
+    "they",
+    "be",
+    "is",
+    "him",
+    "not",
+    "them",
+    "it",
+    "with",
+    "all",
+    "thou",
+    "thy",
+    "was",
+    "god",
+    "which",
+    "my",
+    "me",
+    "said",
+    "but",
+    "ye",
+    "their",
+    "have",
+    "will",
+    "thee",
+    "from",
+    "as",
+    "are",
+    "when",
+    "this",
+    "out",
+    "were",
+    "upon",
+    "man",
+    "you",
+    "by",
+    "israel",
+    "king",
+    "son",
+    "up",
+    "there",
+    "people",
+    "came",
+    "had",
+    "house",
+    "into",
+    "on",
+    "her",
+    "come",
+    "one",
+    "we",
+    "children",
+    "s",
+    "before",
+    "your",
+    "also",
+    "day",
+    "land",
+    "men",
+    "let",
+    "go",
+    "no",
+    "made",
+    "hand",
+    "us",
+    "saying",
+    "if",
+    "at",
+    "every",
+    "then",
+    "she",
+    "an",
+    "things",
+    "so",
+    "saith",
+    "do",
+    "earth",
+    "things",
+    "great",
+    "against",
+    "jerusalem",
+    "what",
+    "name",
+    "therefore",
+    "father",
+    "down",
+    "sons",
+    "heart",
+    "david",
+    "put",
+    "because",
+    "our",
+    "even",
+    "city",
+    "o",
+    "am",
+    "hath",
+    "heaven",
+    "make",
+    "might",
+    "spirit",
+    "mountain",
+    "high",
+    "water",
+    "fire",
+    "word",
+    "moses",
+    "over",
+    "away",
+    "days",
+    "place",
+    "who",
+    "did",
+    "way",
+    "died",
+    "gave",
+    "now",
+    "sword",
+    "more",
+    "went",
+    "egypt",
+    "thing",
+    "sea",
+    "may",
+    "brought",
+    "offering",
+    "days",
+    "good",
+    "know",
+    "years",
+    "set",
+    "would",
+    "take",
+    "priest",
+    "pass",
+    "part",
+    "army",
+    "voice",
+    "done",
+    "hundred",
+    "eyes",
+    "off",
+    "wife",
+    "light",
+    "tree",
+    "stone",
+    "wilderness",
 ];
 
 /// The query phrase the paper searches for, as words.
-const QUERY_WORDS: &[&str] = &["the", "spirit", "to", "a", "great", "and", "high", "mountain"];
+const QUERY_WORDS: &[&str] = &[
+    "the", "spirit", "to", "a", "great", "and", "high", "mountain",
+];
 
 /// Generate an English-like, verse-structured corpus of (at least)
 /// `size_bytes` bytes, deterministically from `seed`.

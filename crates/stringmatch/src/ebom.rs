@@ -205,9 +205,8 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_on_english() {
-        let text =
-            b"in the beginning god created the heaven and the earth and the spirit moved"
-                .as_slice();
+        let text = b"in the beginning god created the heaven and the earth and the spirit moved"
+            .as_slice();
         for pat in [
             b"the".as_slice(),
             b"heaven",
@@ -249,7 +248,9 @@ mod tests {
 
     #[test]
     fn long_pattern_agrees_with_naive() {
-        let text: Vec<u8> = (0..4000u32).map(|i| b'a' + ((i * 7 + i / 13) % 4) as u8).collect();
+        let text: Vec<u8> = (0..4000u32)
+            .map(|i| b'a' + ((i * 7 + i / 13) % 4) as u8)
+            .collect();
         let pat = text[1000..1050].to_vec();
         assert_eq!(find_all(&pat, &text), naive::find_all(&pat, &text));
     }

@@ -50,7 +50,11 @@ pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
     while s + m <= n {
         // Seed with the forward character (or all-ones at the text end,
         // which is equivalent to an always-compatible forward character).
-        let mut d = if s + m < n { b[text[s + m] as usize] } else { word_mask };
+        let mut d = if s + m < n {
+            b[text[s + m] as usize]
+        } else {
+            word_mask
+        };
         // Read the window right-to-left.
         let mut k = 0usize; // window characters consumed
         while d != 0 && k < m {

@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn overlapping_and_periodic() {
-        assert_eq!(find_all(b"aaa", b"aaaaaa"), naive::find_all(b"aaa", b"aaaaaa"));
+        assert_eq!(
+            find_all(b"aaa", b"aaaaaa"),
+            naive::find_all(b"aaa", b"aaaaaa")
+        );
         assert_eq!(
             find_all(b"abab", b"abababab"),
             naive::find_all(b"abab", b"abababab")
@@ -156,7 +159,9 @@ mod tests {
     fn hash_collisions_do_not_cause_false_matches() {
         // Hash collisions only trigger extra verification, never a false
         // report; spot-check with many random-ish patterns.
-        let text: Vec<u8> = (0..5000u64).map(|i| ((i * 2654435761) >> 7) as u8).collect();
+        let text: Vec<u8> = (0..5000u64)
+            .map(|i| ((i * 2654435761) >> 7) as u8)
+            .collect();
         for start in [0usize, 17, 400, 999] {
             let pat = &text[start..start + 8];
             let hits = find_all(pat, &text);

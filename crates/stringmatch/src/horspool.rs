@@ -30,7 +30,7 @@ pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
     let mut s = 0usize;
     while s + m <= n {
         let last = text[s + m - 1];
-        if last == pattern[m - 1] && &text[s..s + m - 1] == &pattern[..m - 1] {
+        if last == pattern[m - 1] && text[s..s + m - 1] == pattern[..m - 1] {
             out.push(s);
         }
         s += shift[last as usize];

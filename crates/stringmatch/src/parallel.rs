@@ -6,11 +6,15 @@
 //! boundary are seen by exactly one thread: each thread reports only
 //! occurrences *starting* inside its own partition.
 //!
-//! Threads are plain `std::thread::scope` workers — the Rust analogue of
-//! the original `#pragma omp parallel for` over partitions. The thread
-//! count is an explicit argument because, unlike in a fixed-size OpenMP
-//! pool, the autotuner may want to treat it as a ratio-class tuning
-//! parameter.
+//! Partitions are dispatched onto the shared persistent executor
+//! ([`autotune::pool::Pool`]) — the Rust analogue of the original
+//! `#pragma omp parallel for` over partitions, but without per-call thread
+//! spawn latency polluting the tuner's measurements. The thread count is an
+//! explicit argument because, unlike in a fixed-size OpenMP pool, the
+//! autotuner treats it as a ratio-class tuning parameter: it caps how many
+//! workers participate in this one dispatch.
+
+use autotune::pool::Pool;
 
 use crate::Matcher;
 
@@ -46,36 +50,28 @@ impl<'a> ParallelMatcher<'a> {
         }
 
         // Partition boundaries: partition i owns starts in [lo_i, hi_i) and
-        // searches the slice [lo_i, min(hi_i + m - 1, n)).
+        // searches the slice [lo_i, min(hi_i + m - 1, n)). Partitions are
+        // claimed dynamically from the shared pool; `par_map` keys results
+        // by partition index, so the merge below is deterministic and
+        // sorted no matter which worker finished first.
         let chunk = n.div_ceil(threads);
-        let mut results: Vec<Vec<usize>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for i in 0..threads {
-                let lo = i * chunk;
-                if lo >= n {
-                    break;
-                }
-                let hi = ((i + 1) * chunk).min(n);
-                let end = (hi + m - 1).min(n);
-                let slice = &text[lo..end];
-                let inner = self.inner;
-                handles.push(scope.spawn(move || {
-                    let mut hits = inner.find_all(pattern, slice);
-                    // Keep only occurrences starting inside [lo, hi); the
-                    // overlap tail belongs to the next partition.
-                    hits.retain(|&p| lo + p < hi);
-                    for p in &mut hits {
-                        *p += lo;
-                    }
-                    hits
-                }));
+        let parts = n.div_ceil(chunk);
+        let inner = self.inner;
+        let results = Pool::global().par_map(threads, parts, &|i| {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(n);
+            let end = (hi + m - 1).min(n);
+            let mut hits = inner.find_all(pattern, &text[lo..end]);
+            // Keep only occurrences starting inside [lo, hi); the overlap
+            // tail belongs to the next partition.
+            hits.retain(|&p| lo + p < hi);
+            for p in &mut hits {
+                *p += lo;
             }
-            for h in handles {
-                results.push(h.join().expect("matcher thread panicked"));
-            }
+            hits
         });
-        // Partitions are disjoint in start positions and already sorted.
+        // Partitions are disjoint in start positions, individually sorted,
+        // and merged in partition order.
         results.concat()
     }
 
@@ -152,6 +148,34 @@ mod tests {
             let pm = ParallelMatcher::new(&Kmp, threads);
             assert_eq!(pm.find_all(pattern, text), vec![4], "threads={threads}");
         }
+    }
+
+    #[test]
+    fn overlap_tail_spanning_multiple_partition_boundaries() {
+        // Regression guard: with tiny partitions and a long pattern,
+        // m − 1 ≥ chunk, so the overlap tail of each partition covers more
+        // than one partition boundary. Every occurrence must still be
+        // reported exactly once, by the partition owning its start.
+        let pattern = b"aabaaabaa"; // m = 9, self-overlapping
+        let mut text = Vec::new();
+        for _ in 0..13 {
+            text.extend_from_slice(b"aabaaabaaab"); // dense occurrences
+        }
+        let expected = naive::find_all(pattern, &text);
+        assert!(!expected.is_empty());
+        for threads in [1, 2, 3, 7, 16, 40, text.len()] {
+            let chunk = text.len().div_ceil(threads.min(text.len()));
+            let pm = ParallelMatcher::new(&Kmp, threads);
+            assert_eq!(
+                pm.find_all(pattern, &text),
+                expected,
+                "threads={threads} chunk={chunk} (m-1={})",
+                pattern.len() - 1
+            );
+        }
+        // The interesting cases above include chunk < m - 1; make sure the
+        // loop really exercised one.
+        assert!(text.len().div_ceil(40) < pattern.len() - 1);
     }
 
     #[test]

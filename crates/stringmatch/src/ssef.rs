@@ -247,7 +247,9 @@ mod tests {
         for _ in 0..500 {
             let mut block = [0u8; 16];
             for b in &mut block {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (state >> 56) as u8;
             }
             for bit in 0..8 {

@@ -1,131 +1,168 @@
 //! Property-based differential tests: every matcher must be exactly
 //! equivalent to the brute-force reference on arbitrary inputs, including
 //! the regimes each algorithm's skip heuristic finds hardest.
+//!
+//! The build environment is fully offline, so instead of `proptest` these
+//! use the in-repo xoshiro [`Rng`] to drive randomized cases from fixed
+//! seeds — deterministic, shrink-free property tests.
 
-use proptest::prelude::*;
+use autotune::rng::Rng;
 use stringmatch::{all_matchers_extended as all_matchers, corpus, naive, ParallelMatcher};
 
 /// Binary alphabet: maximal periodicity, worst case for skip heuristics.
-fn binary_text() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(prop::sample::select(b"ab".to_vec()), 0..800)
+fn binary_text(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.next_below(max_len as u64) as usize;
+    (0..len).map(|_| b"ab"[rng.pick_index(2)]).collect()
 }
 
 /// Full byte alphabet: exercises table indexing over all 256 values.
-fn byte_text() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(any::<u8>(), 0..800)
+fn byte_text(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.next_below(max_len as u64) as usize;
+    (0..len).map(|_| rng.next_below(256) as u8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn binary_pattern(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = lo + rng.next_below((hi - lo) as u64) as usize;
+    (0..len).map(|_| b"ab"[rng.pick_index(2)]).collect()
+}
 
-    #[test]
-    fn matchers_equal_naive_on_binary_alphabet(
-        text in binary_text(),
-        pat in prop::collection::vec(prop::sample::select(b"ab".to_vec()), 1..70),
-    ) {
+fn byte_pattern(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = lo + rng.next_below((hi - lo) as u64) as usize;
+    (0..len).map(|_| rng.next_below(256) as u8).collect()
+}
+
+#[test]
+fn matchers_equal_naive_on_binary_alphabet() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for _ in 0..96 {
+        let text = binary_text(&mut rng, 800);
+        let pat = binary_pattern(&mut rng, 1, 70);
         let expected = naive::find_all(&pat, &text);
         for m in all_matchers() {
-            prop_assert_eq!(m.find_all(&pat, &text), expected.clone(), "{}", m.name());
+            assert_eq!(m.find_all(&pat, &text), expected, "{}", m.name());
         }
     }
+}
 
-    #[test]
-    fn matchers_equal_naive_on_full_byte_alphabet(
-        text in byte_text(),
-        pat in prop::collection::vec(any::<u8>(), 1..70),
-    ) {
+#[test]
+fn matchers_equal_naive_on_full_byte_alphabet() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for _ in 0..96 {
+        let text = byte_text(&mut rng, 800);
+        let pat = byte_pattern(&mut rng, 1, 70);
         let expected = naive::find_all(&pat, &text);
         for m in all_matchers() {
-            prop_assert_eq!(m.find_all(&pat, &text), expected.clone(), "{}", m.name());
+            assert_eq!(m.find_all(&pat, &text), expected, "{}", m.name());
         }
     }
+}
 
-    #[test]
-    fn matchers_handle_patterns_at_word_size_boundaries(
-        text in binary_text(),
-        // Straddle the bit-parallel limits: 63, 64, 65 and SSEF's 32.
-        len in prop::sample::select(vec![31usize, 32, 33, 63, 64, 65]),
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(text.len() > len);
-        let start = (seed as usize) % (text.len() - len);
+#[test]
+fn matchers_handle_patterns_at_word_size_boundaries() {
+    // Straddle the bit-parallel limits: 63, 64, 65 and SSEF's 32.
+    let mut rng = Rng::new(0x5eed_0003);
+    let mut cases = 0;
+    while cases < 96 {
+        let text = binary_text(&mut rng, 800);
+        let len = [31usize, 32, 33, 63, 64, 65][rng.pick_index(6)];
+        if text.len() <= len {
+            continue;
+        }
+        cases += 1;
+        let start = rng.next_below((text.len() - len) as u64) as usize;
         let pat = text[start..start + len].to_vec();
         let expected = naive::find_all(&pat, &text);
-        prop_assert!(expected.contains(&start));
+        assert!(expected.contains(&start));
         for m in all_matchers() {
-            prop_assert_eq!(m.find_all(&pat, &text), expected.clone(), "{}", m.name());
+            assert_eq!(m.find_all(&pat, &text), expected, "{}", m.name());
         }
     }
+}
 
-    #[test]
-    fn parallel_equals_sequential_for_any_thread_count(
-        text in byte_text(),
-        pat in prop::collection::vec(any::<u8>(), 1..40),
-        threads in 1usize..12,
-    ) {
+#[test]
+fn parallel_equals_sequential_for_any_thread_count() {
+    let mut rng = Rng::new(0x5eed_0004);
+    for _ in 0..96 {
+        let text = byte_text(&mut rng, 800);
+        let pat = byte_pattern(&mut rng, 1, 40);
+        let threads = 1 + rng.pick_index(11);
         let expected = naive::find_all(&pat, &text);
         for m in all_matchers() {
             let pm = ParallelMatcher::new(m.as_ref(), threads);
-            prop_assert_eq!(
+            assert_eq!(
                 pm.find_all(&pat, &text),
-                expected.clone(),
-                "{} x {}", m.name(), threads
+                expected,
+                "{} x {}",
+                m.name(),
+                threads
             );
-        }
-    }
-
-    #[test]
-    fn results_are_sorted_unique_and_in_bounds(
-        text in byte_text(),
-        pat in prop::collection::vec(any::<u8>(), 1..30),
-    ) {
-        for m in all_matchers() {
-            let hits = m.find_all(&pat, &text);
-            for w in hits.windows(2) {
-                prop_assert!(w[0] < w[1], "{}: sorted & unique", m.name());
-            }
-            for &h in &hits {
-                prop_assert!(h + pat.len() <= text.len(), "{}", m.name());
-                prop_assert_eq!(&text[h..h + pat.len()], &pat[..], "{}", m.name());
-            }
-        }
-    }
-
-    #[test]
-    fn count_equals_find_all_len(
-        text in binary_text(),
-        pat in prop::collection::vec(prop::sample::select(b"ab".to_vec()), 1..20),
-    ) {
-        for m in all_matchers() {
-            prop_assert_eq!(m.count(&pat, &text), m.find_all(&pat, &text).len());
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn matchers_agree_on_dna_corpus(seed in any::<u64>(), len in 4usize..60) {
-        let text = corpus::dna(seed, 20_000);
-        let start = (seed as usize) % (text.len() - len);
-        let pat = text[start..start + len].to_vec();
-        let expected = naive::find_all(&pat, &text);
-        prop_assert!(expected.contains(&start));
+#[test]
+fn results_are_sorted_unique_and_in_bounds() {
+    let mut rng = Rng::new(0x5eed_0005);
+    for _ in 0..96 {
+        let text = byte_text(&mut rng, 800);
+        let pat = byte_pattern(&mut rng, 1, 30);
         for m in all_matchers() {
-            prop_assert_eq!(m.find_all(&pat, &text), expected.clone(), "{}", m.name());
+            let hits = m.find_all(&pat, &text);
+            for w in hits.windows(2) {
+                assert!(w[0] < w[1], "{}: sorted & unique", m.name());
+            }
+            for &h in &hits {
+                assert!(h + pat.len() <= text.len(), "{}", m.name());
+                assert_eq!(&text[h..h + pat.len()], &pat[..], "{}", m.name());
+            }
         }
     }
+}
 
-    #[test]
-    fn matchers_agree_on_bible_corpus(seed in any::<u64>(), len in 1usize..80) {
+#[test]
+fn count_equals_find_all_len() {
+    let mut rng = Rng::new(0x5eed_0006);
+    for _ in 0..96 {
+        let text = binary_text(&mut rng, 800);
+        let pat = binary_pattern(&mut rng, 1, 20);
+        for m in all_matchers() {
+            assert_eq!(m.count(&pat, &text), m.find_all(&pat, &text).len());
+        }
+    }
+}
+
+#[test]
+fn matchers_agree_on_dna_corpus() {
+    let mut rng = Rng::new(0x5eed_0007);
+    for _ in 0..16 {
+        let seed = rng.next_u64();
+        let len = 4 + rng.pick_index(56);
+        let text = corpus::dna(seed, 20_000);
+        let start = rng.next_below((text.len() - len) as u64) as usize;
+        let pat = text[start..start + len].to_vec();
+        let expected = naive::find_all(&pat, &text);
+        assert!(expected.contains(&start));
+        for m in all_matchers() {
+            assert_eq!(m.find_all(&pat, &text), expected, "{}", m.name());
+        }
+    }
+}
+
+#[test]
+fn matchers_agree_on_bible_corpus() {
+    let mut rng = Rng::new(0x5eed_0008);
+    for _ in 0..16 {
+        let seed = rng.next_u64();
+        let len = 1 + rng.pick_index(79);
         let text = corpus::bible_like_with(seed, 20_000, 1_000);
-        prop_assume!(text.len() > len);
-        let start = (seed as usize) % (text.len() - len);
+        if text.len() <= len {
+            continue;
+        }
+        let start = rng.next_below((text.len() - len) as u64) as usize;
         let pat = text[start..start + len].to_vec();
         let expected = naive::find_all(&pat, &text);
         for m in all_matchers() {
-            prop_assert_eq!(m.find_all(&pat, &text), expected.clone(), "{}", m.name());
+            assert_eq!(m.find_all(&pat, &text), expected, "{}", m.name());
         }
     }
 }

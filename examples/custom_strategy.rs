@@ -27,7 +27,9 @@ struct Ucb1 {
 impl Ucb1 {
     fn new(num_algorithms: usize, reward_scale: f64) -> Self {
         Ucb1 {
-            histories: (0..num_algorithms).map(|_| AlgorithmHistory::new()).collect(),
+            histories: (0..num_algorithms)
+                .map(|_| AlgorithmHistory::new())
+                .collect(),
             iteration: 0,
             reward_scale,
         }
@@ -35,7 +37,11 @@ impl Ucb1 {
 
     fn mean_reward(&self, a: usize) -> f64 {
         let h = &self.histories[a];
-        let sum: f64 = h.samples().iter().map(|s| self.reward_scale / s.value).sum();
+        let sum: f64 = h
+            .samples()
+            .iter()
+            .map(|s| self.reward_scale / s.value)
+            .sum();
         sum / h.len() as f64
     }
 }
@@ -96,9 +102,7 @@ fn race(mut tuner: TwoPhaseTuner, iters: usize, seed: u64) -> (String, f64, Vec<
     let mut rng = Rng::new(seed);
     let mut total = 0.0;
     for _ in 0..iters {
-        let s = tuner.step(|alg, _| {
-            (COSTS[alg] * (1.0 + 0.05 * rng.next_gaussian())).max(0.01)
-        });
+        let s = tuner.step(|alg, _| (COSTS[alg] * (1.0 + 0.05 * rng.next_gaussian())).max(0.01));
         total += s.value;
     }
     (tuner.strategy_name(), total, tuner.selection_counts())

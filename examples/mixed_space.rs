@@ -15,7 +15,10 @@ use algochoice::autotune::rng::Rng;
 
 fn main() {
     let space = SearchSpace::new(vec![
-        Parameter::nominal("algorithm", vec!["scan".into(), "tree".into(), "hash".into()]),
+        Parameter::nominal(
+            "algorithm",
+            vec!["scan".into(), "tree".into(), "hash".into()],
+        ),
         Parameter::ratio("tile", 1, 64),
         Parameter::nominal("layout", vec!["aos".into(), "soa".into()]),
         Parameter::ratio("threads", 1, 8),

@@ -30,7 +30,11 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
     };
     let builders = all_builders();
-    let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), NominalKind::EpsilonGreedy(0.10), 3);
+    let mut tuner = TwoPhaseTuner::new(
+        tunable::algorithm_specs(),
+        NominalKind::EpsilonGreedy(0.10),
+        3,
+    );
 
     let mut last_frame = None;
     for i in 0..frames {

@@ -44,7 +44,11 @@ fn two_phase_tuning_over_real_frames_improves_on_the_start() {
     let scene = cathedral(7, 1);
     let builders = all_builders();
     let o = opts();
-    let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), NominalKind::EpsilonGreedy(0.20), 9);
+    let mut tuner = TwoPhaseTuner::new(
+        tunable::algorithm_specs(),
+        NominalKind::EpsilonGreedy(0.20),
+        9,
+    );
     let mut first = None;
     for _ in 0..30 {
         let s = tuner.step(|alg, c| {
@@ -70,7 +74,10 @@ fn selection_counts_sum_to_frames_for_every_strategy() {
         height: 18,
         threads: 2,
     };
-    for kind in [NominalKind::EpsilonGreedy(0.05), NominalKind::OptimumWeighted] {
+    for kind in [
+        NominalKind::EpsilonGreedy(0.05),
+        NominalKind::OptimumWeighted,
+    ] {
         let mut tuner = TwoPhaseTuner::new(tunable::algorithm_specs(), kind, 21);
         for _ in 0..12 {
             tuner.step(|alg, c| {

@@ -85,7 +85,12 @@ fn all_six_strategies_run_the_real_workload_without_starving_any_algorithm() {
             tuner.report(ms);
         }
         let counts = tuner.selection_counts();
-        assert_eq!(counts.iter().sum::<usize>(), 64, "{}", tuner.strategy_name());
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            64,
+            "{}",
+            tuner.strategy_name()
+        );
         // "We never exclude an algorithm": everything was tried at least
         // once within the first 64 iterations for every paper strategy.
         assert!(

@@ -1,0 +1,71 @@
+//! Shared body for the pool worker-count integration tests.
+//!
+//! Each `pool_workers_*.rs` target is its own process: it pins the global
+//! pool's worker count via `AUTOTUNE_POOL_WORKERS` *before* first use, then
+//! checks that both case-study substrates produce output bit-identical to
+//! the sequential path. One process per worker count, because the global
+//! pool is created once and lives for the rest of the process.
+
+use algochoice::raytrace::kdtree::{all_builders, BruteForce};
+use algochoice::raytrace::render::{render, RenderOptions};
+use algochoice::raytrace::scene::cathedral;
+use algochoice::stringmatch::{naive, Kmp, ParallelMatcher};
+
+/// Pin the global pool and verify sequential-equivalence of both kernels.
+pub fn check_with_workers(workers: usize) {
+    // Must run before anything touches Pool::global(); each test binary
+    // holds exactly one test, so there is no racing first use.
+    std::env::set_var("AUTOTUNE_POOL_WORKERS", workers.to_string());
+    assert_eq!(
+        algochoice::autotune::pool::Pool::global().workers(),
+        workers
+    );
+
+    // String matching: pooled partitions vs the sequential reference.
+    let mut text = Vec::new();
+    for i in 0..600u32 {
+        text.extend_from_slice(b"in the beginning was the word ");
+        if i % 41 == 0 {
+            text.extend_from_slice(b"and the word was with ");
+        }
+    }
+    let expected = naive::find_all(b"the word", &text);
+    assert!(!expected.is_empty());
+    for threads in [1, 2, 3, 8, 16] {
+        let pm = ParallelMatcher::new(&Kmp, threads);
+        assert_eq!(
+            pm.find_all(b"the word", &text),
+            expected,
+            "workers={workers} threads={threads}"
+        );
+    }
+
+    // Rendering: pooled row batches vs the sequential inline path, plus a
+    // brute-force cross-check that the kd-trees built through the pool are
+    // geometrically right.
+    let scene = cathedral(7, 1);
+    let opts = |threads| RenderOptions {
+        width: 40,
+        height: 30,
+        threads,
+    };
+    let reference = render(&scene, &BruteForce, &opts(1));
+    for threads in [2, 8] {
+        assert_eq!(
+            reference,
+            render(&scene, &BruteForce, &opts(threads)),
+            "workers={workers} threads={threads}"
+        );
+    }
+    for b in all_builders() {
+        let accel = b.build(&scene.triangles, &Default::default());
+        let img = render(&scene, accel.as_ref(), &opts(8));
+        let diff: f32 = reference
+            .iter()
+            .zip(&img)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / img.len() as f32;
+        assert!(diff < 0.01, "workers={workers} builder={}", b.name());
+    }
+}

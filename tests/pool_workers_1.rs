@@ -1,0 +1,10 @@
+//! Global pool pinned to 1 worker: output must be bit-identical to the
+//! sequential path for both case-study substrates.
+
+#[path = "pool_common/mod.rs"]
+mod pool_common;
+
+#[test]
+fn one_worker_equals_sequential() {
+    pool_common::check_with_workers(1);
+}

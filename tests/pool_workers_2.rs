@@ -1,0 +1,9 @@
+//! Global pool pinned to 2 workers: scheduling must not affect output.
+
+#[path = "pool_common/mod.rs"]
+mod pool_common;
+
+#[test]
+fn two_workers_equal_sequential() {
+    pool_common::check_with_workers(2);
+}

@@ -1,0 +1,9 @@
+//! Global pool pinned to 8 workers: scheduling must not affect output.
+
+#[path = "pool_common/mod.rs"]
+mod pool_common;
+
+#[test]
+fn eight_workers_equal_sequential() {
+    pool_common::check_with_workers(8);
+}

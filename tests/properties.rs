@@ -1,11 +1,15 @@
-//! Cross-crate property-based tests (proptest): the correctness invariants
-//! that the paper's evaluation silently relies on.
+//! Cross-crate property-based tests: the correctness invariants that the
+//! paper's evaluation silently relies on.
+//!
+//! The build environment is fully offline, so instead of `proptest` these
+//! use the in-repo xoshiro [`Rng`] to drive randomized cases from fixed
+//! seeds — deterministic, shrink-free property tests.
 
 use algochoice::autotune::param::Parameter;
 use algochoice::autotune::prelude::*;
+use algochoice::autotune::rng::Rng;
 use algochoice::autotune::search::run_loop;
 use algochoice::stringmatch::{all_matchers, naive};
-use proptest::prelude::*;
 
 // -------------------------------------------------------------------
 // String matching: every algorithm ≡ the reference on arbitrary inputs.
@@ -13,44 +17,57 @@ use proptest::prelude::*;
 
 /// Texts over a small alphabet provoke periodicity edge cases; patterns
 /// are either arbitrary or sampled from the text (guaranteeing matches).
-fn text_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(prop::sample::select(b"abAB \n.".to_vec()), 0..600)
+fn small_alphabet_text(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"abAB \n.";
+    let len = rng.next_below(max_len as u64) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.pick_index(ALPHABET.len())])
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_matchers_agree_with_naive_on_arbitrary_input(
-        text in text_strategy(),
-        pattern in prop::collection::vec(prop::sample::select(b"abAB ".to_vec()), 1..40),
-    ) {
+#[test]
+fn all_matchers_agree_with_naive_on_arbitrary_input() {
+    const PAT_ALPHABET: &[u8] = b"abAB ";
+    let mut rng = Rng::new(0xc0de_0001);
+    for _ in 0..64 {
+        let text = small_alphabet_text(&mut rng, 600);
+        let len = 1 + rng.pick_index(39);
+        let pattern: Vec<u8> = (0..len)
+            .map(|_| PAT_ALPHABET[rng.pick_index(PAT_ALPHABET.len())])
+            .collect();
         let expected = naive::find_all(&pattern, &text);
         for m in all_matchers() {
-            prop_assert_eq!(
+            assert_eq!(
                 m.find_all(&pattern, &text),
-                expected.clone(),
-                "{} disagrees", m.name()
+                expected,
+                "{} disagrees",
+                m.name()
             );
         }
     }
+}
 
-    #[test]
-    fn all_matchers_find_planted_occurrences(
-        text in text_strategy(),
-        start_frac in 0.0f64..1.0,
-        len in 1usize..50,
-    ) {
-        prop_assume!(text.len() >= 50);
-        let start = ((text.len() - len) as f64 * start_frac) as usize;
+#[test]
+fn all_matchers_find_planted_occurrences() {
+    let mut rng = Rng::new(0xc0de_0002);
+    let mut cases = 0;
+    while cases < 64 {
+        let text = small_alphabet_text(&mut rng, 600);
+        if text.len() < 50 {
+            continue;
+        }
+        cases += 1;
+        let len = 1 + rng.pick_index(49);
+        let start = rng.next_below((text.len() - len) as u64) as usize;
         let pattern = text[start..start + len].to_vec();
         for m in all_matchers() {
             let hits = m.find_all(&pattern, &text);
-            prop_assert!(
+            assert!(
                 hits.contains(&start),
-                "{} missed the planted occurrence at {start}", m.name()
+                "{} missed the planted occurrence at {start}",
+                m.name()
             );
-            prop_assert_eq!(hits, naive::find_all(&pattern, &text));
+            assert_eq!(hits, naive::find_all(&pattern, &text));
         }
     }
 }
@@ -59,53 +76,80 @@ proptest! {
 // Search spaces and searchers.
 // -------------------------------------------------------------------
 
-fn arb_space() -> impl Strategy<Value = SearchSpace> {
-    prop::collection::vec(
-        (0i64..3, -20i64..0, 1i64..20).prop_map(|(kind, lo, hi)| match kind {
-            0 => Parameter::ratio("p", lo, lo + hi),
-            1 => Parameter::interval("p", lo, lo + hi),
-            _ => Parameter::ordinal("p", (0..=hi as usize).map(|i| format!("l{i}")).collect()),
-        }),
-        1..4,
-    )
-    .prop_map(SearchSpace::new)
+fn arb_space(rng: &mut Rng) -> SearchSpace {
+    let dims = 1 + rng.pick_index(3);
+    let params = (0..dims)
+        .map(|_| {
+            let kind = rng.pick_index(3);
+            let lo = -20 + rng.next_below(20) as i64;
+            let hi = 1 + rng.next_below(19) as i64;
+            match kind {
+                0 => Parameter::ratio("p", lo, lo + hi),
+                1 => Parameter::interval("p", lo, lo + hi),
+                _ => Parameter::ordinal("p", (0..=hi as usize).map(|i| format!("l{i}")).collect()),
+            }
+        })
+        .collect();
+    SearchSpace::new(params)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn searchers_only_propose_members_of_the_space(space in arb_space(), seed in 0u64..1000) {
+#[test]
+fn searchers_only_propose_members_of_the_space() {
+    let mut outer = Rng::new(0xc0de_0003);
+    for _ in 0..48 {
+        let space = arb_space(&mut outer);
+        let seed = outer.next_below(1000);
         let searchers: Vec<Box<dyn Searcher>> = vec![
             Box::new(NelderMead::new(space.clone(), NelderMeadOptions::default())),
             Box::new(HillClimbing::new(space.clone(), seed)),
             Box::new(RandomSearch::new(space.clone(), seed)),
-            Box::new(GeneticAlgorithm::new(space.clone(), seed, Default::default())),
-            Box::new(DifferentialEvolution::new(space.clone(), seed, Default::default())),
+            Box::new(GeneticAlgorithm::new(
+                space.clone(),
+                seed,
+                Default::default(),
+            )),
+            Box::new(DifferentialEvolution::new(
+                space.clone(),
+                seed,
+                Default::default(),
+            )),
             Box::new(ParticleSwarm::new(space.clone(), seed, Default::default())),
-            Box::new(SimulatedAnnealing::new(space.clone(), seed, Default::default())),
+            Box::new(SimulatedAnnealing::new(
+                space.clone(),
+                seed,
+                Default::default(),
+            )),
         ];
         for mut s in searchers {
             for i in 0..60 {
                 let c = s.propose();
-                prop_assert!(space.contains(&c), "{} proposed {c:?} at iter {i}", s.name());
+                assert!(
+                    space.contains(&c),
+                    "{} proposed {c:?} at iter {i}",
+                    s.name()
+                );
                 // Arbitrary but deterministic cost.
                 let v = c.values().iter().map(|v| v.as_f64().abs()).sum::<f64>() + 1.0;
                 s.report(v);
             }
-            prop_assert!(s.best().is_some());
+            assert!(s.best().is_some());
         }
     }
+}
 
-    #[test]
-    fn best_never_regresses(space in arb_space(), seed in 0u64..1000) {
+#[test]
+fn best_never_regresses() {
+    let mut outer = Rng::new(0xc0de_0004);
+    for _ in 0..48 {
+        let space = arb_space(&mut outer);
+        let seed = outer.next_below(1000);
         let mut s = RandomSearch::new(space.clone(), seed);
         let mut f = |c: &Configuration| c.values().iter().map(|v| v.as_f64()).sum::<f64>();
         let mut prev = f64::INFINITY;
         for _ in 0..5 {
             run_loop(&mut s, &mut f, 20);
             let (_, best) = s.best().unwrap();
-            prop_assert!(best <= prev);
+            assert!(best <= prev);
             prev = best;
         }
     }
@@ -115,19 +159,20 @@ proptest! {
 // Nominal strategies: probabilistic invariants.
 // -------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn strategies_select_valid_indices_and_track_best(
-        costs in prop::collection::vec(0.5f64..100.0, 2..8),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn strategies_select_valid_indices_and_track_best() {
+    let mut outer = Rng::new(0xc0de_0005);
+    for _ in 0..32 {
+        let arms = 2 + outer.pick_index(6);
+        let costs: Vec<f64> = (0..arms)
+            .map(|_| outer.next_range_f64(0.5, 100.0))
+            .collect();
+        let seed = outer.next_below(1000);
         for kind in NominalKind::paper_set() {
             let mut s = kind.build(costs.len(), seed);
             for _ in 0..120 {
                 let a = s.select();
-                prop_assert!(a < costs.len(), "{} out of range", s.name());
+                assert!(a < costs.len(), "{} out of range", s.name());
                 s.report(a, costs[a]);
             }
             let best = s.best().expect("samples exist");
@@ -139,16 +184,18 @@ proptest! {
                 .iter()
                 .filter_map(|h| h.best_value())
                 .fold(f64::INFINITY, f64::min);
-            prop_assert_eq!(s.histories()[best].best_value().unwrap(), sampled_min);
+            assert_eq!(s.histories()[best].best_value().unwrap(), sampled_min);
         }
     }
+}
 
-    #[test]
-    fn two_phase_tuner_conserves_iterations(
-        num_algs in 1usize..5,
-        iters in 1usize..60,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn two_phase_tuner_conserves_iterations() {
+    let mut outer = Rng::new(0xc0de_0006);
+    for _ in 0..32 {
+        let num_algs = 1 + outer.pick_index(4);
+        let iters = 1 + outer.pick_index(59);
+        let seed = outer.next_below(1000);
         let specs: Vec<AlgorithmSpec> = (0..num_algs)
             .map(|i| AlgorithmSpec::untunable(format!("a{i}")))
             .collect();
@@ -156,9 +203,9 @@ proptest! {
         for _ in 0..iters {
             tuner.step(|alg, _| 1.0 + alg as f64);
         }
-        prop_assert_eq!(tuner.selection_counts().iter().sum::<usize>(), iters);
-        prop_assert_eq!(tuner.log().len(), iters);
-        prop_assert_eq!(tuner.best().unwrap().0, tuner.best_algorithm().unwrap());
+        assert_eq!(tuner.selection_counts().iter().sum::<usize>(), iters);
+        assert_eq!(tuner.log().len(), iters);
+        assert_eq!(tuner.best().unwrap().0, tuner.best_algorithm().unwrap());
     }
 }
 
@@ -166,20 +213,18 @@ proptest! {
 // Raytracing: geometric invariants on random scenes.
 // -------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn kdtree_builders_agree_with_brute_force_on_random_scenes() {
+    use algochoice::raytrace::kdtree::BruteForce;
+    use algochoice::raytrace::{all_builders, random_blobs, Accel, Ray, Vec3};
 
-    #[test]
-    fn kdtree_builders_agree_with_brute_force_on_random_scenes(
-        seed in 0u64..500,
-        n in 10usize..150,
-    ) {
-        use algochoice::raytrace::kdtree::BruteForce;
-        use algochoice::raytrace::{all_builders, random_blobs, Accel, Ray, Vec3};
-
+    let mut outer = Rng::new(0xc0de_0007);
+    for _ in 0..12 {
+        let seed = outer.next_below(500);
+        let n = 10 + outer.pick_index(140);
         let scene = random_blobs(seed, n);
         let brute = BruteForce;
-        let mut rng = algochoice::autotune::rng::Rng::new(seed ^ 0xABCD);
+        let mut rng = Rng::new(seed ^ 0xABCD);
         for b in all_builders() {
             let accel = b.build(&scene.triangles, &Default::default());
             for _ in 0..40 {
@@ -201,11 +246,10 @@ proptest! {
                 let got = accel.intersect(&scene.triangles, &ray);
                 match (expected, got) {
                     (None, None) => {}
-                    (Some(e), Some(g)) => prop_assert!(
-                        (e.t - g.t).abs() < 1e-2,
-                        "{}: {e:?} vs {g:?}", b.name()
-                    ),
-                    (e, g) => prop_assert!(false, "{}: {e:?} vs {g:?}", b.name()),
+                    (Some(e), Some(g)) => {
+                        assert!((e.t - g.t).abs() < 1e-2, "{}: {e:?} vs {g:?}", b.name())
+                    }
+                    (e, g) => panic!("{}: {e:?} vs {g:?}", b.name()),
                 }
             }
         }
