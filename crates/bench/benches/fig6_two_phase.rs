@@ -16,6 +16,7 @@ fn bench_two_phase_frame(c: &mut Criterion) {
         width: 48,
         height: 36,
         threads: 4,
+        packet_width: 1,
     };
     let mut group = c.benchmark_group("fig6_two_phase_iteration");
     group

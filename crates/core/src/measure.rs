@@ -30,8 +30,19 @@ impl Context {
     }
 
     /// A context labeled with the current host, for quick experiments.
+    ///
+    /// The kernel's own record (`/proc/sys/kernel/hostname`) is consulted
+    /// first: `$HOSTNAME` is a shell variable that interactive bash sets but
+    /// does not export, so it is typically absent in non-interactive shells
+    /// (cron, CI, `sh -c`), which used to mislabel every result file as
+    /// "localhost". The env var remains as a fallback for non-Linux hosts.
     pub fn here(application: impl Into<String>) -> Self {
-        let system = std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".to_string());
+        let system = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+            .unwrap_or_else(|| "localhost".to_string());
         Context::new(application, system)
     }
 
@@ -173,6 +184,18 @@ mod tests {
     fn duration_conversion() {
         assert_eq!(duration_ms(Duration::from_millis(250)), 250.0);
         assert!((duration_ms(Duration::from_micros(1500)) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn here_prefers_the_kernel_hostname_record() {
+        // On Linux the kernel record must win (HOSTNAME is usually unset in
+        // non-interactive shells); elsewhere the fallback chain applies.
+        if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+            let h = h.trim();
+            if !h.is_empty() {
+                assert_eq!(Context::here("app").system, h);
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@ use crate::report::{BoxFigure, Boxed, GroupedBoxFigure, SeriesFigure};
 use autotune::measure::time_ms;
 use autotune::stats::{self, FiveNumber};
 use autotune::two_phase::{AlgorithmSpec, NominalKind, TwoPhaseTuner};
-use stringmatch::{all_matchers, corpus, Matcher, ParallelMatcher, PAPER_QUERY};
+use stringmatch::{
+    all_matchers, all_matchers_with_kernels, corpus, Matcher, ParallelMatcher, PAPER_QUERY,
+};
 
 /// Experiment scale knobs. Defaults are the *quick* profile (minutes, not
 /// hours); `Cs1Config::paper()` reproduces the paper's scale.
@@ -130,8 +132,20 @@ pub struct Cs1Runs {
 }
 
 pub fn run_tuning(cfg: &Cs1Config) -> Cs1Runs {
+    run_tuning_with(cfg, all_matchers())
+}
+
+/// The paper experiment over the *kernel-extended* algorithm set: scalar
+/// matchers compete against their SWAR/SIMD variants and the phase-2
+/// strategies pick the winner online — algorithmic choice doing the job
+/// of a compile-time SIMD switch.
+pub fn run_tuning_with_kernels(cfg: &Cs1Config) -> Cs1Runs {
+    run_tuning_with(cfg, all_matchers_with_kernels())
+}
+
+/// [`run_tuning`] over an arbitrary nominal set `𝒜`.
+pub fn run_tuning_with(cfg: &Cs1Config, matchers: Vec<Box<dyn Matcher>>) -> Cs1Runs {
     let text = corpus::bible_like_with(cfg.seed, cfg.corpus_bytes, cfg.query_spacing_words);
-    let matchers = all_matchers();
     let specs: Vec<AlgorithmSpec> = matchers
         .iter()
         .map(|m| AlgorithmSpec::untunable(m.name()))
@@ -164,8 +178,22 @@ pub fn run_tuning(cfg: &Cs1Config) -> Cs1Runs {
         times,
         counts,
         strategy_labels: strategies().into_iter().map(|(l, _)| l).collect(),
-        algorithm_labels: algorithm_names(),
+        algorithm_labels: matchers.iter().map(|m| m.name().to_string()).collect(),
     }
+}
+
+/// Kernel-variant timeline: [`fig3`]-style mean per-iteration series over
+/// the extended set, showing whether strategies settle on a vectorized
+/// matcher.
+pub fn kernels_timeline(runs: &Cs1Runs) -> SeriesFigure {
+    let mut f = per_iteration_figure(runs, "kernels_timeline", "mean", stats::mean, 50);
+    f.title = "Kernels: tuning over scalar + SWAR/SIMD matcher variants".into();
+    f
+}
+
+/// Kernel-variant selection histogram ([`fig4`]-style, extended set).
+pub fn kernels_selection(runs: &Cs1Runs) -> GroupedBoxFigure {
+    selection_histogram(runs, "kernels_selection", "Kernels")
 }
 
 /// Figure 2: median per-iteration time of every strategy (capped at 25
@@ -355,6 +383,31 @@ mod tests {
                 assert!(b.median > 0.0, "{name}");
             }
         }
+    }
+
+    #[test]
+    fn kernel_extended_runs_cover_twelve_algorithms() {
+        let cfg = Cs1Config {
+            reps: 1,
+            iterations: 14,
+            ..tiny()
+        };
+        let runs = run_tuning_with_kernels(&cfg);
+        assert_eq!(runs.algorithm_labels.len(), 12);
+        assert!(runs
+            .algorithm_labels
+            .iter()
+            .any(|n| n == "Boyer-Moore-SIMD"));
+        for sc in &runs.counts {
+            for counts in sc {
+                assert_eq!(counts.len(), 12);
+                assert_eq!(counts.iter().sum::<usize>(), cfg.iterations);
+            }
+        }
+        let f = kernels_timeline(&runs);
+        assert_eq!(f.series.len(), 6);
+        let h = kernels_selection(&runs);
+        assert_eq!(h.categories.len(), 12);
     }
 
     #[test]

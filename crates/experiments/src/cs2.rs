@@ -69,6 +69,7 @@ impl Cs2Config {
             width: self.width,
             height: self.height,
             threads: self.render_threads,
+            packet_width: 1,
         }
     }
 }
@@ -98,7 +99,8 @@ pub fn fig5(cfg: &Cs2Config) -> SeriesFigure {
             let mut tuner = OnlineTuner::new(nm, Termination::Never);
             let mut m = |c: &autotune::space::Configuration| {
                 let config = tunable::decode(b.name(), c);
-                frame(&scene, b.as_ref(), &config, &opts).total_ms()
+                let ropts = tunable::decode_render(c, &opts);
+                frame(&scene, b.as_ref(), &config, &ropts).total_ms()
             };
             let mut run = Vec::with_capacity(cfg.frames);
             for _ in 0..cfg.frames {
@@ -144,7 +146,8 @@ pub fn run_tuning(cfg: &Cs2Config) -> Cs1Runs {
                 let sample = tuner.step(|alg, c| {
                     let name = builders[alg].name();
                     let config = tunable::decode(name, c);
-                    frame(&scene, builders[alg].as_ref(), &config, &opts).total_ms()
+                    let ropts = tunable::decode_render(c, &opts);
+                    frame(&scene, builders[alg].as_ref(), &config, &ropts).total_ms()
                 });
                 run.push(sample.value);
             }
@@ -268,7 +271,8 @@ pub fn dynamic_scene_study(cfg: &Cs2Config) -> SeriesFigure {
                 let sample = tuner.step(|alg, c| {
                     let name = builders[alg].name();
                     let config = tunable::decode(name, c);
-                    frame(scene, builders[alg].as_ref(), &config, &opts).total_ms()
+                    let ropts = tunable::decode_render(c, &opts);
+                    frame(scene, builders[alg].as_ref(), &config, &ropts).total_ms()
                 });
                 run.push(sample.value);
             }

@@ -4,7 +4,7 @@
 //! experiments <target> [flags]
 //!
 //! targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          cs1 cs2 patterns scenes dynamic ablations all
+//!          cs1 cs2 kernels patterns scenes dynamic ablations all
 //! flags:
 //!   --paper            paper-scale runs (100 reps; hours) instead of quick
 //!   --reps N           override repetition count
@@ -173,6 +173,16 @@ fn main() {
             emit_grouped(&cs2::fig8(&runs), &args.out);
         }
     }
+    if matches!(t, "kernels" | "all") {
+        let cfg = cs1_config(&args);
+        eprintln!(
+            "[kernels] scalar vs SWAR/SIMD matcher tuning: 6 strategies × {} reps × {} iters…",
+            cfg.reps, cfg.iterations
+        );
+        let runs = cs1::run_tuning_with_kernels(&cfg);
+        emit_series(&cs1::kernels_timeline(&runs), &args.out);
+        emit_grouped(&cs1::kernels_selection(&runs), &args.out);
+    }
     if matches!(t, "patterns" | "all") {
         let cfg = cs1_config(&args);
         eprintln!(
@@ -226,6 +236,7 @@ fn main() {
         "fig8",
         "cs1",
         "cs2",
+        "kernels",
         "patterns",
         "scenes",
         "dynamic",

@@ -32,6 +32,11 @@ use crate::aabb::Aabb;
 use crate::ray::{Hit, Ray};
 use crate::sah::SahParams;
 use crate::triangle::Triangle;
+use crate::triangle_soa::TriangleSoa;
+
+/// Lanes per ray packet. Narrower packets (width 1 or 2) still use the
+/// same machinery with the unused lanes masked off.
+pub const PACKET_WIDTH: usize = 4;
 
 /// Construction-time parameters. `sah` and `parallel_depth` are tunable for
 /// every builder; `eager_cutoff` only affects [`Lazy`].
@@ -93,8 +98,51 @@ pub trait Accel: Send + Sync {
         self.intersect(tris, ray).is_some_and(|h| h.t < t_max)
     }
 
+    /// Nearest hits for up to [`PACKET_WIDTH`] rays at once. Bit `l` of
+    /// `mask` enables lane `l`; disabled lanes are left untouched in
+    /// `out`. The default implementation traverses each lane separately —
+    /// structures without a packet path (the lazy tree mutates itself
+    /// during traversal; brute force has no tree) stay correct for free,
+    /// while [`KdTree`] overrides this with a shared-stack traversal over
+    /// the SoA layout. Results are bit-identical to [`Accel::intersect`]
+    /// per lane either way.
+    fn intersect_packet(
+        &self,
+        tris: &[Triangle],
+        soa: &TriangleSoa,
+        rays: &[Ray; PACKET_WIDTH],
+        mask: u8,
+        out: &mut [Option<Hit>; PACKET_WIDTH],
+    ) {
+        let _ = soa;
+        for l in 0..PACKET_WIDTH {
+            if mask & (1 << l) != 0 {
+                out[l] = self.intersect(tris, &rays[l]);
+            }
+        }
+    }
+
     /// Shape statistics.
     fn stats(&self) -> TreeStats;
+}
+
+/// Can the packet share one near/far traversal order? True when all
+/// enabled lanes start at the same origin and agree on every direction
+/// component's sign test — then `below` in the scalar traversal is
+/// lane-uniform at every split plane and the shared-stack descent visits
+/// nodes in each lane's scalar order.
+fn packet_is_coherent(rays: &[Ray; PACKET_WIDTH], mask: u8) -> bool {
+    let mut lanes = (0..PACKET_WIDTH).filter(|l| mask & (1 << l) != 0);
+    let Some(first) = lanes.next() else {
+        return false;
+    };
+    let r0 = &rays[first];
+    lanes.all(|l| {
+        let r = &rays[l];
+        r.origin == r0.origin
+            && (0..3)
+                .all(|axis| (r.direction.axis(axis) <= 0.0) == (r0.direction.axis(axis) <= 0.0))
+    })
 }
 
 /// A kD-tree construction algorithm.
@@ -247,6 +295,151 @@ impl KdTree {
         self.bounds
     }
 
+    /// Shared-stack traversal of a *coherent* packet (see
+    /// [`packet_is_coherent`]). Every lane carries its own `[t0, t1]`
+    /// interval and done flag; a stack entry remembers which lanes still
+    /// want its subtree. Each lane's sequence of live node visits — and
+    /// therefore its result, bitwise — is exactly the scalar
+    /// [`Accel::intersect`] traversal of that lane's ray: intervals follow
+    /// the same three-way split, leaves intersect the same triangles in
+    /// the same order against the same entry cap, and the early-exit test
+    /// (`h.t <= t1 + 1e-4`) retires the lane exactly where the scalar loop
+    /// would return.
+    fn traverse_packet(
+        &self,
+        soa: &TriangleSoa,
+        rays: &[Ray; PACKET_WIDTH],
+        mask: u8,
+        out: &mut [Option<Hit>; PACKET_WIDTH],
+    ) {
+        const W: usize = PACKET_WIDTH;
+        let mut t0 = [0.0f32; W];
+        let mut t1 = [0.0f32; W];
+        let mut active: u8 = 0;
+        for l in 0..W {
+            if mask & (1 << l) != 0 {
+                match self.bounds.clip(&rays[l], 1e-4, f32::INFINITY) {
+                    Some((a, b)) => {
+                        t0[l] = a;
+                        t1[l] = b;
+                        active |= 1 << l;
+                    }
+                    None => out[l] = None,
+                }
+            }
+        }
+        if active == 0 {
+            return;
+        }
+        let mut best: [Option<Hit>; W] = [None; W];
+        let mut done: u8 = 0;
+        let mut stack: TraversalStack<(u32, [f32; W], [f32; W], u8), 64> = TraversalStack::new();
+        let mut node = 0u32;
+        let mut cur = active;
+        'traversal: loop {
+            let live = cur & !done;
+            if live == 0 {
+                // All lanes of this subtree retired: find the next stack
+                // entry some unfinished lane still wants.
+                loop {
+                    match stack.pop() {
+                        Some((n, nt0, nt1, m)) => {
+                            if m & !done != 0 {
+                                node = n;
+                                t0 = nt0;
+                                t1 = nt1;
+                                cur = m;
+                                break;
+                            }
+                        }
+                        None => break 'traversal,
+                    }
+                }
+                continue;
+            }
+            match self.nodes[node as usize] {
+                Node::Inner {
+                    axis,
+                    split,
+                    left,
+                    right,
+                } => {
+                    let axis = axis as usize;
+                    // Coherence makes near/far lane-uniform: compute it
+                    // from any live lane.
+                    let rep = live.trailing_zeros() as usize;
+                    let o = rays[rep].origin.axis(axis);
+                    let d = rays[rep].direction.axis(axis);
+                    let below = o < split || (o == split && d <= 0.0);
+                    let (near, far) = if below { (left, right) } else { (right, left) };
+                    // Classify lanes exactly like the scalar three-way
+                    // branch; `t0`/`t1` become the near intervals, the
+                    // `far_*` copies keep the far ones.
+                    let mut near_mask = 0u8;
+                    let mut far_mask = 0u8;
+                    let mut far_t0 = t0;
+                    let far_t1 = t1;
+                    for l in 0..W {
+                        if live & (1 << l) == 0 {
+                            continue;
+                        }
+                        let t_plane =
+                            (split - rays[l].origin.axis(axis)) * rays[l].inv_direction.axis(axis);
+                        if t_plane.is_nan() || t_plane > t1[l] || t_plane <= 0.0 {
+                            near_mask |= 1 << l;
+                        } else if t_plane < t0[l] {
+                            far_mask |= 1 << l;
+                        } else {
+                            near_mask |= 1 << l;
+                            far_mask |= 1 << l;
+                            t1[l] = t_plane;
+                            far_t0[l] = t_plane;
+                        }
+                    }
+                    if near_mask != 0 {
+                        if far_mask != 0 {
+                            stack.push((far, far_t0, far_t1, far_mask));
+                        }
+                        node = near;
+                        cur = near_mask;
+                    } else {
+                        node = far;
+                        t0 = far_t0;
+                        t1 = far_t1;
+                        cur = far_mask;
+                    }
+                }
+                Node::Leaf { start, count } => {
+                    let refs = &self.tri_refs[start as usize..(start + count) as usize];
+                    for l in 0..W {
+                        if live & (1 << l) == 0 {
+                            continue;
+                        }
+                        let t_cap = best[l].map_or(f32::INFINITY, |h| h.t);
+                        for &i in refs {
+                            if let Some(h) = soa.intersect(&rays[l], 1e-4, t_cap, i) {
+                                best[l] = Hit::nearer(best[l], Some(h));
+                            }
+                        }
+                        // Scalar early exit, per lane: a hit inside this
+                        // cell cannot be beaten by farther cells.
+                        if let Some(h) = best[l] {
+                            if h.t <= t1[l] + 1e-4 {
+                                done |= 1 << l;
+                            }
+                        }
+                    }
+                    cur = 0; // force a pop
+                }
+            }
+        }
+        for l in 0..W {
+            if active & (1 << l) != 0 {
+                out[l] = best[l];
+            }
+        }
+    }
+
     fn node_stats(&self, idx: u32, depth: usize, s: &mut TreeStats) {
         s.nodes += 1;
         s.max_depth = s.max_depth.max(depth);
@@ -318,6 +511,27 @@ impl Accel for KdTree {
                         }
                         None => return best,
                     }
+                }
+            }
+        }
+    }
+
+    fn intersect_packet(
+        &self,
+        tris: &[Triangle],
+        soa: &TriangleSoa,
+        rays: &[Ray; PACKET_WIDTH],
+        mask: u8,
+        out: &mut [Option<Hit>; PACKET_WIDTH],
+    ) {
+        if packet_is_coherent(rays, mask) {
+            self.traverse_packet(soa, rays, mask, out);
+        } else {
+            // Incoherent lanes would need per-lane near/far orders; fall
+            // back to the scalar traversal for the whole packet.
+            for l in 0..PACKET_WIDTH {
+                if mask & (1 << l) != 0 {
+                    out[l] = self.intersect(tris, &rays[l]);
                 }
             }
         }

@@ -22,14 +22,16 @@ pub mod render;
 pub mod sah;
 pub mod scene;
 pub mod triangle;
+pub mod triangle_soa;
 pub mod tunable;
 pub mod vec3;
 
 pub use aabb::Aabb;
-pub use kdtree::{all_builders, Accel, BuildConfig, KdBuilder};
+pub use kdtree::{all_builders, Accel, BuildConfig, KdBuilder, PACKET_WIDTH};
 pub use ray::{Hit, Ray};
 pub use render::{frame, FrameResult, RenderOptions};
 pub use sah::SahParams;
 pub use scene::{cathedral, forest, random_blobs, Camera, Scene};
 pub use triangle::Triangle;
+pub use triangle_soa::TriangleSoa;
 pub use vec3::Vec3;

@@ -13,9 +13,10 @@
 //! until the frame is done, and the pool avoids per-frame thread-spawn
 //! latency that would otherwise pollute the tuner's measurements.
 
-use crate::kdtree::{Accel, BuildConfig, KdBuilder};
-use crate::ray::Ray;
+use crate::kdtree::{Accel, BuildConfig, KdBuilder, PACKET_WIDTH};
+use crate::ray::{Hit, Ray};
 use crate::scene::Scene;
+use crate::triangle_soa::TriangleSoa;
 use autotune::pool::Pool;
 use std::time::Instant;
 
@@ -30,6 +31,13 @@ pub struct RenderOptions {
     pub height: usize,
     /// Render worker threads (rows are striped across them).
     pub threads: usize,
+    /// Primary rays traced per packet (1, 2, or 4). Width 1 is the
+    /// scalar single-ray path; wider packets traverse the kd-tree with a
+    /// shared stack over the SoA triangle layout
+    /// ([`Accel::intersect_packet`]). A phase-1 tunable of the renderer
+    /// (`packet_exp` in [`crate::tunable`]); the image is bit-identical
+    /// at every width.
+    pub packet_width: usize,
 }
 
 impl Default for RenderOptions {
@@ -38,6 +46,7 @@ impl Default for RenderOptions {
             width: 160,
             height: 120,
             threads: 4,
+            packet_width: 1,
         }
     }
 }
@@ -83,8 +92,16 @@ fn primary_ray(scene: &Scene, opts: &RenderOptions, x: usize, y: usize) -> Ray {
 
 /// Shade one primary ray: Lambert × shadow test toward the light.
 fn shade(scene: &Scene, accel: &dyn Accel, ray: &Ray) -> f32 {
+    shade_hit(scene, accel, ray, accel.intersect(&scene.triangles, ray))
+}
+
+/// Shade a primary ray whose nearest hit is already known (the packet
+/// path finds hits four lanes at a time, then shades each lane here —
+/// the identical code the single-ray path runs, keeping images
+/// bit-identical across packet widths).
+fn shade_hit(scene: &Scene, accel: &dyn Accel, ray: &Ray, hit: Option<Hit>) -> f32 {
     const AMBIENT: f32 = 0.1;
-    let Some(hit) = accel.intersect(&scene.triangles, ray) else {
+    let Some(hit) = hit else {
         return 0.0; // background
     };
     let tri = &scene.triangles[hit.triangle as usize];
@@ -111,17 +128,51 @@ fn shade(scene: &Scene, accel: &dyn Accel, ray: &Ray) -> f32 {
 pub fn render(scene: &Scene, accel: &dyn Accel, opts: &RenderOptions) -> Vec<f32> {
     let mut pixels = vec![0.0f32; opts.width * opts.height];
     let threads = opts.threads.max(1);
+    let packet = opts.packet_width.clamp(1, PACKET_WIDTH);
+    if packet <= 1 {
+        Pool::global().par_chunks_mut(
+            threads,
+            &mut pixels,
+            ROW_BATCH * opts.width,
+            |batch, chunk| {
+                let y0 = batch * ROW_BATCH;
+                for (offset, px) in chunk.iter_mut().enumerate() {
+                    let y = y0 + offset / opts.width;
+                    let x = offset % opts.width;
+                    let ray = primary_ray(scene, opts, x, y);
+                    *px = shade(scene, accel, &ray);
+                }
+            },
+        );
+        return pixels;
+    }
+    // Packet path: transpose the triangles once per frame (linear in the
+    // scene, negligible next to raycasting), then trace `packet` adjacent
+    // pixels of each row as one ray packet. Shadow rays stay scalar.
+    let soa = TriangleSoa::build(&scene.triangles);
     Pool::global().par_chunks_mut(
         threads,
         &mut pixels,
         ROW_BATCH * opts.width,
         |batch, chunk| {
             let y0 = batch * ROW_BATCH;
-            for (offset, px) in chunk.iter_mut().enumerate() {
-                let y = y0 + offset / opts.width;
-                let x = offset % opts.width;
-                let ray = primary_ray(scene, opts, x, y);
-                *px = shade(scene, accel, &ray);
+            for (row, row_px) in chunk.chunks_mut(opts.width).enumerate() {
+                let y = y0 + row;
+                let mut x = 0usize;
+                while x < opts.width {
+                    let lanes = packet.min(opts.width - x);
+                    let mut rays = [primary_ray(scene, opts, x, y); PACKET_WIDTH];
+                    for (l, ray) in rays.iter_mut().enumerate().take(lanes).skip(1) {
+                        *ray = primary_ray(scene, opts, x + l, y);
+                    }
+                    let mask = ((1u16 << lanes) - 1) as u8;
+                    let mut hits: [Option<Hit>; PACKET_WIDTH] = [None; PACKET_WIDTH];
+                    accel.intersect_packet(&scene.triangles, &soa, &rays, mask, &mut hits);
+                    for l in 0..lanes {
+                        row_px[x + l] = shade_hit(scene, accel, &rays[l], hits[l]);
+                    }
+                    x += lanes;
+                }
             }
         },
     );
@@ -163,6 +214,7 @@ mod tests {
             width: 48,
             height: 36,
             threads: 2,
+            packet_width: 1,
         }
     }
 
@@ -221,6 +273,43 @@ mod tests {
             let img = render(&scene, accel.as_ref(), &RenderOptions { threads, ..opts() });
             assert_eq!(reference, img, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn packet_widths_render_bit_identical_images() {
+        // The satellite guarantee: packet traversal is an optimization,
+        // never an approximation. Every width, every builder, plus the
+        // brute-force default (scalar fallback) must agree bitwise.
+        let scene = cathedral(4, 1);
+        for b in all_builders() {
+            let accel = b.build(&scene.triangles, &Default::default());
+            let reference = render(&scene, accel.as_ref(), &opts());
+            for packet_width in [2, 4] {
+                let img = render(
+                    &scene,
+                    accel.as_ref(),
+                    &RenderOptions {
+                        packet_width,
+                        ..opts()
+                    },
+                );
+                let same = reference
+                    .iter()
+                    .zip(&img)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{} packet_width={packet_width}", b.name());
+            }
+        }
+        let reference = render(&scene, &BruteForce, &opts());
+        let img = render(
+            &scene,
+            &BruteForce,
+            &RenderOptions {
+                packet_width: 4,
+                ..opts()
+            },
+        );
+        assert_eq!(reference, img, "default packet path (scalar fallback)");
     }
 
     #[test]

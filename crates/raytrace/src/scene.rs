@@ -453,6 +453,7 @@ mod tests {
             width: 32,
             height: 24,
             threads: 2,
+            packet_width: 1,
         };
         let reference = render(&scene, &BruteForce, &opts);
         for b in all_builders() {

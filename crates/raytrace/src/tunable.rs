@@ -8,6 +8,7 @@
 //! cutoff."
 
 use crate::kdtree::BuildConfig;
+use crate::render::RenderOptions;
 use crate::sah::SahParams;
 use autotune::param::Parameter;
 use autotune::space::{Configuration, SearchSpace};
@@ -17,8 +18,10 @@ use autotune::two_phase::AlgorithmSpec;
 pub const PARAM_PARALLEL_DEPTH: usize = 0;
 pub const PARAM_TRAVERSAL_COST: usize = 1;
 pub const PARAM_INTERSECTION_COST: usize = 2;
+/// Ray-packet width exponent of the raycasting stage (width `2^e`).
+pub const PARAM_PACKET_EXP: usize = 3;
 /// Lazy only.
-pub const PARAM_EAGER_CUTOFF: usize = 3;
+pub const PARAM_EAGER_CUTOFF: usize = 4;
 
 /// The common tunable parameters of every builder.
 fn common_params() -> Vec<Parameter> {
@@ -29,6 +32,11 @@ fn common_params() -> Vec<Parameter> {
         // in their useful range.
         Parameter::interval("sah_traversal_cost", 1, 60),
         Parameter::interval("sah_intersection_cost", 1, 60),
+        // Stage-2 ray-packet width, as the exponent of a power of two
+        // (1, 2, or 4 rays per packet). Interval: the Nelder-Mead simplex
+        // walks it like any other integer knob; whether wider packets pay
+        // off depends on scene coherence, which only measuring can tell.
+        Parameter::interval("packet_exp", 0, 2),
     ]
 }
 
@@ -45,7 +53,9 @@ pub fn space_for(builder: &str) -> SearchSpace {
 /// tuner begins from (Wald-Havran SAH constants, moderate parallelism).
 pub fn start_for(builder: &str) -> Configuration {
     use autotune::param::Value;
-    let mut values = vec![Value::Int(3), Value::Int(15), Value::Int(20)];
+    // packet_exp starts at 0 (single-ray): the conservative hand-crafted
+    // baseline; the tuner must *discover* that packets pay off.
+    let mut values = vec![Value::Int(3), Value::Int(15), Value::Int(20), Value::Int(0)];
     if builder == "Lazy" {
         values.push(Value::Int(8));
     }
@@ -70,6 +80,20 @@ pub fn decode(builder: &str, config: &Configuration) -> BuildConfig {
     out
 }
 
+/// Ray-packet width encoded in a configuration: `2^packet_exp ∈ {1, 2, 4}`.
+pub fn decode_packet_width(config: &Configuration) -> usize {
+    1usize << config.get(PARAM_PACKET_EXP).as_i64().clamp(0, 2)
+}
+
+/// Apply a configuration's raycasting parameters on top of base raster
+/// options (the raster size and thread budget stay the caller's choice).
+pub fn decode_render(config: &Configuration, base: &RenderOptions) -> RenderOptions {
+    RenderOptions {
+        packet_width: decode_packet_width(config),
+        ..*base
+    }
+}
+
 /// The four algorithms as [`AlgorithmSpec`]s for the two-phase tuner, in
 /// figure order, each with its hand-crafted start.
 pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
@@ -85,10 +109,10 @@ mod tests {
 
     #[test]
     fn lazy_has_the_extra_parameter() {
-        assert_eq!(space_for("Inplace").dims(), 3);
-        assert_eq!(space_for("Nested").dims(), 3);
-        assert_eq!(space_for("Wald-Havran").dims(), 3);
-        assert_eq!(space_for("Lazy").dims(), 4);
+        assert_eq!(space_for("Inplace").dims(), 4);
+        assert_eq!(space_for("Nested").dims(), 4);
+        assert_eq!(space_for("Wald-Havran").dims(), 4);
+        assert_eq!(space_for("Lazy").dims(), 5);
     }
 
     #[test]
@@ -98,6 +122,8 @@ mod tests {
         assert_eq!(bc.sah.traversal_cost, 15.0);
         assert_eq!(bc.sah.intersection_cost, 20.0);
         assert_eq!(bc.parallel_depth, 3);
+        // Hand-crafted baseline renders single-ray.
+        assert_eq!(decode_packet_width(&c), 1);
     }
 
     #[test]
@@ -118,6 +144,10 @@ mod tests {
                 assert!((0..=6).contains(&bc.parallel_depth));
                 assert!((1.0..=60.0).contains(&bc.sah.traversal_cost));
                 assert!((1.0..=60.0).contains(&bc.sah.intersection_cost));
+                assert!([1, 2, 4].contains(&decode_packet_width(&c)));
+                let opts = decode_render(&c, &RenderOptions::default());
+                assert_eq!(opts.packet_width, decode_packet_width(&c));
+                assert_eq!(opts.width, RenderOptions::default().width);
                 if builder == "Lazy" {
                     assert!(bc.eager_cutoff <= 16);
                 }

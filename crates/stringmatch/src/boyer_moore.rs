@@ -6,11 +6,77 @@
 //! positions. Preprocessing builds the two classic tables; the search takes
 //! the maximum of both shift proposals.
 
+use crate::scan::{Kernel, PairScanner};
 use crate::Matcher;
 
 /// Boyer-Moore matcher (bad character + good suffix).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BoyerMoore;
+
+/// Vectorized Boyer-Moore: the [`PairScanner`] kernel filters windows by
+/// their first and last byte, and surviving candidates are verified
+/// right-to-left as in the scalar search. The shift tables disappear —
+/// the vector compare advances 8/16/32 positions per step regardless of
+/// alphabet, trading Boyer-Moore's O(n/m) best case for branch-free
+/// scanning. Another nominal choice for the phase-2 strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct BoyerMooreSimd {
+    kernel: Kernel,
+}
+
+impl BoyerMooreSimd {
+    /// Widest kernel the host supports.
+    pub fn new() -> Self {
+        BoyerMooreSimd {
+            kernel: Kernel::detect(),
+        }
+    }
+
+    /// A specific kernel (tests and benches pin all of them).
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        BoyerMooreSimd { kernel }
+    }
+
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Free-function form.
+    pub fn find_all(kernel: Kernel, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        let m = pattern.len();
+        let n = text.len();
+        if m == 0 || m > n {
+            return Vec::new();
+        }
+        PairScanner::new(kernel, text, pattern[0], pattern[m - 1], m - 1)
+            .filter(|&s| {
+                // Right-to-left verification, mirroring the scalar loop.
+                let mut j = m;
+                while j > 0 && pattern[j - 1] == text[s + j - 1] {
+                    j -= 1;
+                }
+                j == 0
+            })
+            .collect()
+    }
+}
+
+impl Default for BoyerMooreSimd {
+    fn default() -> Self {
+        BoyerMooreSimd::new()
+    }
+}
+
+impl Matcher for BoyerMooreSimd {
+    fn name(&self) -> &'static str {
+        // Kernel-independent so result labels are stable across machines.
+        "Boyer-Moore-SIMD"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        BoyerMooreSimd::find_all(self.kernel, pattern, text)
+    }
+}
 
 /// Bad-character table: for each byte, the index of its rightmost
 /// occurrence in the pattern, or `None` if absent.
@@ -161,5 +227,30 @@ mod tests {
     fn empty_and_oversized_patterns() {
         assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
         assert_eq!(find_all(b"abcd", b"abc"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn simd_variant_agrees_with_naive_on_every_kernel() {
+        let text = b"GCATCGCAGAGAGTATACAGTACGGCATCGCAGAGAGTATACAGTACG".as_slice();
+        for kernel in Kernel::all_available() {
+            for pat in [b"GCAGAGAG".as_slice(), b"G", b"TATACAGTACGGCAT", b"missing"] {
+                assert_eq!(
+                    BoyerMooreSimd::find_all(kernel, pat, text),
+                    naive::find_all(pat, text),
+                    "{} {pat:?}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_variant_overlapping_matches() {
+        for kernel in Kernel::all_available() {
+            assert_eq!(
+                BoyerMooreSimd::find_all(kernel, b"abab", b"abababab"),
+                vec![0, 2, 4]
+            );
+        }
     }
 }

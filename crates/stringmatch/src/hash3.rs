@@ -10,6 +10,7 @@
 //!
 //! Patterns shorter than 3 bytes fall back to Shift-Or.
 
+use crate::scan::{rare_pair, Kernel, PairScanner};
 use crate::{shift_or, Matcher};
 
 /// Number of bits of the hash table index.
@@ -93,6 +94,74 @@ impl Matcher for Hash3 {
     }
 }
 
+/// Vectorized Hash3: where scalar Hash3 raises selectivity by hashing
+/// 3-grams, this variant raises it by scanning for the pattern's two
+/// *rarest* bytes ([`rare_pair`]) with the [`PairScanner`] kernel — the
+/// same "filter hard, verify rarely" idea, carried by vector compares
+/// instead of a shift table. Patterns shorter than 3 bytes fall back to
+/// Shift-Or, exactly like the scalar matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct Hash3Simd {
+    kernel: Kernel,
+}
+
+impl Hash3Simd {
+    /// Widest kernel the host supports.
+    pub fn new() -> Self {
+        Hash3Simd {
+            kernel: Kernel::detect(),
+        }
+    }
+
+    /// A specific kernel (tests and benches pin all of them).
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        Hash3Simd { kernel }
+    }
+
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Free-function form.
+    pub fn find_all(kernel: Kernel, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        let m = pattern.len();
+        let n = text.len();
+        if m == 0 || m > n {
+            return Vec::new();
+        }
+        if m < 3 {
+            return shift_or::find_all(pattern, text);
+        }
+        let (lo, hi) = rare_pair(pattern);
+        let gap = hi - lo;
+        // The scanner reports positions of the `lo` byte; the window then
+        // starts `lo` bytes earlier, which must stay inside the text.
+        PairScanner::new(kernel, text, pattern[lo], pattern[hi], gap)
+            .filter_map(|i| {
+                let start = i.checked_sub(lo)?;
+                (start + m <= n && &text[start..start + m] == pattern).then_some(start)
+            })
+            .collect()
+    }
+}
+
+impl Default for Hash3Simd {
+    fn default() -> Self {
+        Hash3Simd::new()
+    }
+}
+
+impl Matcher for Hash3Simd {
+    fn name(&self) -> &'static str {
+        // Kernel-independent so result labels are stable across machines.
+        "Hash3-SIMD"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        Hash3Simd::find_all(self.kernel, pattern, text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +236,37 @@ mod tests {
             let hits = find_all(pat, &text);
             assert_eq!(hits, naive::find_all(pat, &text));
             assert!(hits.contains(&start));
+        }
+    }
+
+    #[test]
+    fn simd_variant_agrees_with_naive_on_every_kernel() {
+        let text = b"and the spirit of the lord moved upon the face of the waters".as_slice();
+        for kernel in Kernel::all_available() {
+            for pat in [
+                b"the".as_slice(),
+                b"spirit",
+                b"upon the face",
+                b"qq", // short: Shift-Or fallback
+                b"waters",
+                b"nowhere at all",
+            ] {
+                assert_eq!(
+                    Hash3Simd::find_all(kernel, pat, text),
+                    naive::find_all(pat, text),
+                    "{} {pat:?}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_variant_handles_matches_flush_with_both_text_ends() {
+        // rare_pair may pick interior positions, so candidate windows can
+        // extend before/after the scanned bytes: check both extremes.
+        for kernel in Kernel::all_available() {
+            assert_eq!(Hash3Simd::find_all(kernel, b"qxj", b"qxjaaqxj"), vec![0, 5]);
         }
     }
 }

@@ -7,11 +7,70 @@
 //! via [`crate::all_matchers_extended`] for experiments that want a larger
 //! algorithm set.
 
+use crate::scan::{Kernel, PairScanner};
 use crate::Matcher;
 
 /// Boyer-Moore-Horspool matcher.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Horspool;
+
+/// Vectorized Horspool: the shift-table skip loop is replaced by the
+/// [`PairScanner`] kernel finding every window whose first and last byte
+/// match the pattern's, then a forward slice-compare verifies. Registered
+/// as its own member of `𝒜` ([`crate::all_matchers_with_kernels`]) so the
+/// tuner decides when the vector scan beats the table.
+#[derive(Debug, Clone, Copy)]
+pub struct HorspoolSimd {
+    kernel: Kernel,
+}
+
+impl HorspoolSimd {
+    /// Widest kernel the host supports.
+    pub fn new() -> Self {
+        HorspoolSimd {
+            kernel: Kernel::detect(),
+        }
+    }
+
+    /// A specific kernel (tests and benches pin all of them).
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        HorspoolSimd { kernel }
+    }
+
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Free-function form.
+    pub fn find_all(kernel: Kernel, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        let m = pattern.len();
+        let n = text.len();
+        if m == 0 || m > n {
+            return Vec::new();
+        }
+        PairScanner::new(kernel, text, pattern[0], pattern[m - 1], m - 1)
+            .filter(|&i| &text[i..i + m] == pattern)
+            .collect()
+    }
+}
+
+impl Default for HorspoolSimd {
+    fn default() -> Self {
+        HorspoolSimd::new()
+    }
+}
+
+impl Matcher for HorspoolSimd {
+    fn name(&self) -> &'static str {
+        // Kernel-independent so result labels are stable across machines;
+        // the active kernel is exposed via [`HorspoolSimd::kernel`].
+        "Horspool-SIMD"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        HorspoolSimd::find_all(self.kernel, pattern, text)
+    }
+}
 
 /// Free-function form.
 pub fn find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
@@ -99,5 +158,28 @@ mod tests {
         assert_eq!(find_all(b"", b"abc"), Vec::<usize>::new());
         assert_eq!(find_all(b"abcd", b"abc"), Vec::<usize>::new());
         assert_eq!(find_all(b"abc", b"abc"), vec![0]);
+    }
+
+    #[test]
+    fn simd_variant_agrees_with_naive_on_every_kernel() {
+        let text = b"she sells sea shells by the sea shore; she sells sea shells".as_slice();
+        for kernel in Kernel::all_available() {
+            for pat in [b"sea".as_slice(), b"shells", b"s", b"she sells", b"zzz"] {
+                assert_eq!(
+                    HorspoolSimd::find_all(kernel, pat, text),
+                    naive::find_all(pat, text),
+                    "{} {pat:?}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_variant_name_is_kernel_independent() {
+        for kernel in Kernel::all_available() {
+            assert_eq!(HorspoolSimd::with_kernel(kernel).name(), "Horspool-SIMD");
+        }
+        assert!(Kernel::all_available().contains(&HorspoolSimd::new().kernel()));
     }
 }

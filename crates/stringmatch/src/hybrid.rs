@@ -12,6 +12,9 @@
 //! paper's experiments — a hand-crafted heuristic for the tuner to compete
 //! against.
 
+use crate::boyer_moore::BoyerMooreSimd;
+use crate::hash3::Hash3Simd;
+use crate::scan::Kernel;
 use crate::{ebom, hash3, shift_or, ssef, Matcher};
 
 /// Pattern-length-dispatching matcher.
@@ -45,6 +48,74 @@ impl Matcher for Hybrid {
 
     fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
         find_all(pattern, text)
+    }
+}
+
+/// Which algorithm [`HybridSimd`] delegates to for a pattern of length
+/// `m`. Fewer regimes than the scalar hybrid: bit-parallel Shift-Or still
+/// owns very short patterns (a vector pair filter has nothing to skip
+/// with there), the rare-pair Hash3 kernel takes the medium range, and
+/// the first/last-pair Boyer-Moore kernel the long range where its gap is
+/// widest.
+pub fn simd_choice_for_length(m: usize) -> &'static str {
+    match m {
+        0..=3 => "ShiftOr",
+        4..=31 => "Hash3-SIMD",
+        _ => "Boyer-Moore-SIMD",
+    }
+}
+
+/// Vectorized hybrid: the same hand-crafted heuristic idea as [`Hybrid`]
+/// — dispatch on pattern length — but over the vectorized kernel family.
+/// Competing against both the scalar hybrid and the individual `*-SIMD`
+/// variants in `𝒜` lets the tuner show whether the heuristic or the
+/// online choice wins.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridSimd {
+    kernel: Kernel,
+}
+
+impl HybridSimd {
+    /// Widest kernel the host supports.
+    pub fn new() -> Self {
+        HybridSimd {
+            kernel: Kernel::detect(),
+        }
+    }
+
+    /// A specific kernel (tests and benches pin all of them).
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        HybridSimd { kernel }
+    }
+
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Free-function form.
+    pub fn find_all(kernel: Kernel, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        match simd_choice_for_length(pattern.len()) {
+            "ShiftOr" => shift_or::find_all(pattern, text),
+            "Hash3-SIMD" => Hash3Simd::find_all(kernel, pattern, text),
+            _ => BoyerMooreSimd::find_all(kernel, pattern, text),
+        }
+    }
+}
+
+impl Default for HybridSimd {
+    fn default() -> Self {
+        HybridSimd::new()
+    }
+}
+
+impl Matcher for HybridSimd {
+    fn name(&self) -> &'static str {
+        // Kernel-independent so result labels are stable across machines.
+        "Hybrid-SIMD"
+    }
+
+    fn find_all(&self, pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        HybridSimd::find_all(self.kernel, pattern, text)
     }
 }
 
@@ -84,5 +155,39 @@ mod tests {
     #[test]
     fn paper_query_dispatches_to_ssef() {
         assert_eq!(choice_for_length(crate::PAPER_QUERY.len()), "SSEF");
+    }
+
+    #[test]
+    fn simd_thresholds_cover_all_lengths() {
+        assert_eq!(simd_choice_for_length(0), "ShiftOr");
+        assert_eq!(simd_choice_for_length(3), "ShiftOr");
+        assert_eq!(simd_choice_for_length(4), "Hash3-SIMD");
+        assert_eq!(simd_choice_for_length(31), "Hash3-SIMD");
+        assert_eq!(simd_choice_for_length(32), "Boyer-Moore-SIMD");
+        assert_eq!(
+            simd_choice_for_length(crate::PAPER_QUERY.len()),
+            "Boyer-Moore-SIMD"
+        );
+    }
+
+    #[test]
+    fn simd_variant_agrees_with_naive_across_all_regimes() {
+        let text = b"whosoever therefore shall humble himself as this little child \
+                     the same is greatest in the kingdom of heaven whosoever"
+            .as_slice();
+        for kernel in Kernel::all_available() {
+            for pat in [
+                b"the".as_slice(),                                // ShiftOr
+                b"heaven".as_slice(),                             // Hash3-SIMD
+                b"the same is greatest in the kingdom of heaven", // BM-SIMD (45)
+            ] {
+                assert_eq!(
+                    HybridSimd::find_all(kernel, pat, text),
+                    naive::find_all(pat, text),
+                    "{} {pat:?}",
+                    kernel.name()
+                );
+            }
+        }
     }
 }

@@ -42,19 +42,21 @@ pub mod hybrid;
 pub mod kmp;
 pub mod naive;
 pub mod parallel;
+pub mod scan;
 pub mod shift_or;
 pub mod ssef;
 
 pub use bndm::Bndm;
-pub use boyer_moore::BoyerMoore;
+pub use boyer_moore::{BoyerMoore, BoyerMooreSimd};
 pub use ebom::Ebom;
 pub use fsbndm::Fsbndm;
-pub use hash3::Hash3;
-pub use horspool::Horspool;
-pub use hybrid::Hybrid;
+pub use hash3::{Hash3, Hash3Simd};
+pub use horspool::{Horspool, HorspoolSimd};
+pub use hybrid::{Hybrid, HybridSimd};
 pub use kmp::Kmp;
 pub use naive::Naive;
 pub use parallel::ParallelMatcher;
+pub use scan::Kernel;
 pub use shift_or::ShiftOr;
 pub use ssef::Ssef;
 
@@ -111,6 +113,22 @@ pub fn all_matchers_extended() -> Vec<Box<dyn Matcher>> {
     ms
 }
 
+/// The paper's algorithm set extended with the vectorized kernel variants
+/// ([`HorspoolSimd`], [`BoyerMooreSimd`], [`Hash3Simd`], [`HybridSimd`]),
+/// each running the widest kernel the host supports
+/// ([`Kernel::detect`]). This is the grown nominal set `𝒜` for
+/// experiments where the tuner chooses scalar vs. vectorized online:
+/// the variants are ordinary members of the choice space, not a
+/// compile-time switch.
+pub fn all_matchers_with_kernels() -> Vec<Box<dyn Matcher>> {
+    let mut ms = all_matchers();
+    ms.push(Box::new(HorspoolSimd::new()));
+    ms.push(Box::new(BoyerMooreSimd::new()));
+    ms.push(Box::new(Hash3Simd::new()));
+    ms.push(Box::new(HybridSimd::new()));
+    ms
+}
+
 /// The paper's benchmark query phrase (from Isaiah-like verse text).
 pub const PAPER_QUERY: &[u8] = b"the spirit to a great and high mountain";
 
@@ -144,6 +162,38 @@ mod tests {
         assert_eq!(ms.len(), 10);
         assert_eq!(ms[8].name(), "Horspool");
         assert_eq!(ms[9].name(), "BNDM");
+    }
+
+    #[test]
+    fn kernel_registry_appends_the_vectorized_variants() {
+        let ms = all_matchers_with_kernels();
+        assert_eq!(ms.len(), 12);
+        let names: Vec<_> = ms[8..].iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Horspool-SIMD",
+                "Boyer-Moore-SIMD",
+                "Hash3-SIMD",
+                "Hybrid-SIMD"
+            ]
+        );
+    }
+
+    #[test]
+    fn vectorized_variants_find_the_paper_query() {
+        // End-to-end through the registry: plant the paper query in a
+        // corpus and check every vectorized variant counts it correctly.
+        let text = crate::corpus::bible_like(7, 1 << 16);
+        let expected = naive::find_all(PAPER_QUERY, &text);
+        for m in all_matchers_with_kernels() {
+            assert_eq!(
+                m.find_all(PAPER_QUERY, &text),
+                expected,
+                "matcher {}",
+                m.name()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! The vectorized kernel layer: a first/last-byte *pair scanner* shared by
+//! the `*-SIMD` matcher variants.
+//!
+//! Every skip-ahead matcher spends its inner loop answering one question:
+//! *where is the next text position that could possibly start (or end) an
+//! occurrence?* The scalar algorithms answer it one byte at a time through
+//! a shift table. The kernels here answer it 8/16/32 bytes at a time by
+//! broadcast-comparing **two** pattern bytes a fixed distance apart —
+//! typically the first and last byte of the pattern — and verifying only
+//! the positions where both match:
+//!
+//! * [`Kernel::Swar`] — dependency-free SWAR over `u64`: XOR against a
+//!   broadcast byte, then the classic `(v - 0x01…) & !v & 0x80…` zero-byte
+//!   detector. Portable to every target; the guaranteed fallback.
+//! * [`Kernel::Sse2`]/[`Kernel::Avx2`] — `core::arch::x86_64` compare +
+//!   movemask over 16/32 lanes, selected by **runtime** feature detection
+//!   ([`Kernel::detect`]), so one binary serves every x86-64 and other
+//!   architectures compile the SWAR path only.
+//!
+//! The two scanned bytes need not be the pattern's extremes: Hash3-SIMD
+//! picks the two *rarest* pattern bytes ([`rare_pair`]) to minimize false
+//! candidates on natural-language text.
+//!
+//! Each kernel is exactly the kind of nominal algorithmic choice the
+//! paper's phase-2 strategies select between: `stringmatch` registers the
+//! vectorized variants alongside their scalar counterparts
+//! ([`crate::all_matchers_with_kernels`]) and lets the online tuner decide
+//! which wins on the current machine and workload.
+//!
+//! Setting `AUTOTUNE_FORCE_SCALAR=1` disables SIMD detection (the CI
+//! fallback leg), pinning every scanner to the SWAR path.
+
+/// Which vector width the scanner runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// 8 bytes per step via `u64` broadcast-compare. Always available.
+    Swar,
+    /// 16 bytes per step via SSE2 compare + movemask (x86-64 only).
+    Sse2,
+    /// 32 bytes per step via AVX2 compare + movemask (x86-64 only).
+    Avx2,
+}
+
+/// Is SIMD detection forced off (`AUTOTUNE_FORCE_SCALAR=1`)?
+pub fn force_scalar() -> bool {
+    std::env::var("AUTOTUNE_FORCE_SCALAR").is_ok_and(|v| v != "0")
+}
+
+impl Kernel {
+    /// The widest kernel this CPU supports, honoring
+    /// `AUTOTUNE_FORCE_SCALAR`. Detection is a runtime check, so a binary
+    /// compiled without `target-cpu` flags still uses AVX2 where present.
+    pub fn detect() -> Kernel {
+        if force_scalar() {
+            return Kernel::Swar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Kernel::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                return Kernel::Sse2;
+            }
+        }
+        Kernel::Swar
+    }
+
+    /// Every kernel runnable on this machine (SWAR always; SSE2/AVX2 as
+    /// detected). Used by benches and differential tests to cover all
+    /// paths the dispatcher could take.
+    pub fn all_available() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Swar];
+        if !force_scalar() {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("sse2") {
+                    ks.push(Kernel::Sse2);
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    ks.push(Kernel::Avx2);
+                }
+            }
+        }
+        ks
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Swar => "SWAR",
+            Kernel::Sse2 => "SSE2",
+            Kernel::Avx2 => "AVX2",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SWAR primitives
+// ---------------------------------------------------------------------
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+const LOW7: u64 = !HI; // 0x7F7F…: the low seven bits of every byte
+
+/// High bit set in **exactly** the bytes of `v` that are zero.
+///
+/// Not the 4-op `(v - LO) & !v & HI` folklore test: that one is only
+/// reliable up to the lowest zero byte (a borrow out of a zero byte can
+/// false-flag a 0x01 byte above it), which is fine for memchr-style
+/// first-hit scans but not for a scanner that enumerates *every*
+/// candidate bit. The carry-free form below costs one extra op and is
+/// exact per byte: `(v & LOW7) + LOW7` sets a byte's high bit iff any low
+/// bit was set, `| v` folds in the high bit itself, so a byte's high bit
+/// ends up clear iff the byte was zero — then complement and mask.
+#[inline(always)]
+fn zero_bytes(v: u64) -> u64 {
+    !(((v & LOW7).wrapping_add(LOW7)) | v) & HI
+}
+
+/// `b` replicated into all eight lanes.
+#[inline(always)]
+fn broadcast(b: u8) -> u64 {
+    LO.wrapping_mul(b as u64)
+}
+
+/// Unaligned little-endian `u64` load at `text[i..i + 8]`.
+#[inline(always)]
+fn load64(text: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(text[i..i + 8].try_into().unwrap())
+}
+
+// ---------------------------------------------------------------------
+// The pair scanner
+// ---------------------------------------------------------------------
+
+/// Streams the positions `i` with `text[i] == first` **and**
+/// `text[i + gap] == last`, in increasing order — the candidate windows a
+/// verifying matcher then confirms. `gap == 0` degenerates to a
+/// single-byte scan (pass `first == last`).
+pub struct PairScanner<'a> {
+    text: &'a [u8],
+    first: u8,
+    last: u8,
+    gap: usize,
+    kernel: Kernel,
+    /// One candidate start past the last position scanned into `mask`.
+    next_block: usize,
+    /// First index with no room for a full block load (`i + gap + width
+    /// > n`); the scalar tail covers `[tail_from, limit)`.
+    tail_from: usize,
+    /// One past the last legal candidate start (`n - gap`).
+    limit: usize,
+    /// Candidate bits of the current block, lowest bit = earliest.
+    mask: u64,
+    /// Text index of the current block's first byte.
+    base: usize,
+    /// log2(bits per candidate) in `mask`: 3 for SWAR (high bit per
+    /// byte), 0 for movemask kernels (one bit per lane).
+    shift: u32,
+    /// Scalar-tail cursor.
+    tail: usize,
+}
+
+impl<'a> PairScanner<'a> {
+    pub fn new(kernel: Kernel, text: &'a [u8], first: u8, last: u8, gap: usize) -> Self {
+        let n = text.len();
+        let limit = n.saturating_sub(gap);
+        let width = match kernel {
+            Kernel::Swar => 8,
+            Kernel::Sse2 => 16,
+            Kernel::Avx2 => 32,
+        };
+        // A block load at `i` reads `text[i .. i+width]` and
+        // `text[i+gap .. i+gap+width]`; both must stay in bounds.
+        let tail_from = n.saturating_sub(gap + width - 1).min(limit);
+        let shift = match kernel {
+            Kernel::Swar => 3,
+            _ => 0,
+        };
+        PairScanner {
+            text,
+            first,
+            last,
+            gap,
+            kernel,
+            next_block: 0,
+            tail_from,
+            limit,
+            mask: 0,
+            base: 0,
+            shift,
+            tail: tail_from,
+        }
+    }
+
+    /// Fill `mask` from the block at `i`. Caller guarantees the loads are
+    /// in bounds (`i < tail_from`).
+    #[inline(always)]
+    fn scan_block(&mut self, i: usize) {
+        self.base = i;
+        self.mask = match self.kernel {
+            Kernel::Swar => {
+                let a = load64(self.text, i) ^ broadcast(self.first);
+                let b = load64(self.text, i + self.gap) ^ broadcast(self.last);
+                zero_bytes(a) & zero_bytes(b)
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: bounds guaranteed by caller; the ISA extension was
+            // runtime-verified when this kernel was selected.
+            Kernel::Sse2 => unsafe { block_sse2(self.text, i, self.gap, self.first, self.last) },
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => unsafe { block_avx2(self.text, i, self.gap, self.first, self.last) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("SIMD kernels are x86-64 only"),
+        };
+    }
+}
+
+impl Iterator for PairScanner<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.mask != 0 {
+                let candidate = self.base + (self.mask.trailing_zeros() >> self.shift) as usize;
+                self.mask &= self.mask - 1; // clear lowest candidate bit
+                                            // Blocks can overrun `tail_from` coverage but never emit
+                                            // positions past the candidate limit.
+                if candidate < self.limit {
+                    return Some(candidate);
+                }
+                self.mask = 0;
+            }
+            if self.next_block < self.tail_from {
+                let i = self.next_block;
+                let width = match self.kernel {
+                    Kernel::Swar => 8,
+                    Kernel::Sse2 => 16,
+                    Kernel::Avx2 => 32,
+                };
+                self.next_block = i + width;
+                self.scan_block(i);
+                // The final block may reach past `tail_from`; start the
+                // scalar tail where block coverage actually ends so no
+                // position is reported twice.
+                self.tail = self.tail.max(self.next_block);
+                continue;
+            }
+            // Scalar tail: too close to the end for a full block load.
+            while self.tail < self.limit {
+                let i = self.tail;
+                self.tail += 1;
+                if self.text[i] == self.first && self.text[i + self.gap] == self.last {
+                    return Some(i);
+                }
+            }
+            return None;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn block_sse2(text: &[u8], i: usize, gap: usize, first: u8, last: u8) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert!(i + gap + 16 <= text.len());
+    let p = text.as_ptr().add(i);
+    let a = _mm_loadu_si128(p as *const __m128i);
+    let b = _mm_loadu_si128(p.add(gap) as *const __m128i);
+    let ea = _mm_cmpeq_epi8(a, _mm_set1_epi8(first as i8));
+    let eb = _mm_cmpeq_epi8(b, _mm_set1_epi8(last as i8));
+    _mm_movemask_epi8(_mm_and_si128(ea, eb)) as u32 as u64
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block_avx2(text: &[u8], i: usize, gap: usize, first: u8, last: u8) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert!(i + gap + 32 <= text.len());
+    let p = text.as_ptr().add(i);
+    let a = _mm256_loadu_si256(p as *const __m256i);
+    let b = _mm256_loadu_si256(p.add(gap) as *const __m256i);
+    let ea = _mm256_cmpeq_epi8(a, _mm256_set1_epi8(first as i8));
+    let eb = _mm256_cmpeq_epi8(b, _mm256_set1_epi8(last as i8));
+    _mm256_movemask_epi8(_mm256_and_si256(ea, eb)) as u32 as u64
+}
+
+// ---------------------------------------------------------------------
+// Rare-pair selection (Hash3-SIMD's filter choice)
+// ---------------------------------------------------------------------
+
+/// English-ish byte frequency, most common first. Bytes absent from the
+/// list (punctuation, digits, uppercase, binary) rank rarer than anything
+/// on it — exactly the bytes worth scanning for.
+const FREQ_ORDER: &[u8] = b" etaoinshrdlcumwfgypbvkjxqz";
+
+/// Commonness weight of a byte: 0 for bytes not in [`FREQ_ORDER`]
+/// (rarest), up to `FREQ_ORDER.len()` for the space character.
+fn commonness(b: u8) -> usize {
+    FREQ_ORDER
+        .iter()
+        .position(|&c| c == b.to_ascii_lowercase())
+        .map_or(0, |p| FREQ_ORDER.len() - p)
+}
+
+/// The two pattern positions whose bytes are rarest (heuristically), as an
+/// ordered pair `(lo, hi)` with `lo < hi` — or `(0, 0)` for single-byte
+/// patterns. Scanning for rare bytes minimizes verification calls.
+pub fn rare_pair(pattern: &[u8]) -> (usize, usize) {
+    let m = pattern.len();
+    assert!(m >= 1, "rare_pair needs a non-empty pattern");
+    if m == 1 {
+        return (0, 0);
+    }
+    // Two smallest commonness weights; earliest positions win ties so the
+    // choice is deterministic.
+    let (mut best, mut second) = (0usize, 1usize);
+    if commonness(pattern[1]) < commonness(pattern[0]) {
+        (best, second) = (1, 0);
+    }
+    for i in 2..m {
+        let w = commonness(pattern[i]);
+        if w < commonness(pattern[best]) {
+            second = best;
+            best = i;
+        } else if w < commonness(pattern[second]) {
+            second = i;
+        }
+    }
+    if best < second {
+        (best, second)
+    } else {
+        (second, best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar oracle for the scanner.
+    fn scalar_pairs(text: &[u8], first: u8, last: u8, gap: usize) -> Vec<usize> {
+        if text.len() <= gap {
+            return Vec::new();
+        }
+        (0..text.len() - gap)
+            .filter(|&i| text[i] == first && text[i + gap] == last)
+            .collect()
+    }
+
+    fn pseudo_text(seed: u64, len: usize, alphabet: &[u8]) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                alphabet[((state >> 33) as usize) % alphabet.len()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_kernels_agree_with_the_scalar_oracle() {
+        for kernel in Kernel::all_available() {
+            for (seed, alphabet) in [
+                (1u64, b"ab".as_slice()),
+                (2, b"abcd"),
+                (3, b"the quick brown fox"),
+            ] {
+                for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 100, 1000] {
+                    let text = pseudo_text(seed, len, alphabet);
+                    for gap in [0usize, 1, 5, 38, 200] {
+                        let got: Vec<usize> =
+                            PairScanner::new(kernel, &text, b'a', b'b', gap).collect();
+                        assert_eq!(
+                            got,
+                            scalar_pairs(&text, b'a', b'b', gap),
+                            "{} len={len} gap={gap} seed={seed}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_straddling_block_boundaries() {
+        // Pairs planted exactly at and around the 8/16/32-byte block
+        // edges, where the vector loop hands over to the next block or the
+        // scalar tail.
+        let mut text = vec![b'.'; 200];
+        let gap = 11;
+        for &i in &[0usize, 7, 8, 15, 16, 31, 32, 63, 64, 150, 187, 188] {
+            text[i] = b'x';
+            text[i + gap] = b'y';
+        }
+        let expected = scalar_pairs(&text, b'x', b'y', gap);
+        assert!(!expected.is_empty());
+        for kernel in Kernel::all_available() {
+            let got: Vec<usize> = PairScanner::new(kernel, &text, b'x', b'y', gap).collect();
+            assert_eq!(got, expected, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn gap_zero_is_a_single_byte_scan() {
+        let text = b"abracadabra";
+        for kernel in Kernel::all_available() {
+            let got: Vec<usize> = PairScanner::new(kernel, text, b'a', b'a', 0).collect();
+            assert_eq!(got, vec![0, 3, 5, 7, 10], "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn gap_longer_than_text_yields_nothing() {
+        for kernel in Kernel::all_available() {
+            assert_eq!(
+                PairScanner::new(kernel, b"short", b's', b't', 99).count(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn dense_candidates_every_position() {
+        let text = vec![b'a'; 100];
+        for kernel in Kernel::all_available() {
+            let got: Vec<usize> = PairScanner::new(kernel, &text, b'a', b'a', 3).collect();
+            assert_eq!(got, (0..97).collect::<Vec<_>>(), "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn zero_byte_detector_is_exact() {
+        // Spot-check the SWAR primitive against the definition on words
+        // engineered around the borrow-propagation edge cases.
+        for w in [
+            0u64,
+            0x0000_0000_0000_0001,
+            0x0100_0000_0000_0000,
+            0x0101_0101_0101_0101,
+            0x00FF_00FF_00FF_00FF,
+            0xFF00_FF00_FF00_FF00,
+            0x8080_8080_8080_8080,
+            u64::MAX,
+        ] {
+            let got = zero_bytes(w);
+            for byte in 0..8 {
+                let is_zero = (w >> (8 * byte)) & 0xFF == 0;
+                let flagged = got & (0x80 << (8 * byte)) != 0;
+                assert_eq!(is_zero, flagged, "word {w:#x} byte {byte}");
+            }
+        }
+    }
+
+    #[test]
+    fn rare_pair_prefers_uncommon_bytes() {
+        // 'q' and 'z' are rarer than 'e' and ' '.
+        let (lo, hi) = rare_pair(b"eqz e");
+        assert_eq!((lo, hi), (1, 2));
+        // Ties resolve deterministically; extremes for uniform patterns.
+        assert_eq!(rare_pair(b"aaaa"), (0, 1));
+        assert_eq!(rare_pair(b"x"), (0, 0));
+        let (lo, hi) = rare_pair(b"ab");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn detect_honors_force_scalar() {
+        // Cannot mutate the environment safely in parallel tests; just
+        // check the invariants that hold either way.
+        let k = Kernel::detect();
+        let available = Kernel::all_available();
+        assert!(available.contains(&k));
+        assert!(available.contains(&Kernel::Swar));
+    }
+}

@@ -28,6 +28,7 @@ fn main() {
         width: 160,
         height: 120,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        packet_width: 1,
     };
     let builders = all_builders();
     let mut tuner = TwoPhaseTuner::new(

@@ -11,6 +11,7 @@ fn opts() -> RenderOptions {
         width: 40,
         height: 30,
         threads: 2,
+        packet_width: 1,
     }
 }
 
@@ -73,6 +74,7 @@ fn selection_counts_sum_to_frames_for_every_strategy() {
         width: 24,
         height: 18,
         threads: 2,
+        packet_width: 1,
     };
     for kind in [
         NominalKind::EpsilonGreedy(0.05),
@@ -91,9 +93,10 @@ fn selection_counts_sum_to_frames_for_every_strategy() {
 }
 
 #[test]
-fn lazy_builder_is_tuned_through_its_fourth_parameter() {
-    // The Lazy space has the extra eager-cutoff dimension; a full tuning
-    // round through the two-phase tuner must produce valid configs for it.
+fn lazy_builder_is_tuned_through_its_extra_parameter() {
+    // The Lazy space has the extra eager-cutoff dimension on top of the
+    // common four (depth, Ct, Ci, packet_exp); a full tuning round through
+    // the two-phase tuner must produce valid configs for it.
     let scene = cathedral(4, 1);
     let builders = all_builders();
     let o = opts();
@@ -102,10 +105,12 @@ fn lazy_builder_is_tuned_through_its_fourth_parameter() {
     for _ in 0..10 {
         let (alg, c) = tuner.next();
         assert_eq!(alg, 0);
-        assert_eq!(c.len(), 4, "Lazy has 4 tunables");
+        assert_eq!(c.len(), 5, "Lazy has 5 tunables");
         let config = tunable::decode("Lazy", &c);
         assert!(config.eager_cutoff <= 16);
-        let ms = frame(&scene, builders[1].as_ref(), &config, &o).total_ms();
+        assert!([1, 2, 4].contains(&tunable::decode_packet_width(&c)));
+        let ropts = tunable::decode_render(&c, &o);
+        let ms = frame(&scene, builders[1].as_ref(), &config, &ropts).total_ms();
         tuner.report(ms);
     }
 }

@@ -48,6 +48,7 @@ pub fn check_with_workers(workers: usize) {
         width: 40,
         height: 30,
         threads,
+        packet_width: 1,
     };
     let reference = render(&scene, &BruteForce, &opts(1));
     for threads in [2, 8] {
