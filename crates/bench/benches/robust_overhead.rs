@@ -1,0 +1,96 @@
+//! Overhead of the fault-tolerant measurement pipeline, pinned so the
+//! robustness layer stays honest about its cost:
+//!
+//! 1. **Wrapper tax**: a raw timed closure vs. the same closure through
+//!    [`robust_call`] (catch_unwind guard + outcome classification). This
+//!    is paid on *every* tuning iteration, so it must stay far below the
+//!    millisecond-scale measurements it wraps.
+//! 2. **Failure path**: a panicking measurement caught and classified as
+//!    [`MeasureOutcome::Failed`] — unwinding is allowed to be slower, but
+//!    should stay bounded (it only runs on the injected-fault fraction).
+//! 3. **Median-of-k**: `repetitions(3)` vs. a single attempt, the knob a
+//!    deployment turns when measurements are noisy rather than faulty.
+//!
+//! All sides run the identical spin workload; only the wrapping differs.
+
+use autotune::robust::{robust_call, MeasureOutcome, RobustOptions};
+use bench::harness::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn spin(work: u64) -> f64 {
+    let acc = (0..work).fold(0u64, |acc, i| acc ^ i.wrapping_mul(0x9E37_79B9));
+    // Fold the result into a plausible positive "milliseconds" value so
+    // the classifier exercises its finite/positive checks.
+    1.0 + (acc % 97) as f64 / 100.0
+}
+
+fn bench_wrapper_tax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust_overhead_wrapper");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    // Small: the regime where the guard could matter (microsecond kernel
+    // probes). Large: millisecond-scale measurements; the wrapper must
+    // vanish in the noise here.
+    for (label, work) in [("small", 2_000u64), ("large", 200_000)] {
+        group.bench_function(format!("raw_{label}"), |b| {
+            b.iter(|| black_box(spin(black_box(work))))
+        });
+        let opts = RobustOptions::default();
+        group.bench_function(format!("robust_{label}"), |b| {
+            b.iter(|| black_box(robust_call(&opts, || spin(black_box(work)))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust_overhead_failure");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    // No retries: measure one contained panic, not a backoff schedule.
+    let opts = RobustOptions::default().with_retries(0, Duration::ZERO);
+    group.bench_function("caught_panic", |b| {
+        b.iter(|| {
+            let out = robust_call(&opts, || -> f64 { panic!("bench fault") });
+            assert!(matches!(out, MeasureOutcome::Failed(_)));
+            black_box(out)
+        })
+    });
+    group.bench_function("nan_result", |b| {
+        b.iter(|| {
+            let out = robust_call(&opts, || f64::NAN);
+            assert!(matches!(out, MeasureOutcome::Failed(_)));
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_median_of_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust_overhead_median_of_k");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let work = 20_000u64;
+    for k in [1usize, 3] {
+        let opts = RobustOptions::default().with_repetitions(k);
+        group.bench_function(format!("reps_{k}"), |b| {
+            b.iter(|| black_box(robust_call(&opts, || spin(black_box(work)))))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    // The failure-path bench panics on purpose many times per second;
+    // silence the default hook so the run stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut c = Criterion::default();
+    bench_wrapper_tax(&mut c);
+    bench_failure_path(&mut c);
+    bench_median_of_k(&mut c);
+    c.final_summary();
+}

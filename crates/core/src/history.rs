@@ -7,13 +7,24 @@
 //! the best sample seen so far. This module centralizes that bookkeeping.
 
 use crate::measure::Sample;
+use crate::robust::{MAX_MEASUREMENT_MS, RESOLUTION_FLOOR_MS};
 use crate::space::Configuration;
+
+/// Inverse of a runtime sample, clamped to the timer-resolution floor so
+/// the result is always finite and positive — the primitive under every
+/// `1/m` weight in the phase-2 strategies. A `0.0` ms sample (fast kernel,
+/// coarse timer) inverts to `1/RESOLUTION_FLOOR_MS`, not `inf`.
+#[inline]
+pub fn clamped_inverse(value: f64) -> f64 {
+    1.0 / value.clamp(RESOLUTION_FLOOR_MS, MAX_MEASUREMENT_MS)
+}
 
 /// History of runtime samples for one algorithm.
 #[derive(Debug, Clone, Default)]
 pub struct AlgorithmHistory {
     samples: Vec<Sample>,
     best: Option<(usize, f64)>,
+    worst: Option<f64>,
 }
 
 impl AlgorithmHistory {
@@ -23,11 +34,31 @@ impl AlgorithmHistory {
 
     /// Record a new sample (measured value for `config` at global tuning
     /// iteration `iteration`).
+    ///
+    /// Recording is *total*: degenerate values are sanitized instead of
+    /// panicking, because in online tuning they are produced by the live
+    /// application, not by the tuner. Finite values are clamped into
+    /// `[RESOLUTION_FLOOR_MS, MAX_MEASUREMENT_MS]`; non-finite values
+    /// (which the robust measurement layer should already have converted to
+    /// failures) are recorded as `MAX_MEASUREMENT_MS`, the worst
+    /// representable runtime.
     pub fn record(&mut self, iteration: usize, config: Configuration, value: f64) {
-        assert!(value.is_finite(), "measurement must be finite, got {value}");
+        debug_assert!(
+            value.is_finite(),
+            "non-finite measurement {value} reached record(); \
+             route failures through report_failure instead"
+        );
+        let value = if value.is_finite() {
+            value.clamp(RESOLUTION_FLOOR_MS, MAX_MEASUREMENT_MS)
+        } else {
+            MAX_MEASUREMENT_MS
+        };
         let idx = self.samples.len();
         if self.best.is_none_or(|(_, b)| value < b) {
             self.best = Some((idx, value));
+        }
+        if self.worst.is_none_or(|w| value > w) {
+            self.worst = Some(value);
         }
         self.samples.push(Sample {
             iteration,
@@ -59,6 +90,12 @@ impl AlgorithmHistory {
         self.best.map(|(_, v)| v)
     }
 
+    /// Worst (maximal) measured value so far — the scale the failure
+    /// penalty is derived from.
+    pub fn worst_value(&self) -> Option<f64> {
+        self.worst
+    }
+
     /// The last measured value.
     pub fn last_value(&self) -> Option<f64> {
         self.samples.last().map(|s| s.value)
@@ -87,7 +124,7 @@ impl AlgorithmHistory {
         let first = w.first().expect("len >= 2");
         let last = w.last().expect("len >= 2");
         let span = (w.len() - 1) as f64;
-        Some((1.0 / last.value - 1.0 / first.value) / span)
+        Some((clamped_inverse(last.value) - clamped_inverse(first.value)) / span)
     }
 
     /// The paper's sliding-window area under the (inverse) performance curve:
@@ -101,7 +138,7 @@ impl AlgorithmHistory {
         if w.is_empty() {
             return None;
         }
-        let sum: f64 = w.iter().map(|s| 1.0 / s.value).sum();
+        let sum: f64 = w.iter().map(|s| clamped_inverse(s.value)).sum();
         if w.len() == 1 {
             Some(sum)
         } else {
@@ -199,9 +236,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn non_finite_measurements_rejected() {
-        let mut h = AlgorithmHistory::new();
-        h.record(0, Configuration::empty(), f64::INFINITY);
+    fn worst_tracks_maximum() {
+        let h = hist(&[5.0, 30.0, 4.0]);
+        assert_eq!(h.worst_value(), Some(30.0));
+        assert_eq!(hist(&[]).worst_value(), None);
+    }
+
+    #[test]
+    fn zero_sample_keeps_weights_finite() {
+        // The degenerate case that used to poison the 1/m weights: a 0.0 ms
+        // sample from a fast kernel under a coarse timer.
+        let h = hist(&[2.0, 0.0]);
+        let g = h.window_gradient(16).unwrap();
+        assert!(g.is_finite());
+        let auc = h.window_auc(16).unwrap();
+        assert!(auc.is_finite() && auc > 0.0);
+    }
+
+    #[test]
+    fn subnormal_and_extreme_samples_keep_weights_finite() {
+        for stream in [
+            &[5e-324, 5e-324][..],
+            &[1e308, 1e308],
+            &[0.0, 1e308, 5e-324, 1.0],
+            &[-7.0, 3.0],
+        ] {
+            let h = hist(stream);
+            assert!(h.window_gradient(16).unwrap().is_finite(), "{stream:?}");
+            let auc = h.window_auc(16).unwrap();
+            assert!(auc.is_finite() && auc > 0.0, "{stream:?}");
+            assert!(h.best_value().unwrap() >= RESOLUTION_FLOOR_MS);
+        }
+    }
+
+    #[test]
+    fn record_clamps_into_representable_band() {
+        let h = hist(&[0.0, 1e308, -4.0]);
+        assert_eq!(h.samples()[0].value, RESOLUTION_FLOOR_MS);
+        assert_eq!(h.samples()[1].value, MAX_MEASUREMENT_MS);
+        assert_eq!(h.samples()[2].value, RESOLUTION_FLOOR_MS);
+    }
+
+    #[test]
+    fn clamped_inverse_is_always_finite_and_positive() {
+        for v in [0.0, -1.0, 5e-324, 1e-308, 1.0, 1e308, f64::MAX] {
+            let inv = clamped_inverse(v);
+            assert!(inv.is_finite() && inv > 0.0, "inverse of {v} was {inv}");
+        }
     }
 }

@@ -24,6 +24,10 @@
 //!   (phase 1, Nelder-Mead by default).
 //! * **Online tuning-loop drivers** ([`tuner`]) and measurement plumbing
 //!   ([`measure`]).
+//! * **A fault-tolerant measurement pipeline** ([`robust`]): panics,
+//!   timeouts, and degenerate (NaN/infinite/zero) measurements become
+//!   [`robust::MeasureOutcome`] values that the tuners absorb as penalties
+//!   instead of crashing — no algorithm is ever excluded outright.
 //! * **A persistent work-stealing executor** ([`pool`]): the shared
 //!   execution substrate for every parallel kernel in the workspace, with
 //!   dispatch-time thread caps so parallelism stays a tunable ratio
@@ -64,6 +68,7 @@ pub mod nominal;
 pub mod param;
 pub mod pool;
 pub mod rng;
+pub mod robust;
 pub mod search;
 pub mod space;
 pub mod stats;
@@ -81,6 +86,10 @@ pub mod prelude {
     pub use crate::param::{Domain, ParamClass, Parameter, Value};
     pub use crate::pool::Pool;
     pub use crate::rng::Rng;
+    pub use crate::robust::{
+        robust_call, FallibleMeasure, FaultKind, FaultPlan, FaultyMeasure, MeasureOutcome,
+        RobustMeasure, RobustOptions,
+    };
     pub use crate::search::{
         DifferentialEvolution, ExhaustiveSearch, GeneticAlgorithm, HillClimbing, NelderMead,
         NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,

@@ -100,10 +100,23 @@ impl Sample {
             message: m.to_string(),
             offset: 0,
         };
-        let iteration = json
+        let raw_iteration = json
             .get("iteration")
             .and_then(Json::as_f64)
-            .ok_or_else(|| fail("sample needs an iteration"))? as usize;
+            .ok_or_else(|| fail("sample needs an iteration"))?;
+        // `as usize` would silently turn NaN into 0 and saturate negatives
+        // and huge values; a corrupted results file must be an error, not a
+        // quietly relabeled sample.
+        if !(raw_iteration.is_finite()
+            && raw_iteration >= 0.0
+            && raw_iteration.fract() == 0.0
+            && raw_iteration <= usize::MAX as f64)
+        {
+            return Err(fail(&format!(
+                "sample iteration must be a non-negative integer, got {raw_iteration}"
+            )));
+        }
+        let iteration = raw_iteration as usize;
         let config = Configuration::from_json(
             json.get("config")
                 .ok_or_else(|| fail("sample needs a config"))?,
@@ -196,6 +209,39 @@ mod tests {
                 assert_eq!(Context::here("app").system, h);
             }
         }
+    }
+
+    #[test]
+    fn sample_json_round_trip() {
+        let s = Sample {
+            iteration: 17,
+            config: Configuration::empty(),
+            value: 2.25,
+        };
+        let back = Sample::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sample_from_json_rejects_bad_iterations() {
+        let encode = |iteration: f64| {
+            Json::obj(vec![
+                ("iteration", Json::Num(iteration)),
+                ("config", Configuration::empty().to_json()),
+                ("value", Json::Num(1.0)),
+            ])
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 2.5, 1e300] {
+            let err = Sample::from_json(&encode(bad)).unwrap_err();
+            assert!(
+                err.message.contains("non-negative integer"),
+                "iteration {bad} should be rejected, got: {}",
+                err.message
+            );
+        }
+        // Boundary cases that must stay representable.
+        assert_eq!(Sample::from_json(&encode(0.0)).unwrap().iteration, 0);
+        assert_eq!(Sample::from_json(&encode(4096.0)).unwrap().iteration, 4096);
     }
 
     #[test]

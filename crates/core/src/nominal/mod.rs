@@ -53,6 +53,18 @@ pub trait NominalStrategy {
     /// Report the measured runtime of the most recently selected algorithm.
     fn report(&mut self, algorithm: usize, value: f64);
 
+    /// Report that the most recent measurement of `algorithm` *failed*
+    /// (panic, timeout, non-finite value). The default records the
+    /// [`crate::robust::failure_penalty`] — a finite multiple of the worst
+    /// observed runtime — as a regular sample: the failing algorithm is
+    /// strongly deprioritized but keeps a strictly positive selection
+    /// probability, preserving the paper's "never exclude an algorithm"
+    /// invariant even under faults.
+    fn report_failure(&mut self, algorithm: usize) {
+        let penalty = crate::robust::failure_penalty(self.histories());
+        self.report(algorithm, penalty);
+    }
+
     /// The algorithm currently believed best (lowest best observed
     /// runtime), or `None` before any sample.
     fn best(&self) -> Option<usize>;
@@ -86,6 +98,14 @@ impl SelectionState {
     }
 
     pub fn record(&mut self, algorithm: usize, value: f64) {
+        // Non-finite values are measurement failures that bypassed the
+        // robust layer; convert them to the failure penalty so the tuning
+        // loop keeps running instead of poisoning the weight math.
+        let value = if value.is_finite() {
+            value
+        } else {
+            crate::robust::failure_penalty(&self.histories)
+        };
         self.histories[algorithm].record(
             self.iteration,
             crate::space::Configuration::empty(),
@@ -184,5 +204,55 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_algorithms_rejected() {
         SelectionState::new(0, 0);
+    }
+
+    #[test]
+    fn non_finite_reports_become_penalties() {
+        let mut s = SelectionState::new(2, 0);
+        s.record(0, 10.0);
+        s.record(1, f64::NAN);
+        let v = s.histories[1].last_value().unwrap();
+        assert!(v.is_finite());
+        assert_eq!(v, 40.0, "4x the worst observed runtime");
+        assert_eq!(s.best(), Some(0));
+    }
+
+    #[test]
+    fn report_failure_deprioritizes_without_excluding() {
+        let mut s = SlidingWindowAuc::new(2, 16, 3);
+        s.report(0, 10.0);
+        s.report(1, 10.0);
+        for _ in 0..10 {
+            s.report_failure(1);
+        }
+        // Arm 1's window is dominated by penalties; sample the selection
+        // distribution without new reports so the window stays fixed.
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[s.select()] += 1;
+        }
+        assert!(counts[0] > 3 * counts[1], "{counts:?}");
+        assert!(counts[1] > 0, "never exclude");
+    }
+
+    #[test]
+    fn failed_algorithm_recovers_after_failures_stop() {
+        let mut s = EpsilonGreedy::new(2, 0.2, 5);
+        s.report(0, 10.0);
+        s.report(1, 8.0);
+        for _ in 0..20 {
+            s.report_failure(1);
+        }
+        assert_eq!(s.best(), Some(1), "best tracks the minimum, not recency");
+        // New clean samples keep arriving; the arm stays selectable.
+        let mut picked1 = 0;
+        for _ in 0..500 {
+            let a = s.select();
+            if a == 1 {
+                picked1 += 1;
+            }
+            s.report(a, if a == 0 { 10.0 } else { 8.0 });
+        }
+        assert!(picked1 > 100, "recovered arm must be exploited again");
     }
 }

@@ -126,17 +126,26 @@ impl Rng {
 
     /// Sample an index from a (not necessarily normalized) weight vector.
     ///
-    /// All weights must be finite and non-negative, with a positive sum.
-    /// This is the primitive used by every weighted nominal strategy.
+    /// Weights should be finite and non-negative with a positive sum; this
+    /// is the primitive under every weighted nominal strategy. Because a
+    /// panic here kills the whole online tuning loop, degenerate input is
+    /// handled instead of asserted: non-finite or negative weights, or an
+    /// all-zero vector, fall back to a *uniform* pick over all indices —
+    /// the unique choice that preserves the paper's "every algorithm keeps
+    /// a positive selection probability" invariant when the weight math has
+    /// broken down.
     pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
-        let total: f64 = weights.iter().sum();
-        assert!(
-            total.is_finite() && total > 0.0,
-            "pick_weighted requires a positive, finite weight sum (got {total})"
-        );
+        assert!(!weights.is_empty(), "pick_weighted over an empty vector");
+        let sane = |w: f64| w.is_finite() && w >= 0.0;
+        let total: f64 = weights.iter().copied().filter(|&w| sane(w)).sum();
+        if !total.is_finite() || total <= 0.0 {
+            return self.pick_index(weights.len());
+        }
         let mut target = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
-            debug_assert!(w >= 0.0, "negative weight {w} at index {i}");
+            if !sane(w) {
+                continue;
+            }
             target -= w;
             if target < 0.0 {
                 return i;
@@ -146,7 +155,7 @@ impl Rng {
         // positively-weighted index is the correct answer in that case.
         weights
             .iter()
-            .rposition(|&w| w > 0.0)
+            .rposition(|&w| sane(w) && w > 0.0)
             .expect("positive total implies a positive weight")
     }
 
@@ -245,10 +254,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn weighted_pick_rejects_all_zero() {
+    fn weighted_pick_degenerate_inputs_fall_back_to_uniform() {
+        // A panic here would kill the online tuning loop, so degenerate
+        // weight vectors select uniformly instead.
         let mut rng = Rng::new(19);
-        rng.pick_weighted(&[0.0, 0.0]);
+        for weights in [
+            &[0.0, 0.0][..],
+            &[f64::NAN, f64::NAN],
+            &[f64::INFINITY, f64::INFINITY],
+            &[-1.0, -2.0, -3.0],
+        ] {
+            let mut seen = vec![false; weights.len()];
+            for _ in 0..300 {
+                let i = rng.pick_weighted(weights);
+                assert!(i < weights.len());
+                seen[i] = true;
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "uniform fallback must reach every index: {weights:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_pick_skips_poisoned_entries_when_total_is_sane() {
+        let mut rng = Rng::new(20);
+        for _ in 0..300 {
+            let i = rng.pick_weighted(&[f64::NAN, 1.0, -5.0]);
+            assert_eq!(i, 1, "only the sane positive weight may win");
+            let j = rng.pick_weighted(&[f64::INFINITY, 1.0]);
+            assert_eq!(j, 1, "infinite weight is poisoned, not dominant");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn weighted_pick_rejects_empty() {
+        let mut rng = Rng::new(19);
+        rng.pick_weighted(&[]);
     }
 
     #[test]

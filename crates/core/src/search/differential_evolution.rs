@@ -133,6 +133,12 @@ impl Searcher for DifferentialEvolution {
         self.space.clamp(&coords)
     }
 
+    fn abandon(&mut self) {
+        // State (including a pending Trial) only advances in report(), so
+        // the same agent or trial vector is re-proposed next.
+        self.pending = false;
+    }
+
     fn report(&mut self, value: f64) {
         assert!(self.pending, "report() without propose()");
         self.pending = false;

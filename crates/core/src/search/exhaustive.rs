@@ -68,6 +68,16 @@ impl Searcher for ExhaustiveSearch {
         c
     }
 
+    fn abandon(&mut self) {
+        // Rewind the sweep cursor if the abandoned point came off the
+        // queue, so the sweep still covers every configuration.
+        if let Some(p) = self.pending.take() {
+            if self.next > 0 && self.queue.get(self.next - 1) == Some(&p) {
+                self.next -= 1;
+            }
+        }
+    }
+
     fn report(&mut self, value: f64) {
         let c = self.pending.take().expect("report() without propose()");
         self.tracker.observe(&c, value);

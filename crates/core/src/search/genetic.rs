@@ -167,6 +167,12 @@ impl Searcher for GeneticAlgorithm {
         self.population[self.cursor].clone()
     }
 
+    fn abandon(&mut self) {
+        // The cursor only advances in report(); the same individual is
+        // re-proposed next.
+        self.pending = false;
+    }
+
     fn report(&mut self, value: f64) {
         assert!(self.pending, "report() without propose()");
         self.pending = false;

@@ -95,6 +95,12 @@ impl Searcher for HillClimbing {
         c
     }
 
+    fn abandon(&mut self) {
+        // State only advances in report(), so clearing the pending point
+        // makes the next propose() re-issue it.
+        self.pending = None;
+    }
+
     fn report(&mut self, value: f64) {
         let c = self.pending.take().expect("report() without propose()");
         self.tracker.observe(&c, value);

@@ -55,6 +55,17 @@ pub trait Searcher {
     /// configuration.
     fn report(&mut self, value: f64);
 
+    /// Abandon the most recently proposed configuration without reporting a
+    /// value: the measurement failed and produced nothing usable. The
+    /// search state rolls back so the next [`Searcher::propose`] behaves as
+    /// if the abandoned proposal never happened (the same point may be
+    /// re-proposed). A no-op when nothing is pending.
+    ///
+    /// The default suits stateless searchers; every implementation that
+    /// asserts propose/report pairing must override it to clear (and where
+    /// necessary re-queue) its pending state.
+    fn abandon(&mut self) {}
+
     /// Best configuration and value observed so far.
     fn best(&self) -> Option<(&Configuration, f64)>;
 

@@ -265,6 +265,15 @@ impl Searcher for NelderMead {
         self.space.clamp(&coords)
     }
 
+    fn abandon(&mut self) {
+        // Re-queue the abandoned point: transition states (Reflect, Expand,
+        // ...) propose exactly one specific point, which must be re-proposed
+        // for the simplex update to stay well-defined.
+        if let Some(p) = self.pending.take() {
+            self.queued = Some(p);
+        }
+    }
+
     fn report(&mut self, value: f64) {
         let coords = self.pending.take().expect("report() without propose()");
         let config = self.space.clamp(&coords);

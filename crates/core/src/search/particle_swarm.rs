@@ -139,6 +139,12 @@ impl Searcher for ParticleSwarm {
         self.space.clamp(&self.particles[self.cursor].position)
     }
 
+    fn abandon(&mut self) {
+        // The cursor only advances in report(); the same particle is
+        // re-proposed next.
+        self.pending = false;
+    }
+
     fn report(&mut self, value: f64) {
         assert!(self.pending, "report() without propose()");
         self.pending = false;

@@ -45,6 +45,10 @@ impl Searcher for RandomSearch {
         c
     }
 
+    fn abandon(&mut self) {
+        self.pending = None;
+    }
+
     fn report(&mut self, value: f64) {
         let c = self.pending.take().expect("report() without propose()");
         self.tracker.observe(&c, value);

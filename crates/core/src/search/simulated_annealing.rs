@@ -121,6 +121,12 @@ impl Searcher for SimulatedAnnealing {
         c
     }
 
+    fn abandon(&mut self) {
+        // A fresh neighbor is drawn on the next propose(); nothing to
+        // restore beyond the pairing flag.
+        self.pending = None;
+    }
+
     fn report(&mut self, value: f64) {
         let c = self.pending.take().expect("report() without propose()");
         self.tracker.observe(&c, value);

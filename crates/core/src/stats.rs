@@ -27,13 +27,19 @@ pub fn median(xs: &[f64]) -> f64 {
 
 /// Quantile `q ∈ [0, 1]` using linear interpolation between order statistics
 /// (type-7 quantile, the R/NumPy default). Returns `NaN` for an empty slice.
+///
+/// NaN policy: NaN samples carry no ordering information, so they are
+/// *filtered out* and the quantile is computed over the remaining values
+/// (matching NumPy's `nanquantile`). An input that is empty or all-NaN
+/// yields `NaN`. A single bad sample therefore degrades one number in a
+/// report instead of aborting the whole experiment run.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let h = q * (sorted.len() as f64 - 1.0);
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -162,5 +168,29 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_rejects_bad_q() {
         quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantile_filters_nan_samples() {
+        // One bad sample must not abort report generation: NaNs are dropped
+        // and the quantile is taken over what remains.
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(median(&xs), 2.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+    }
+
+    #[test]
+    fn quantile_all_nan_is_nan() {
+        assert!(quantile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+        assert!(median(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn quantile_handles_infinities_and_negative_zero() {
+        let xs = [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0];
+        assert_eq!(quantile(&xs, 0.0), f64::NEG_INFINITY);
+        assert_eq!(quantile(&xs, 1.0), f64::INFINITY);
+        assert_eq!(median(&xs), 0.0);
     }
 }

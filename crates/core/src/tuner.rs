@@ -8,6 +8,10 @@
 //! algorithm.
 
 use crate::measure::{Measure, Sample};
+use crate::robust::{
+    clamp_measurement, FallibleMeasure, MeasureOutcome, DEFAULT_FAILURE_PENALTY_MS,
+    FAILURE_PENALTY_FACTOR,
+};
 use crate::search::Searcher;
 use crate::space::Configuration;
 
@@ -61,6 +65,10 @@ pub struct OnlineTuner<S: Searcher> {
     /// Iterations since the best value last improved meaningfully.
     plateau_len: usize,
     plateau_best: f64,
+    /// Worst successful measurement, scaling the failure penalty.
+    worst: Option<f64>,
+    /// Count of failed measurements.
+    failures: usize,
 }
 
 impl<S: Searcher> OnlineTuner<S> {
@@ -72,6 +80,8 @@ impl<S: Searcher> OnlineTuner<S> {
             log: Vec::new(),
             plateau_len: 0,
             plateau_best: f64::INFINITY,
+            worst: None,
+            failures: 0,
         }
     }
 
@@ -90,7 +100,53 @@ impl<S: Searcher> OnlineTuner<S> {
 
     /// One tuning-loop iteration: propose, measure, report.
     pub fn step<M: Measure>(&mut self, measure: &mut M) -> Sample {
-        let config = if self.done() {
+        let config = self.propose_config();
+        let exploiting = self.done();
+        let value = measure.measure(&config);
+        if !exploiting {
+            self.searcher.report(value);
+        }
+        if value.is_finite() && self.worst.is_none_or(|w| value > w) {
+            self.worst = Some(value);
+        }
+        self.finish_iteration(config, value)
+    }
+
+    /// One *fault-tolerant* tuning-loop iteration: like
+    /// [`OnlineTuner::step`] but for measurements that can fail. Failed or
+    /// timed-out measurements are reported to the searcher as the failure
+    /// penalty ([`FAILURE_PENALTY_FACTOR`] × the worst successful
+    /// measurement), steering the search away without halting the loop.
+    pub fn step_fallible<M: FallibleMeasure>(&mut self, measure: &mut M) -> Sample {
+        let config = self.propose_config();
+        let exploiting = self.done();
+        let value = match measure.measure(&config) {
+            MeasureOutcome::Ok(v) => {
+                if !exploiting {
+                    self.searcher.report(v);
+                }
+                if self.worst.is_none_or(|w| v > w) {
+                    self.worst = Some(v);
+                }
+                v
+            }
+            MeasureOutcome::Failed(_) | MeasureOutcome::TimedOut => {
+                self.failures += 1;
+                let penalty = self
+                    .worst
+                    .map(|w| clamp_measurement(w * FAILURE_PENALTY_FACTOR))
+                    .unwrap_or(DEFAULT_FAILURE_PENALTY_MS);
+                if !exploiting {
+                    self.searcher.report(penalty);
+                }
+                penalty
+            }
+        };
+        self.finish_iteration(config, value)
+    }
+
+    fn propose_config(&mut self) -> Configuration {
+        if self.done() {
             // Exploit: re-run the best-known configuration without advancing
             // the search.
             self.searcher
@@ -99,14 +155,10 @@ impl<S: Searcher> OnlineTuner<S> {
                 .unwrap_or_else(|| self.searcher.space().min_corner())
         } else {
             self.searcher.propose()
-        };
-        let value = if self.done() {
-            measure.measure(&config)
-        } else {
-            let v = measure.measure(&config);
-            self.searcher.report(v);
-            v
-        };
+        }
+    }
+
+    fn finish_iteration(&mut self, config: Configuration, value: f64) -> Sample {
         // Plateau tracking: count iterations without meaningful improvement
         // of the best observed value.
         let tol = self.termination.plateau_tolerance();
@@ -124,6 +176,12 @@ impl<S: Searcher> OnlineTuner<S> {
         self.iteration += 1;
         self.log.push(sample.clone());
         sample
+    }
+
+    /// Count of failed measurements seen by
+    /// [`OnlineTuner::step_fallible`].
+    pub fn failure_count(&self) -> usize {
+        self.failures
     }
 
     /// Run until the termination criterion is met (or `max_steps` as a
@@ -270,6 +328,69 @@ mod tests {
             t.step(&mut m);
             assert!(!t.done(), "improving run must not plateau");
         }
+    }
+
+    #[test]
+    fn fallible_steps_survive_failures_and_still_tune() {
+        use crate::robust::MeasureOutcome;
+        let mut t = OnlineTuner::new(RandomSearch::new(space(), 11), Termination::Iterations(200));
+        let mut i = 0usize;
+        let mut m = |c: &Configuration| {
+            i += 1;
+            match i % 10 {
+                0 => MeasureOutcome::Failed("injected".into()),
+                1 => MeasureOutcome::TimedOut,
+                _ => MeasureOutcome::Ok(cost(c)),
+            }
+        };
+        let mut n = 0;
+        while !t.done() && n < 500 {
+            t.step_fallible(&mut m);
+            n += 1;
+        }
+        assert!(t.failure_count() >= 30, "{}", t.failure_count());
+        let (c, v) = t.best().unwrap();
+        assert!((c.get(0).as_i64() - 12).abs() <= 3, "{c:?}");
+        assert!(v < 15.0, "tuned value {v}");
+    }
+
+    #[test]
+    fn fallible_steps_keep_nelder_mead_protocol_intact() {
+        // Penalty reports can misdirect a simplex — that is acceptable; what
+        // must hold is that the ask/tell protocol survives 20% failures
+        // without panicking and still yields a finite best.
+        use crate::robust::MeasureOutcome;
+        let mut t = OnlineTuner::new(
+            NelderMead::new(space(), NelderMeadOptions::default()),
+            Termination::Iterations(200),
+        );
+        let mut i = 0usize;
+        let mut m = |c: &Configuration| {
+            i += 1;
+            match i % 10 {
+                0 => MeasureOutcome::Failed("injected".into()),
+                1 => MeasureOutcome::TimedOut,
+                _ => MeasureOutcome::Ok(cost(c)),
+            }
+        };
+        let mut n = 0;
+        while !t.done() && n < 500 {
+            t.step_fallible(&mut m);
+            n += 1;
+        }
+        assert!(t.failure_count() >= 30, "{}", t.failure_count());
+        let (_, v) = t.best().unwrap();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn fallible_step_penalty_before_any_success_is_default() {
+        use crate::robust::{MeasureOutcome, DEFAULT_FAILURE_PENALTY_MS};
+        let mut t = OnlineTuner::new(RandomSearch::new(space(), 8), Termination::Never);
+        let mut m = |_: &Configuration| MeasureOutcome::Failed("always".into());
+        let s = t.step_fallible(&mut m);
+        assert_eq!(s.value, DEFAULT_FAILURE_PENALTY_MS);
+        assert_eq!(t.failure_count(), 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::nominal::{
     EpsilonGradient, EpsilonGreedy, GradientWeighted, NominalStrategy, OptimumWeighted,
     SlidingWindowAuc, Softmax,
 };
+use crate::robust::{failure_penalty, MeasureOutcome};
 use crate::search::{HillClimbing, NelderMead, NelderMeadOptions, RandomSearch, Searcher};
 use crate::space::{Configuration, SearchSpace};
 
@@ -154,8 +155,11 @@ pub struct TwoPhaseSample {
     pub algorithm: usize,
     /// Phase-1 configuration the algorithm ran with.
     pub config: Configuration,
-    /// Measured runtime.
+    /// Measured runtime — or the failure penalty if the measurement failed.
     pub value: f64,
+    /// Whether this iteration's measurement failed (the recorded value is
+    /// the penalty, not an observation).
+    pub failed: bool,
 }
 
 /// The two-phase online tuner: a phase-2 [`NominalStrategy`] over `|𝒜|`
@@ -170,6 +174,8 @@ pub struct TwoPhaseTuner {
     pending: Option<(usize, Configuration)>,
     best: Option<(usize, Configuration, f64)>,
     log: Vec<TwoPhaseSample>,
+    /// Per-algorithm count of failed measurements.
+    failures: Vec<usize>,
 }
 
 impl TwoPhaseTuner {
@@ -211,6 +217,7 @@ impl TwoPhaseTuner {
             .enumerate()
             .map(|(i, s)| phase1.build(s, seed.wrapping_add(i as u64 + 1)))
             .collect();
+        let failures = vec![0; specs.len()];
         TwoPhaseTuner {
             specs,
             strategy,
@@ -219,6 +226,7 @@ impl TwoPhaseTuner {
             pending: None,
             best: None,
             log: Vec::new(),
+            failures,
         }
     }
 
@@ -254,7 +262,13 @@ impl TwoPhaseTuner {
 
     /// Report the measured runtime of the configuration returned by the
     /// last [`TwoPhaseTuner::next`]. Returns the completed sample.
+    ///
+    /// A non-finite value is treated as a measurement failure and routed
+    /// through [`TwoPhaseTuner::report_failure`].
     pub fn report(&mut self, value: f64) -> TwoPhaseSample {
+        if !value.is_finite() {
+            return self.report_failure();
+        }
         let (algorithm, config) = self.pending.take().expect("report() without next()");
         self.searchers[algorithm].report(value);
         self.strategy.report(algorithm, value);
@@ -267,10 +281,59 @@ impl TwoPhaseTuner {
             algorithm,
             config,
             value,
+            failed: false,
         };
         self.iteration += 1;
         self.log.push(sample.clone());
         sample
+    }
+
+    /// Report that the measurement of the last proposal *failed* (panic,
+    /// timeout, non-finite value). Both phases record the failure penalty
+    /// — a finite multiple of the worst observed runtime — so the failing
+    /// algorithm is deprioritized without ever being excluded, and the
+    /// phase-1 searcher steers away from the failing configuration.
+    pub fn report_failure(&mut self) -> TwoPhaseSample {
+        let (algorithm, config) = self
+            .pending
+            .take()
+            .expect("report_failure() without next()");
+        let penalty = failure_penalty(self.strategy.histories());
+        self.searchers[algorithm].report(penalty);
+        self.strategy.report_failure(algorithm);
+        self.failures[algorithm] += 1;
+        // The penalty is deliberately *not* a candidate for `best`.
+        let sample = TwoPhaseSample {
+            iteration: self.iteration,
+            algorithm,
+            config,
+            value: penalty,
+            failed: true,
+        };
+        self.iteration += 1;
+        self.log.push(sample.clone());
+        sample
+    }
+
+    /// Abandon the last proposal without reporting anything — the
+    /// measurement never ran (e.g. the request it was embedded in was
+    /// cancelled). Neither phase records a sample; the phase-1 searcher
+    /// rolls back so its next proposal is well-defined. Returns the
+    /// abandoned proposal, or `None` if nothing was pending (making
+    /// cleanup paths idempotent).
+    pub fn abandon(&mut self) -> Option<(usize, Configuration)> {
+        let (algorithm, config) = self.pending.take()?;
+        self.searchers[algorithm].abandon();
+        Some((algorithm, config))
+    }
+
+    /// Report a [`MeasureOutcome`]: `Ok` values follow the normal path,
+    /// failures and timeouts the penalty path.
+    pub fn report_outcome(&mut self, outcome: MeasureOutcome) -> TwoPhaseSample {
+        match outcome {
+            MeasureOutcome::Ok(v) => self.report(v),
+            MeasureOutcome::Failed(_) | MeasureOutcome::TimedOut => self.report_failure(),
+        }
     }
 
     /// Convenience: run one full iteration against a measurement function
@@ -279,6 +342,23 @@ impl TwoPhaseTuner {
         let (a, c) = self.next();
         let v = m(a, &c);
         self.report(v)
+    }
+
+    /// Convenience: run one full iteration against a *fallible* measurement
+    /// function `m(algorithm, config) -> MeasureOutcome` (typically
+    /// [`crate::robust::robust_call`] around the real measurement).
+    pub fn step_fallible<F: FnMut(usize, &Configuration) -> MeasureOutcome>(
+        &mut self,
+        mut m: F,
+    ) -> TwoPhaseSample {
+        let (a, c) = self.next();
+        let outcome = m(a, &c);
+        self.report_outcome(outcome)
+    }
+
+    /// Per-algorithm count of failed measurements.
+    pub fn failure_counts(&self) -> &[usize] {
+        &self.failures
     }
 
     /// Globally best observed (algorithm, configuration, value).
@@ -472,6 +552,78 @@ mod tests {
         let space = SearchSpace::new(vec![Parameter::ratio("x", 0, 10)]);
         AlgorithmSpec::new("a", space)
             .with_start(Configuration::new(vec![crate::param::Value::Int(99)]));
+    }
+
+    #[test]
+    fn abandon_recovers_the_ask_tell_protocol() {
+        let mut t = TwoPhaseTuner::new(tunable_specs(), NominalKind::EpsilonGreedy(0.10), 19);
+        let (a, c) = t.next();
+        assert_eq!(t.abandon(), Some((a, c)));
+        // The tuner is not poisoned: the next full iteration works.
+        let s = t.step(tunable_costs);
+        assert_eq!(s.iteration, 0, "abandoned proposals consume no iteration");
+        assert!(t.abandon().is_none(), "abandon is idempotent");
+    }
+
+    #[test]
+    fn report_failure_penalizes_without_excluding() {
+        let mut t = TwoPhaseTuner::new(untunable_specs(), NominalKind::SlidingWindowAuc(16), 23);
+        for i in 0..300 {
+            let (alg, _) = t.next();
+            if alg == 2 && i % 2 == 0 {
+                t.report_failure();
+            } else {
+                t.report(fixed_costs(alg, &Configuration::empty()));
+            }
+        }
+        assert!(t.failure_counts()[2] > 0);
+        assert_eq!(t.failure_counts()[0], 0);
+        // The flaky algorithm is still sampled (never excluded)...
+        assert!(t.selection_counts()[2] > 0);
+        // ...but the fast reliable one dominates.
+        assert_eq!(t.best_algorithm(), Some(1));
+        assert_eq!(t.best().unwrap().0, 1);
+    }
+
+    #[test]
+    fn report_failure_never_becomes_best() {
+        let mut t = TwoPhaseTuner::new(untunable_specs(), NominalKind::EpsilonGreedy(0.10), 29);
+        t.next();
+        let s = t.report_failure();
+        assert!(s.failed);
+        assert!(t.best().is_none(), "penalties are not observations");
+        t.next();
+        t.report(5.0);
+        assert_eq!(t.best().unwrap().2, 5.0);
+    }
+
+    #[test]
+    fn non_finite_report_is_a_failure() {
+        let mut t = TwoPhaseTuner::new(untunable_specs(), NominalKind::OptimumWeighted, 31);
+        t.next();
+        let s = t.report(f64::NAN);
+        assert!(s.failed);
+        assert!(s.value.is_finite());
+        t.next();
+        let s = t.report(f64::INFINITY);
+        assert!(s.failed);
+        assert_eq!(t.failure_counts().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn step_fallible_survives_mixed_outcomes() {
+        use crate::robust::MeasureOutcome;
+        let mut t = TwoPhaseTuner::new(tunable_specs(), NominalKind::GradientWeighted(16), 37);
+        for i in 0..400 {
+            t.step_fallible(|alg, c| match i % 10 {
+                0 => MeasureOutcome::Failed("injected".into()),
+                1 => MeasureOutcome::TimedOut,
+                _ => MeasureOutcome::Ok(tunable_costs(alg, c)),
+            });
+        }
+        assert_eq!(t.log().len(), 400);
+        assert!(t.failure_counts().iter().sum::<usize>() > 40);
+        assert!(t.best().is_some());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::report::{BoxFigure, Boxed, GroupedBoxFigure, SeriesFigure};
 use autotune::measure::time_ms;
+use autotune::robust::{MeasureOutcome, RobustOptions};
 use autotune::stats::{self, FiveNumber};
 use autotune::two_phase::{AlgorithmSpec, NominalKind, TwoPhaseTuner};
 use stringmatch::{
@@ -72,6 +73,19 @@ pub fn timed_search(matcher: &dyn Matcher, threads: usize, text: &[u8]) -> f64 {
         matcher.name()
     );
     ms
+}
+
+/// Fallible variant of [`timed_search`] for fault-tolerant tuning loops:
+/// the search runs under the robust pipeline, so a matcher panic — or a
+/// matcher silently missing the embedded query phrase — becomes
+/// [`MeasureOutcome::Failed`] instead of aborting the experiment process.
+pub fn timed_search_outcome(
+    matcher: &dyn Matcher,
+    threads: usize,
+    text: &[u8],
+    opts: &RobustOptions,
+) -> MeasureOutcome {
+    ParallelMatcher::new(matcher, threads).measure_search(PAPER_QUERY, text, true, opts)
 }
 
 /// All eight matcher names in figure order.

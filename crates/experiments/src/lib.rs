@@ -15,6 +15,11 @@
 //! | Figure 7 (mean convergence, raytracing) | [`cs2::fig7`] |
 //! | Figure 8 (choice histogram, raytracing) | [`cs2::fig8`] |
 //!
+//! Beyond the paper's artifacts, the `faults` target ([`faults`]) re-runs
+//! both case studies with 10% injected measurement failures and compares
+//! clean vs. faulty convergence — the robustness claim the measurement
+//! pipeline in [`autotune::robust`] makes.
+//!
 //! The `experiments` binary drives these and writes CSV/JSON into
 //! `results/` plus ASCII plots to stdout. Scale knobs default to a *quick*
 //! profile; `--paper` selects the paper's full scale.
@@ -22,5 +27,6 @@
 pub mod ablations;
 pub mod cs1;
 pub mod cs2;
+pub mod faults;
 pub mod report;
 pub mod tables;

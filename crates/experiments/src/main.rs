@@ -4,17 +4,18 @@
 //! experiments <target> [flags]
 //!
 //! targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          cs1 cs2 kernels patterns scenes dynamic ablations all
+//!          cs1 cs2 kernels patterns scenes dynamic ablations faults all
 //! flags:
 //!   --paper            paper-scale runs (100 reps; hours) instead of quick
 //!   --reps N           override repetition count
 //!   --iters N          override tuning iterations / frames
 //!   --corpus-kb N      corpus size for case study 1
 //!   --detail N         cathedral detail for case study 2
+//!   --fault-rate R     injected-fault probability for `faults` (default 0.1)
 //!   --out DIR          output directory (default: results)
 //! ```
 
-use experiments::{ablations, cs1, cs2, report, tables};
+use experiments::{ablations, cs1, cs2, faults, report, tables};
 use std::path::{Path, PathBuf};
 
 struct Args {
@@ -24,6 +25,7 @@ struct Args {
     iters: Option<usize>,
     corpus_kb: Option<usize>,
     detail: Option<u32>,
+    fault_rate: Option<f64>,
     out: PathBuf,
 }
 
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         iters: None,
         corpus_kb: None,
         detail: None,
+        fault_rate: None,
         out: PathBuf::from("results"),
     };
     let mut it = std::env::args().skip(1);
@@ -49,6 +52,9 @@ fn parse_args() -> Args {
                 args.corpus_kb = Some(grab("--corpus-kb").parse().expect("--corpus-kb N"))
             }
             "--detail" => args.detail = Some(grab("--detail").parse().expect("--detail N")),
+            "--fault-rate" => {
+                args.fault_rate = Some(grab("--fault-rate").parse().expect("--fault-rate R"))
+            }
             "--out" => args.out = PathBuf::from(grab("--out")),
             t if !target_set && !t.starts_with("--") => {
                 args.target = t.to_string();
@@ -207,6 +213,46 @@ fn main() {
         );
         emit_series(&cs2::dynamic_scene_study(&cfg), &args.out);
     }
+    if matches!(t, "faults" | "all") {
+        let rate = args.fault_rate.unwrap_or(faults::DEFAULT_FAULT_RATE);
+        // Injected panics are an expected part of this study; keep stderr
+        // readable by muting their (many) default panic-hook reports.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected measurement fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+        let c1 = cs1_config(&args);
+        eprintln!(
+            "[faults] string matching under {:.0}% faults: 6 strategies × 2 × {} reps × {} iters…",
+            rate * 100.0,
+            c1.reps,
+            c1.iterations
+        );
+        let s1 = faults::cs1_faults(&c1, rate);
+        emit_series(&faults::figure(&s1), &args.out);
+        let c2 = cs2_config(&args);
+        eprintln!(
+            "[faults] raytracing under {:.0}% faults: 6 strategies × 2 × {} reps × {} frames…",
+            rate * 100.0,
+            c2.reps,
+            c2.frames
+        );
+        let s2 = faults::cs2_faults(&c2, rate);
+        emit_series(&faults::figure(&s2), &args.out);
+        let studies = [s1, s2];
+        for s in &studies {
+            println!("{}", faults::summary(s));
+        }
+        faults::save_json(&studies, &args.out).expect("write faults.json");
+        println!("→ {}/faults.json\n", args.out.display());
+        let _ = std::panic::take_hook();
+    }
     if matches!(t, "ablations" | "all") {
         let reps = args.reps.unwrap_or(10);
         let iters = args.iters.unwrap_or(300);
@@ -241,6 +287,7 @@ fn main() {
         "scenes",
         "dynamic",
         "ablations",
+        "faults",
         "all",
     ];
     if !known.contains(&t) {

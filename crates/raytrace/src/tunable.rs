@@ -7,10 +7,12 @@
 //! algorithm adds another parameter, controlling the eager construction
 //! cutoff."
 
-use crate::kdtree::BuildConfig;
-use crate::render::RenderOptions;
+use crate::kdtree::{BuildConfig, KdBuilder};
+use crate::render::{frame, RenderOptions};
 use crate::sah::SahParams;
+use crate::scene::Scene;
 use autotune::param::Parameter;
+use autotune::robust::{robust_call, MeasureOutcome, RobustOptions};
 use autotune::space::{Configuration, SearchSpace};
 use autotune::two_phase::AlgorithmSpec;
 
@@ -94,6 +96,26 @@ pub fn decode_render(config: &Configuration, base: &RenderOptions) -> RenderOpti
     }
 }
 
+/// The tuning loop's measurement entry point: decode the configuration,
+/// render one frame, and return its total time through the robust pipeline.
+/// A builder or raycaster panic on a degenerate configuration becomes
+/// [`MeasureOutcome::Failed`] (and a configured deadline in `opts` turns a
+/// runaway build into [`MeasureOutcome::TimedOut`]) instead of crashing the
+/// rendering loop the tuner is embedded in.
+pub fn measure_frame(
+    scene: &Scene,
+    builder: &dyn KdBuilder,
+    config: &Configuration,
+    base: &RenderOptions,
+    opts: &RobustOptions,
+) -> MeasureOutcome {
+    let build_config = decode(builder.name(), config);
+    let render_opts = decode_render(config, base);
+    robust_call(opts, || {
+        frame(scene, builder, &build_config, &render_opts).total_ms()
+    })
+}
+
 /// The four algorithms as [`AlgorithmSpec`]s for the two-phase tuner, in
 /// figure order, each with its hand-crafted start.
 pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
@@ -152,6 +174,25 @@ mod tests {
                     assert!(bc.eager_cutoff <= 16);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn measure_frame_returns_a_positive_sample() {
+        let scene = crate::scene::cathedral(3, 1);
+        let builders = crate::kdtree::all_builders();
+        let base = RenderOptions {
+            width: 16,
+            height: 12,
+            threads: 2,
+            packet_width: 1,
+        };
+        let opts = RobustOptions::default();
+        for b in &builders {
+            let c = start_for(b.name());
+            let out = measure_frame(&scene, b.as_ref(), &c, &base, &opts);
+            let ms = out.ok().unwrap_or_else(|| panic!("{}: {out:?}", b.name()));
+            assert!(ms > 0.0, "{}", b.name());
         }
     }
 

@@ -14,7 +14,10 @@
 //! autotuner treats it as a ratio-class tuning parameter: it caps how many
 //! workers participate in this one dispatch.
 
+use autotune::measure::time_ms;
 use autotune::pool::Pool;
+use autotune::robust::{robust_call, MeasureOutcome, RobustOptions};
+use std::cell::Cell;
 
 use crate::Matcher;
 
@@ -78,6 +81,34 @@ impl<'a> ParallelMatcher<'a> {
     /// Count occurrences.
     pub fn count(&self, pattern: &[u8], text: &[u8]) -> usize {
         self.find_all(pattern, text).len()
+    }
+
+    /// The tuning loop's measurement entry point: time one full search
+    /// (precomputation + parallel match) under the robust pipeline. A
+    /// matcher that panics yields [`MeasureOutcome::Failed`] instead of
+    /// tearing down the tuner; when `require_match` is set, finding zero
+    /// occurrences of a pattern known to be present is likewise classified
+    /// as a failed measurement (a broken matcher must not record a
+    /// flattering runtime).
+    pub fn measure_search(
+        &self,
+        pattern: &[u8],
+        text: &[u8],
+        require_match: bool,
+        opts: &RobustOptions,
+    ) -> MeasureOutcome {
+        let hits_found = Cell::new(usize::MAX);
+        let outcome = robust_call(opts, || {
+            let (hits, ms) = time_ms(|| self.find_all(pattern, text));
+            hits_found.set(hits.len());
+            ms
+        });
+        match outcome {
+            MeasureOutcome::Ok(_) if require_match && hits_found.get() == 0 => {
+                MeasureOutcome::Failed(format!("{}: pattern not found", self.inner.name()))
+            }
+            other => other,
+        }
     }
 }
 
@@ -199,5 +230,46 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         ParallelMatcher::new(&Kmp, 0);
+    }
+
+    #[test]
+    fn measure_search_times_a_successful_search() {
+        let text = text();
+        let pm = ParallelMatcher::new(&Kmp, 2);
+        let out = pm.measure_search(crate::PAPER_QUERY, &text, true, &RobustOptions::default());
+        let ms = out.ok().expect("clean search must be Ok");
+        assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn measure_search_flags_missing_required_pattern() {
+        let pm = ParallelMatcher::new(&Kmp, 2);
+        let out = pm.measure_search(b"NOT-IN-TEXT", b"....", true, &RobustOptions::default());
+        match out {
+            MeasureOutcome::Failed(reason) => assert!(reason.contains("not found")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // Without the requirement, an empty result is a valid (fast) sample.
+        let out = pm.measure_search(b"NOT-IN-TEXT", b"....", false, &RobustOptions::default());
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn measure_search_contains_matcher_panics() {
+        struct Exploding;
+        impl Matcher for Exploding {
+            fn name(&self) -> &'static str {
+                "Exploding"
+            }
+            fn find_all(&self, _pattern: &[u8], _text: &[u8]) -> Vec<usize> {
+                panic!("simulated matcher bug")
+            }
+        }
+        let pm = ParallelMatcher::new(&Exploding, 1);
+        let out = pm.measure_search(b"x", b"xx", true, &RobustOptions::default());
+        match out {
+            MeasureOutcome::Failed(reason) => assert!(reason.contains("simulated matcher bug")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 }
