@@ -28,6 +28,7 @@ pub struct AlgorithmHistory {
 }
 
 impl AlgorithmHistory {
+    /// An empty history.
     pub fn new() -> Self {
         Self::default()
     }
@@ -72,10 +73,12 @@ impl AlgorithmHistory {
         self.samples.len()
     }
 
+    /// True if no samples have been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
 
+    /// All recorded samples, in recording order.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
     }

@@ -16,10 +16,15 @@ use std::fmt::Write as _;
 /// A JSON document.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// The `null` literal.
     Null,
+    /// A boolean.
     Bool(bool),
+    /// A number (always an `f64`, as in JavaScript).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Object as an ordered key-value list (we never need hashing, and
     /// insertion order keeps output diffs stable).
@@ -29,7 +34,10 @@ pub enum Json {
 /// Parse or conversion failure, with a byte offset for parse errors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsonError {
+    /// What went wrong.
     pub message: String,
+    /// Byte offset into the input where parsing failed (0 for semantic
+    /// errors raised on an already-parsed document).
     pub offset: usize,
 }
 
@@ -368,6 +376,7 @@ impl std::fmt::Display for Json {
 
 /// Convert a type to its JSON representation.
 pub trait ToJson {
+    /// The JSON form of `self`.
     fn to_json(&self) -> Json;
 }
 

@@ -60,6 +60,8 @@
 //! assert_eq!(tuner.best().unwrap().0, 1); // "parallel" with 8 threads wins
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod history;
 pub mod json;
 pub mod measure;
@@ -72,6 +74,7 @@ pub mod robust;
 pub mod search;
 pub mod space;
 pub mod stats;
+pub mod telemetry;
 pub mod tuner;
 pub mod two_phase;
 
@@ -95,6 +98,9 @@ pub mod prelude {
         NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,
     };
     pub use crate::space::{Configuration, SearchSpace};
+    pub use crate::telemetry::{
+        self, Event, EventKind, MeasureStatus, MetricsReport, SimplexOp, SpanKind, WeightSet,
+    };
     pub use crate::tuner::{OnlineTuner, Termination};
     pub use crate::two_phase::{
         AlgorithmSpec, NominalKind, Phase1Kind, TwoPhaseSample, TwoPhaseTuner,

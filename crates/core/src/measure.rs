@@ -22,6 +22,7 @@ pub struct Context {
 }
 
 impl Context {
+    /// A context from explicit application and system labels.
     pub fn new(application: impl Into<String>, system: impl Into<String>) -> Self {
         Context {
             application: application.into(),

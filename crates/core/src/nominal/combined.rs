@@ -45,17 +45,21 @@ impl EpsilonGradient {
     /// Exploration weights: the Gradient-Weighted distribution over the
     /// current histories (neutral weight 2 for arms without a gradient).
     pub fn exploration_weights(&self) -> Vec<f64> {
-        let mut raw: Vec<Option<f64>> = self
-            .state
-            .histories
-            .iter()
-            .map(|h| {
-                h.window_gradient(self.window)
-                    .map(GradientWeighted::weight_of_gradient)
-                    .or(if h.is_empty() { None } else { Some(2.0) })
-            })
-            .collect();
-        fill_unseen_optimistic(&mut raw)
+        let mut out = vec![0.0; self.num_algorithms()];
+        self.exploration_weights_into(&mut out);
+        out
+    }
+
+    fn exploration_weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        for (w, h) in out[..n].iter_mut().zip(&self.state.histories) {
+            *w = h
+                .window_gradient(self.window)
+                .map(GradientWeighted::weight_of_gradient)
+                .or(if h.is_empty() { None } else { Some(2.0) })
+                .unwrap_or(f64::NAN);
+        }
+        fill_unseen_optimistic(&mut out[..n]);
     }
 }
 
@@ -75,8 +79,32 @@ impl NominalStrategy for EpsilonGradient {
         self.state.best().expect("all algorithms have samples")
     }
 
+    /// The effective selection distribution: the normalized exploration
+    /// weights scaled by ε, plus `1 − ε` on the exploitation target.
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        if n == 0 {
+            return;
+        }
+        self.exploration_weights_into(&mut out[..n]);
+        let sum: f64 = out[..n].iter().sum();
+        if sum > 0.0 {
+            for w in &mut out[..n] {
+                *w = self.epsilon * *w / sum;
+            }
+        }
+        let target = self
+            .state
+            .first_unseen()
+            .or_else(|| self.state.best())
+            .unwrap_or(0);
+        if target < n {
+            out[target] += 1.0 - self.epsilon;
+        }
+    }
+
     fn report(&mut self, algorithm: usize, value: f64) {
-        self.state.record(algorithm, value);
+        self.state.record_windowed(algorithm, value, self.window);
     }
 
     fn best(&self) -> Option<usize> {

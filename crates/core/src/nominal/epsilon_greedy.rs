@@ -46,6 +46,7 @@ impl EpsilonGreedy {
         }
     }
 
+    /// The exploration probability ε.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
@@ -66,6 +67,28 @@ impl NominalStrategy for EpsilonGreedy {
             return unseen;
         }
         self.state.best().expect("all algorithms have samples")
+    }
+
+    /// The effective selection distribution: `ε/|𝒜|` everywhere plus
+    /// `1 − ε` on the exploitation target (the next unseen algorithm
+    /// during initialization, the best-known one afterwards).
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        if n == 0 {
+            return;
+        }
+        let explore = self.epsilon / self.num_algorithms() as f64;
+        for w in &mut out[..n] {
+            *w = explore;
+        }
+        let target = self
+            .state
+            .first_unseen()
+            .or_else(|| self.state.best())
+            .unwrap_or(0);
+        if target < n {
+            out[target] += 1.0 - self.epsilon;
+        }
     }
 
     fn report(&mut self, algorithm: usize, value: f64) {

@@ -32,6 +32,8 @@ pub struct GradientWeighted {
 }
 
 impl GradientWeighted {
+    /// `window`: how many of each algorithm's latest samples the gradient
+    /// is fit over (the paper uses 16; must be at least 2).
     pub fn new(num_algorithms: usize, window: usize, seed: u64) -> Self {
         assert!(window >= 2, "gradient needs a window of at least 2");
         GradientWeighted {
@@ -48,24 +50,6 @@ impl GradientWeighted {
             -1.0 / g
         }
     }
-
-    /// Current selection weights (for analysis/plots). Algorithms with
-    /// fewer than two samples have an undefined gradient; they are treated
-    /// as gradient 0 (weight 2), which matches the "no special
-    /// initialization" behaviour of the paper's non-greedy strategies.
-    pub fn weights(&self) -> Vec<f64> {
-        let mut raw: Vec<Option<f64>> = self
-            .state
-            .histories
-            .iter()
-            .map(|h| {
-                h.window_gradient(self.window)
-                    .map(Self::weight_of_gradient)
-                    .or(if h.is_empty() { None } else { Some(2.0) })
-            })
-            .collect();
-        fill_unseen_optimistic(&mut raw)
-    }
 }
 
 impl NominalStrategy for GradientWeighted {
@@ -78,8 +62,24 @@ impl NominalStrategy for GradientWeighted {
         self.state.rng.pick_weighted(&weights)
     }
 
+    /// Current selection weights. Algorithms with fewer than two samples
+    /// have an undefined gradient; they are treated as gradient 0
+    /// (weight 2), which matches the "no special initialization" behaviour
+    /// of the paper's non-greedy strategies.
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        for (w, h) in out[..n].iter_mut().zip(&self.state.histories) {
+            *w = h
+                .window_gradient(self.window)
+                .map(Self::weight_of_gradient)
+                .or(if h.is_empty() { None } else { Some(2.0) })
+                .unwrap_or(f64::NAN);
+        }
+        fill_unseen_optimistic(&mut out[..n]);
+    }
+
     fn report(&mut self, algorithm: usize, value: f64) {
-        self.state.record(algorithm, value);
+        self.state.record_windowed(algorithm, value, self.window);
     }
 
     fn best(&self) -> Option<usize> {

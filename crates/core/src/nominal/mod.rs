@@ -65,6 +65,33 @@ pub trait NominalStrategy {
         self.report(algorithm, penalty);
     }
 
+    /// Write the strategy's current selection weights into `out`, one per
+    /// algorithm, without allocating.
+    ///
+    /// Fills `min(out.len(), num_algorithms())` entries and leaves any
+    /// extra entries untouched. The weights are the quantities that drive
+    /// [`select`](Self::select) — not necessarily normalized (ε-based
+    /// strategies write probabilities, the weighted strategies write raw
+    /// weights). The default implementation writes a uniform `1.0`.
+    ///
+    /// This is the telemetry-facing view: `TwoPhaseTuner` snapshots the
+    /// weight vector into a fixed-size buffer on every selection, so
+    /// implementations must not allocate.
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        for w in &mut out[..n] {
+            *w = 1.0;
+        }
+    }
+
+    /// Current selection weights as a fresh vector; see
+    /// [`weights_into`](Self::weights_into).
+    fn weights(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_algorithms()];
+        self.weights_into(&mut out);
+        out
+    }
+
     /// The algorithm currently believed best (lowest best observed
     /// runtime), or `None` before any sample.
     fn best(&self) -> Option<usize>;
@@ -129,27 +156,49 @@ impl SelectionState {
     pub fn first_unseen(&self) -> Option<usize> {
         self.histories.iter().position(AlgorithmHistory::is_empty)
     }
+
+    /// Like [`record`](Self::record), for strategies whose weights look at
+    /// a sliding window of `window` samples: additionally emits a
+    /// [`telemetry`](crate::telemetry) eviction event when the new sample
+    /// pushes the oldest one out of the algorithm's logical window.
+    pub fn record_windowed(&mut self, algorithm: usize, value: f64, window: usize) {
+        self.record(algorithm, value);
+        let len = self.histories[algorithm].len();
+        if len > window {
+            crate::telemetry::emit(|| crate::telemetry::EventKind::WindowEvicted {
+                algorithm: algorithm as u16,
+                evicted_sample: (len - window - 1) as u64,
+            });
+        }
+    }
 }
 
-/// Fill in weights for never-sampled algorithms.
+/// Fill in weights for never-sampled algorithms, in place.
 ///
 /// The paper's weighted strategies "never exclude an algorithm from the
 /// selection process" and require `w_A > 0`, but their weight definitions
-/// need at least one sample. For unseen algorithms we use the *optimistic*
-/// convention: the maximum currently-defined weight (or 1 if none is
-/// defined), which guarantees every algorithm is sampled early without any
-/// special-cased initialization phase.
-pub(crate) fn fill_unseen_optimistic(weights: &mut [Option<f64>]) -> Vec<f64> {
+/// need at least one sample. `NaN` entries mark algorithms whose weight is
+/// undefined; they are replaced with the *optimistic* convention: the
+/// maximum currently-defined weight (or 1 if none is defined), which
+/// guarantees every algorithm is sampled early without any special-cased
+/// initialization phase. Operating on a caller-provided slice keeps the
+/// weight computation allocation-free.
+pub(crate) fn fill_unseen_optimistic(weights: &mut [f64]) {
     let max_defined = weights
         .iter()
-        .flatten()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        .copied()
+        .filter(|w| !w.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max);
     let fallback = if max_defined.is_finite() && max_defined > 0.0 {
         max_defined
     } else {
         1.0
     };
-    weights.iter().map(|w| w.unwrap_or(fallback)).collect()
+    for w in weights {
+        if w.is_nan() {
+            *w = fallback;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,14 +224,16 @@ mod tests {
 
     #[test]
     fn fill_unseen_uses_max_defined_weight() {
-        let mut w = vec![Some(2.0), None, Some(5.0)];
-        assert_eq!(fill_unseen_optimistic(&mut w), vec![2.0, 5.0, 5.0]);
+        let mut w = vec![2.0, f64::NAN, 5.0];
+        fill_unseen_optimistic(&mut w);
+        assert_eq!(w, vec![2.0, 5.0, 5.0]);
     }
 
     #[test]
     fn fill_unseen_all_undefined_gives_uniform() {
-        let mut w = vec![None, None];
-        assert_eq!(fill_unseen_optimistic(&mut w), vec![1.0, 1.0]);
+        let mut w = vec![f64::NAN, f64::NAN];
+        fill_unseen_optimistic(&mut w);
+        assert_eq!(w, vec![1.0, 1.0]);
     }
 
     #[test]

@@ -20,22 +20,11 @@ pub struct OptimumWeighted {
 }
 
 impl OptimumWeighted {
+    /// A new strategy over `num_algorithms` alternatives.
     pub fn new(num_algorithms: usize, seed: u64) -> Self {
         OptimumWeighted {
             state: SelectionState::new(num_algorithms, seed),
         }
-    }
-
-    /// Current selection weights: best inverse runtime per algorithm,
-    /// optimistic for unseen algorithms.
-    pub fn weights(&self) -> Vec<f64> {
-        let mut raw: Vec<Option<f64>> = self
-            .state
-            .histories
-            .iter()
-            .map(|h| h.best_value().map(|v| 1.0 / v))
-            .collect();
-        fill_unseen_optimistic(&mut raw)
     }
 }
 
@@ -47,6 +36,16 @@ impl NominalStrategy for OptimumWeighted {
     fn select(&mut self) -> usize {
         let weights = self.weights();
         self.state.rng.pick_weighted(&weights)
+    }
+
+    /// Current selection weights: best inverse runtime per algorithm,
+    /// optimistic for unseen algorithms.
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        for (w, h) in out[..n].iter_mut().zip(&self.state.histories) {
+            *w = h.best_value().map(|v| 1.0 / v).unwrap_or(f64::NAN);
+        }
+        fill_unseen_optimistic(&mut out[..n]);
     }
 
     fn report(&mut self, algorithm: usize, value: f64) {

@@ -27,23 +27,14 @@ pub struct SlidingWindowAuc {
 }
 
 impl SlidingWindowAuc {
+    /// `window`: how many of each algorithm's latest samples contribute to
+    /// its AUC weight (the paper uses 16).
     pub fn new(num_algorithms: usize, window: usize, seed: u64) -> Self {
         assert!(window >= 1, "window must be positive");
         SlidingWindowAuc {
             state: SelectionState::new(num_algorithms, seed),
             window,
         }
-    }
-
-    /// Current selection weights (optimistic for unseen algorithms).
-    pub fn weights(&self) -> Vec<f64> {
-        let mut raw: Vec<Option<f64>> = self
-            .state
-            .histories
-            .iter()
-            .map(|h| h.window_auc(self.window))
-            .collect();
-        fill_unseen_optimistic(&mut raw)
     }
 }
 
@@ -57,8 +48,16 @@ impl NominalStrategy for SlidingWindowAuc {
         self.state.rng.pick_weighted(&weights)
     }
 
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        for (w, h) in out[..n].iter_mut().zip(&self.state.histories) {
+            *w = h.window_auc(self.window).unwrap_or(f64::NAN);
+        }
+        fill_unseen_optimistic(&mut out[..n]);
+    }
+
     fn report(&mut self, algorithm: usize, value: f64) {
-        self.state.record(algorithm, value);
+        self.state.record_windowed(algorithm, value, self.window);
     }
 
     fn best(&self) -> Option<usize> {

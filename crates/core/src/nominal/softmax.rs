@@ -25,6 +25,8 @@ pub struct Softmax {
 }
 
 impl Softmax {
+    /// `temperature`: Gibbs temperature `τ > 0`; `window`: how many of
+    /// each algorithm's latest samples define its action value.
     pub fn new(num_algorithms: usize, temperature: f64, window: usize, seed: u64) -> Self {
         assert!(temperature > 0.0, "temperature must be positive");
         assert!(window >= 1, "window must be positive");
@@ -38,34 +40,7 @@ impl Softmax {
     /// Normalized Gibbs selection probabilities. Unseen algorithms take the
     /// maximum observed action value (optimism under uncertainty).
     pub fn probabilities(&self) -> Vec<f64> {
-        let q: Vec<Option<f64>> = self
-            .state
-            .histories
-            .iter()
-            .map(|h| {
-                let w = h.latest_window(self.window);
-                if w.is_empty() {
-                    None
-                } else {
-                    Some(w.iter().map(|s| 1.0 / s.value).sum::<f64>() / w.len() as f64)
-                }
-            })
-            .collect();
-        let q_max_defined = q.iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let fallback = if q_max_defined.is_finite() {
-            q_max_defined
-        } else {
-            0.0
-        };
-        let q: Vec<f64> = q.iter().map(|v| v.unwrap_or(fallback)).collect();
-        // Numerically stable softmax.
-        let m = q.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let exps: Vec<f64> = q
-            .iter()
-            .map(|&v| ((v - m) / self.temperature).exp())
-            .collect();
-        let z: f64 = exps.iter().sum();
-        exps.into_iter().map(|e| e / z).collect()
+        self.weights()
     }
 }
 
@@ -79,8 +54,48 @@ impl NominalStrategy for Softmax {
         self.state.rng.pick_weighted(&probs)
     }
 
+    /// Normalized Gibbs selection probabilities, computed in place.
+    fn weights_into(&self, out: &mut [f64]) {
+        let n = self.num_algorithms().min(out.len());
+        let q = &mut out[..n];
+        for (v, h) in q.iter_mut().zip(&self.state.histories) {
+            let w = h.latest_window(self.window);
+            *v = if w.is_empty() {
+                f64::NAN
+            } else {
+                w.iter().map(|s| 1.0 / s.value).sum::<f64>() / w.len() as f64
+            };
+        }
+        // Unseen algorithms take the maximum observed action value.
+        let q_max_defined = q
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let fallback = if q_max_defined.is_finite() {
+            q_max_defined
+        } else {
+            0.0
+        };
+        for v in q.iter_mut() {
+            if v.is_nan() {
+                *v = fallback;
+            }
+        }
+        // Numerically stable softmax.
+        let m = q.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        for v in q.iter_mut() {
+            *v = ((*v - m) / self.temperature).exp();
+            z += *v;
+        }
+        for v in q.iter_mut() {
+            *v /= z;
+        }
+    }
+
     fn report(&mut self, algorithm: usize, value: f64) {
-        self.state.record(algorithm, value);
+        self.state.record_windowed(algorithm, value, self.window);
     }
 
     fn best(&self) -> Option<usize> {

@@ -100,9 +100,19 @@ pub enum Domain {
     /// A finite label set; configuration values are indices into it.
     Labels(Vec<String>),
     /// A closed integer interval `[lo, hi]`.
-    IntRange { lo: i64, hi: i64 },
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
     /// A closed real interval `[lo, hi]`.
-    FloatRange { lo: f64, hi: f64 },
+    FloatRange {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
 }
 
 /// A concrete value a parameter can take inside a configuration.
@@ -355,14 +365,17 @@ impl Parameter {
         }
     }
 
+    /// The parameter's name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// The parameter's Stevens class.
     pub fn class(&self) -> ParamClass {
         self.class
     }
 
+    /// The parameter's value domain.
     pub fn domain(&self) -> &Domain {
         &self.domain
     }

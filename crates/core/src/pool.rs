@@ -214,10 +214,15 @@ impl Pool {
             finished: Mutex::new(false),
             finished_cv: Condvar::new(),
         });
-        {
+        let depth = {
             let mut regions = self.shared.regions.lock().expect("pool lock poisoned");
             regions.push_back(Arc::clone(&region));
-        }
+            regions.len()
+        };
+        crate::telemetry::emit(|| crate::telemetry::EventKind::QueueDepth {
+            depth: depth as u32,
+            workers: self.handles.len() as u32,
+        });
         self.shared.wake.notify_all();
 
         // The caller is always a participant: the region completes even if

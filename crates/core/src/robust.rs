@@ -97,6 +97,7 @@ impl MeasureOutcome {
         }
     }
 
+    /// True if the measurement succeeded.
     pub fn is_ok(&self) -> bool {
         matches!(self, MeasureOutcome::Ok(_))
     }
@@ -115,6 +116,7 @@ impl MeasureOutcome {
 /// [`Measure`]; implemented by [`RobustMeasure`] and by closures returning
 /// [`MeasureOutcome`].
 pub trait FallibleMeasure {
+    /// Measure `config` once, classifying any failure.
     fn measure(&mut self, config: &Configuration) -> MeasureOutcome;
 }
 
@@ -158,18 +160,21 @@ impl Default for RobustOptions {
 }
 
 impl RobustOptions {
+    /// Set the per-attempt deadline in milliseconds.
     pub fn with_deadline_ms(mut self, ms: f64) -> Self {
         assert!(ms > 0.0, "deadline must be positive");
         self.deadline_ms = Some(ms);
         self
     }
 
+    /// Set the retry count and exponential-backoff base.
     pub fn with_retries(mut self, retries: usize, backoff: Duration) -> Self {
         self.retries = retries;
         self.backoff = backoff;
         self
     }
 
+    /// Set the median-of-`k` repetition count.
     pub fn with_repetitions(mut self, k: usize) -> Self {
         assert!(k >= 1, "need at least one repetition");
         self.repetitions = k;
@@ -258,14 +263,17 @@ pub struct RobustMeasure<M> {
 }
 
 impl<M: Measure> RobustMeasure<M> {
+    /// Wrap `inner` with the given pipeline options.
     pub fn new(inner: M, opts: RobustOptions) -> Self {
         RobustMeasure { inner, opts }
     }
 
+    /// The pipeline options in effect.
     pub fn options(&self) -> &RobustOptions {
         &self.opts
     }
 
+    /// Unwrap, returning the inner measure.
     pub fn into_inner(self) -> M {
         self.inner
     }
@@ -314,6 +322,7 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Every fault kind, in declaration order.
     pub const ALL: [FaultKind; 4] = [
         FaultKind::Nan,
         FaultKind::Zero,
@@ -321,6 +330,7 @@ impl FaultKind {
         FaultKind::Spike,
     ];
 
+    /// Short label for logs and result files.
     pub fn label(self) -> &'static str {
         match self {
             FaultKind::Nan => "nan",
@@ -335,7 +345,9 @@ impl FaultKind {
 /// with probability `rate`, the kind drawn uniformly from `kinds`.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
+    /// Per-measurement fault probability.
     pub rate: f64,
+    /// The fault kinds to draw from (uniformly).
     pub kinds: Vec<FaultKind>,
     /// Multiplier applied to the true value for [`FaultKind::Spike`].
     pub spike_factor: f64,
@@ -352,6 +364,7 @@ impl FaultPlan {
         }
     }
 
+    /// Restrict the plan to the given fault kinds.
     pub fn with_kinds(mut self, kinds: Vec<FaultKind>) -> Self {
         assert!(!kinds.is_empty(), "need at least one fault kind");
         self.kinds = kinds;
@@ -362,13 +375,18 @@ impl FaultPlan {
 /// Tally of injected faults, for reporting recovery rates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounts {
+    /// NaN measurements injected.
     pub nan: usize,
+    /// Zero measurements injected.
     pub zero: usize,
+    /// Panics injected.
     pub panic: usize,
+    /// Latency spikes injected.
     pub spike: usize,
 }
 
 impl FaultCounts {
+    /// Total injected faults of all kinds.
     pub fn total(&self) -> usize {
         self.nan + self.zero + self.panic + self.spike
     }
@@ -386,6 +404,8 @@ pub struct FaultyMeasure<M> {
 }
 
 impl<M: Measure> FaultyMeasure<M> {
+    /// Wrap `inner` so it misbehaves per `plan`, deterministically from
+    /// `seed`.
     pub fn new(inner: M, plan: FaultPlan, seed: u64) -> Self {
         FaultyMeasure {
             inner,

@@ -56,6 +56,8 @@ pub struct DifferentialEvolution {
 }
 
 impl DifferentialEvolution {
+    /// Create a searcher over `space`. Panics if the space contains a
+    /// nominal parameter or the options are out of range.
     pub fn new(space: SearchSpace, seed: u64, opts: DifferentialEvolutionOptions) -> Self {
         reject_nominal(&space, "differential evolution");
         assert!(opts.agents >= 4, "DE needs at least 4 agents");

@@ -58,6 +58,8 @@ pub struct GeneticAlgorithm {
 }
 
 impl GeneticAlgorithm {
+    /// Create a searcher over `space`. Panics if the options are out of
+    /// range.
     pub fn new(space: SearchSpace, seed: u64, opts: GeneticOptions) -> Self {
         assert!(opts.population >= 2, "population must be at least 2");
         assert!(

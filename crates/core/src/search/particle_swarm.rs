@@ -60,6 +60,8 @@ pub struct ParticleSwarm {
 }
 
 impl ParticleSwarm {
+    /// Create a searcher over `space`. Panics if the space contains a
+    /// nominal parameter or the options are out of range.
     pub fn new(space: SearchSpace, seed: u64, opts: ParticleSwarmOptions) -> Self {
         reject_nominal(&space, "particle swarm");
         assert!(opts.particles >= 2, "swarm needs at least 2 particles");

@@ -28,14 +28,17 @@ impl Configuration {
         Configuration { values: Vec::new() }
     }
 
+    /// All parameter values, in space order.
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
+    /// Number of parameter values (the space's dimensionality).
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// True for the zero-parameter configuration.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
@@ -81,6 +84,7 @@ pub struct SearchSpace {
 }
 
 impl SearchSpace {
+    /// A space over the given parameters, in order.
     pub fn new(params: Vec<Parameter>) -> Self {
         SearchSpace { params }
     }
@@ -91,6 +95,7 @@ impl SearchSpace {
         SearchSpace { params: Vec::new() }
     }
 
+    /// The parameters, in order.
     pub fn params(&self) -> &[Parameter] {
         &self.params
     }
@@ -100,6 +105,7 @@ impl SearchSpace {
         self.params.len()
     }
 
+    /// True for the zero-parameter space.
     pub fn is_empty(&self) -> bool {
         self.params.is_empty()
     }
@@ -254,11 +260,19 @@ impl SearchSpace {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpaceError {
     /// The value vector length does not match the space dimensionality.
-    WrongArity { expected: usize, got: usize },
+    WrongArity {
+        /// The space's dimensionality.
+        expected: usize,
+        /// The configuration's length.
+        got: usize,
+    },
     /// A value is outside its parameter's domain.
     OutOfDomain {
+        /// Name of the offending parameter.
         param: String,
+        /// Index of the offending parameter in the space.
         index: usize,
+        /// The rejected value.
         value: Value,
     },
 }

@@ -54,10 +54,15 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 /// quartile, max. Mirrors the boxplots of Figures 1, 4 and 8.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FiveNumber {
+    /// Smallest sample.
     pub min: f64,
+    /// First quartile.
     pub q1: f64,
+    /// Median.
     pub median: f64,
+    /// Third quartile.
     pub q3: f64,
+    /// Largest sample.
     pub max: f64,
 }
 

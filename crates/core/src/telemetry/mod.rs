@@ -1,0 +1,534 @@
+//! Zero-cost-when-disabled tracing and metrics for the two-phase tuner.
+//!
+//! The paper's whole evaluation is built from per-iteration traces —
+//! which algorithm phase 2 selected, what weight each strategy assigned,
+//! how runtime converged. This module records exactly those traces from a
+//! live tuner without slowing the hot path it is tuning:
+//!
+//! * **Typed events** ([`Event`] / [`EventKind`]) — iteration starts,
+//!   algorithm selections with the full phase-2 weight vector, simplex
+//!   operations, measurement outcomes, failure penalties, sliding-window
+//!   evictions, workload spans and pool queue depths.
+//! * **A fixed-capacity ring buffer** ([`ring::EventRing`]) — allocated
+//!   once at [`enable`] time; recording an event never allocates and the
+//!   oldest events are overwritten at capacity.
+//! * **Per-algorithm metric registers** ([`metrics::Metrics`]) — lock-free
+//!   atomic selection / failure counters, last-weight gauges and
+//!   log-spaced runtime histograms, updated on every recorded event.
+//! * **Exporters** ([`export`]) — JSONL (one event per line, round-trips
+//!   through [`crate::json`]) and Chrome `trace_event` JSON that loads
+//!   directly in Perfetto / `chrome://tracing`.
+//!
+//! # Cost model
+//!
+//! Instrumentation sites call [`emit`] with a *closure* that builds the
+//! event, so when telemetry is off the event is never constructed:
+//!
+//! ```
+//! use autotune::telemetry::{self, EventKind};
+//! telemetry::emit(|| EventKind::IterationStart { iteration: 7 });
+//! ```
+//!
+//! Two switches stack:
+//!
+//! * **Compile time** — the `telemetry` cargo feature (on by default).
+//!   Without it, [`emit`] is an empty inline function and the whole call
+//!   disappears; the data structures in this module still compile so
+//!   exporters and tests keep working.
+//! * **Run time** — [`enable`] / [`disable`] flip a relaxed [`AtomicBool`].
+//!   The disabled path is a single predictable branch (< 2 ns/event,
+//!   enforced by the `telemetry_overhead` bench).
+//!
+//! Recording is process-global: the tuner, pool and workloads all write to
+//! one [`Recorder`] so a trace interleaves phase-2 decisions with the
+//! measurements they caused. Use [`drain`] between runs to split a
+//! recording into per-run logs.
+
+pub mod export;
+pub mod metrics;
+pub mod ring;
+
+pub use metrics::{AlgoMetrics, MetricsReport};
+
+use crate::robust::MeasureOutcome;
+use metrics::Metrics;
+use ring::EventRing;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Maximum number of algorithms tracked per event/metric register.
+///
+/// Phase-2 weight vectors are recorded inline (no allocation) in a
+/// [`WeightSet`], which caps how many algorithms a single tuner can have
+/// *traced*. Tuners with more algorithms still work — excess weights are
+/// simply not recorded.
+pub const MAX_TRACKED_ALGORITHMS: usize = 16;
+
+/// Default event capacity used by [`enable`] (65 536 events ≈ 3 MiB).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// A fixed-size, heap-free snapshot of a phase-2 weight vector.
+///
+/// Weights are stored as `f32` (exactly round-trippable through JSON via
+/// `f64`) and truncated to [`MAX_TRACKED_ALGORITHMS`] entries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightSet {
+    len: u8,
+    values: [f32; MAX_TRACKED_ALGORITHMS],
+}
+
+impl WeightSet {
+    /// An empty weight set.
+    pub const fn empty() -> Self {
+        Self {
+            len: 0,
+            values: [0.0; MAX_TRACKED_ALGORITHMS],
+        }
+    }
+
+    /// Capture the first [`MAX_TRACKED_ALGORITHMS`] weights from a slice.
+    pub fn from_slice(weights: &[f64]) -> Self {
+        let mut set = Self::empty();
+        for (i, w) in weights.iter().take(MAX_TRACKED_ALGORITHMS).enumerate() {
+            set.values[i] = *w as f32;
+        }
+        set.len = weights.len().min(MAX_TRACKED_ALGORITHMS) as u8;
+        set
+    }
+
+    /// Number of recorded weights.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no weights were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The weight at algorithm index `i`, if recorded.
+    pub fn get(&self, i: usize) -> Option<f32> {
+        self.as_slice().get(i).copied()
+    }
+
+    /// The recorded weights as a slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values[..self.len as usize]
+    }
+}
+
+/// The Nelder-Mead simplex operation behind a [`EventKind::Phase1Step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimplexOp {
+    /// Evaluating an initial simplex vertex.
+    Init,
+    /// Proposing the reflection point.
+    Reflect,
+    /// Proposing the expansion point.
+    Expand,
+    /// Proposing the outside-contraction point.
+    ContractOutside,
+    /// Proposing the inside-contraction point.
+    ContractInside,
+    /// Re-evaluating vertices after a simplex shrink.
+    Shrink,
+    /// Simplex has converged; re-proposing the best known vertex.
+    Exploit,
+}
+
+impl SimplexOp {
+    /// Stable kebab-case name used by the JSONL exporter.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimplexOp::Init => "init",
+            SimplexOp::Reflect => "reflect",
+            SimplexOp::Expand => "expand",
+            SimplexOp::ContractOutside => "contract-outside",
+            SimplexOp::ContractInside => "contract-inside",
+            SimplexOp::Shrink => "shrink",
+            SimplexOp::Exploit => "exploit",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "init" => SimplexOp::Init,
+            "reflect" => SimplexOp::Reflect,
+            "expand" => SimplexOp::Expand,
+            "contract-outside" => SimplexOp::ContractOutside,
+            "contract-inside" => SimplexOp::ContractInside,
+            "shrink" => SimplexOp::Shrink,
+            "exploit" => SimplexOp::Exploit,
+            _ => return None,
+        })
+    }
+}
+
+/// Outcome class of a measurement, as recorded in telemetry.
+///
+/// This is the telemetry-side mirror of [`crate::robust::MeasureOutcome`],
+/// flattened to a `Copy` tag (the failure message is not recorded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeasureStatus {
+    /// The measurement produced a usable runtime.
+    Ok,
+    /// The measurement failed (panic, degenerate value, workload error).
+    Failed,
+    /// The measurement exceeded its deadline.
+    TimedOut,
+}
+
+impl MeasureStatus {
+    /// Stable kebab-case name used by the JSONL exporter.
+    pub fn label(self) -> &'static str {
+        match self {
+            MeasureStatus::Ok => "ok",
+            MeasureStatus::Failed => "failed",
+            MeasureStatus::TimedOut => "timed-out",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => MeasureStatus::Ok,
+            "failed" => MeasureStatus::Failed,
+            "timed-out" => MeasureStatus::TimedOut,
+            _ => return None,
+        })
+    }
+
+    /// Classify a [`MeasureOutcome`].
+    pub fn of(outcome: &MeasureOutcome) -> Self {
+        match outcome {
+            MeasureOutcome::Ok(_) => MeasureStatus::Ok,
+            MeasureOutcome::Failed(_) => MeasureStatus::Failed,
+            MeasureOutcome::TimedOut => MeasureStatus::TimedOut,
+        }
+    }
+}
+
+/// What a [`EventKind::SpanBegin`] / [`EventKind::SpanEnd`] pair brackets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One `measure_search` call in the string-matching workload.
+    Search,
+    /// One `measure_frame` call in the raytracing workload.
+    Frame,
+}
+
+impl SpanKind {
+    /// Stable kebab-case name used by the JSONL exporter.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Search => "search",
+            SpanKind::Frame => "frame",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "search" => SpanKind::Search,
+            "frame" => SpanKind::Frame,
+            _ => return None,
+        })
+    }
+}
+
+/// The payload of a recorded [`Event`]. All variants are `Copy` and
+/// heap-free so recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A tuning iteration began (emitted by `TwoPhaseTuner::next` and
+    /// `OnlineTuner` step drivers).
+    IterationStart {
+        /// Zero-based iteration counter of the emitting tuner.
+        iteration: u64,
+    },
+    /// Phase 2 selected an algorithm, with the strategy's current weight
+    /// vector at selection time.
+    AlgorithmSelected {
+        /// Index of the chosen algorithm.
+        algorithm: u16,
+        /// Phase-2 weights over all algorithms at selection time.
+        weights: WeightSet,
+    },
+    /// Phase 1 (Nelder-Mead) proposed a configuration.
+    Phase1Step {
+        /// The simplex operation that produced the proposal.
+        op: SimplexOp,
+    },
+    /// A measurement finished and was reported to the tuner.
+    MeasureOutcome {
+        /// Index of the algorithm that was measured.
+        algorithm: u16,
+        /// Whether the measurement succeeded, failed or timed out.
+        status: MeasureStatus,
+        /// The reported runtime (for failures: the penalty charged).
+        runtime_ms: f64,
+    },
+    /// A failed measurement was converted into a penalty runtime.
+    PenaltyApplied {
+        /// Index of the penalized algorithm.
+        algorithm: u16,
+        /// The penalty charged, in milliseconds.
+        penalty_ms: f64,
+    },
+    /// A sample aged out of a sliding-window strategy's logical window.
+    WindowEvicted {
+        /// Index of the algorithm whose window advanced.
+        algorithm: u16,
+        /// Per-algorithm index of the sample that left the window.
+        evicted_sample: u64,
+    },
+    /// A workload measurement span opened.
+    SpanBegin {
+        /// What the span brackets.
+        span: SpanKind,
+    },
+    /// A workload measurement span closed.
+    SpanEnd {
+        /// What the span brackets.
+        span: SpanKind,
+    },
+    /// Work-stealing pool queue depth observed at region dispatch.
+    QueueDepth {
+        /// Number of parallel regions queued (including the new one).
+        depth: u32,
+        /// Number of live worker threads in the pool.
+        workers: u32,
+    },
+}
+
+/// One recorded telemetry event: a timestamp plus a typed payload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Microseconds since the recorder's epoch ([`enable`] time).
+    pub t_us: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// An event sink: a ring buffer of typed events plus always-on metric
+/// registers, sharing one clock.
+///
+/// Most code uses the process-global recorder through [`enable`] /
+/// [`emit`] / [`drain`]; standalone recorders exist for tests.
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    ring: Mutex<EventRing>,
+    metrics: Metrics,
+}
+
+impl Recorder {
+    /// Create a recorder whose ring holds `capacity` events. All event
+    /// storage is allocated here.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            ring: Mutex::new(EventRing::with_capacity(capacity)),
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn ring(&self) -> MutexGuard<'_, EventRing> {
+        // A panic while holding the lock cannot leave the ring in a
+        // broken state (push/clear are trivially atomic), so poisoning
+        // is safe to ignore.
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record one event: stamp it with the recorder clock, update the
+    /// metric registers and append it to the ring. Never allocates.
+    pub fn record(&self, kind: EventKind) {
+        let t_us = self.epoch.elapsed().as_micros() as u64;
+        self.metrics.observe(&kind);
+        self.ring().push(Event { t_us, kind });
+    }
+
+    /// Copy out the currently stored events, oldest-first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring().to_vec()
+    }
+
+    /// Copy out the stored events and clear the ring (metrics are kept).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut ring = self.ring();
+        let events = ring.to_vec();
+        ring.clear();
+        events
+    }
+
+    /// Clear the ring and zero all metric registers.
+    pub fn reset(&self) {
+        self.ring().clear();
+        self.metrics.reset();
+    }
+
+    /// Total number of events ever recorded, including overwritten ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.ring().total_pushed()
+    }
+
+    /// Number of events lost to ring overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.ring().overwritten()
+    }
+
+    /// Snapshot the metric registers.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+}
+
+/// Runtime switch. Checked with a relaxed load on every [`emit`]; this is
+/// the entire cost of an instrumentation site while disabled.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-global recorder, allocated on first [`enable`].
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// True if the crate was built with the `telemetry` feature.
+pub const fn compiled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Turn on global recording with [`DEFAULT_RING_CAPACITY`].
+///
+/// The first call allocates the ring; later calls just flip the runtime
+/// switch (the capacity argument of the *first* enabling call wins).
+/// No-op without the `telemetry` feature.
+pub fn enable() {
+    enable_with_capacity(DEFAULT_RING_CAPACITY);
+}
+
+/// Turn on global recording with an explicit ring capacity. See
+/// [`enable`].
+pub fn enable_with_capacity(capacity: usize) {
+    if !compiled() {
+        return;
+    }
+    GLOBAL.get_or_init(|| Recorder::new(capacity));
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn off global recording. Already-recorded events and metrics stay
+/// available to [`snapshot`] / [`drain`] / [`metrics()`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// True if telemetry is compiled in *and* currently enabled.
+pub fn is_enabled() -> bool {
+    compiled() && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record an event into the global recorder, if enabled.
+///
+/// The closure runs only when recording is on, so instrumentation sites
+/// pay nothing to build the event while telemetry is off. With the
+/// `telemetry` feature disabled this function is empty and calls to it
+/// compile away entirely.
+#[inline(always)]
+pub fn emit<F: FnOnce() -> EventKind>(f: F) {
+    #[cfg(feature = "telemetry")]
+    if ENABLED.load(Ordering::Relaxed) {
+        if let Some(recorder) = GLOBAL.get() {
+            recorder.record(f());
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = f;
+}
+
+/// Copy out the global recorder's stored events, oldest-first. Empty if
+/// recording was never enabled.
+pub fn snapshot() -> Vec<Event> {
+    GLOBAL.get().map(Recorder::snapshot).unwrap_or_default()
+}
+
+/// Copy out and clear the global recorder's events (metrics are kept).
+/// Use between runs to split a recording into per-run logs.
+pub fn drain() -> Vec<Event> {
+    GLOBAL.get().map(Recorder::drain).unwrap_or_default()
+}
+
+/// Clear the global ring and zero all global metric registers.
+pub fn reset() {
+    if let Some(r) = GLOBAL.get() {
+        r.reset();
+    }
+}
+
+/// Snapshot the global metric registers. Empty report if recording was
+/// never enabled.
+pub fn metrics() -> MetricsReport {
+    GLOBAL.get().map(Recorder::metrics).unwrap_or_default()
+}
+
+/// Total events ever recorded globally, including overwritten ones.
+pub fn total_recorded() -> u64 {
+    GLOBAL.get().map(Recorder::total_recorded).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_set_truncates_and_round_trips() {
+        let w: Vec<f64> = (0..20).map(|i| i as f64 * 0.25).collect();
+        let set = WeightSet::from_slice(&w);
+        assert_eq!(set.len(), MAX_TRACKED_ALGORITHMS);
+        assert_eq!(set.get(3), Some(0.75));
+        assert_eq!(set.get(MAX_TRACKED_ALGORITHMS), None);
+        let small = WeightSet::from_slice(&[0.5, 0.25]);
+        assert_eq!(small.as_slice(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for op in [
+            SimplexOp::Init,
+            SimplexOp::Reflect,
+            SimplexOp::Expand,
+            SimplexOp::ContractOutside,
+            SimplexOp::ContractInside,
+            SimplexOp::Shrink,
+            SimplexOp::Exploit,
+        ] {
+            assert_eq!(SimplexOp::from_label(op.label()), Some(op));
+        }
+        for st in [
+            MeasureStatus::Ok,
+            MeasureStatus::Failed,
+            MeasureStatus::TimedOut,
+        ] {
+            assert_eq!(MeasureStatus::from_label(st.label()), Some(st));
+        }
+        for sp in [SpanKind::Search, SpanKind::Frame] {
+            assert_eq!(SpanKind::from_label(sp.label()), Some(sp));
+        }
+    }
+
+    #[test]
+    fn recorder_records_and_drains() {
+        let r = Recorder::new(8);
+        r.record(EventKind::IterationStart { iteration: 0 });
+        r.record(EventKind::QueueDepth {
+            depth: 2,
+            workers: 4,
+        });
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.total_recorded(), 0);
+        let m = r.metrics();
+        assert_eq!(m.iterations, 1);
+        assert_eq!(m.max_queue_depth, 2);
+    }
+}

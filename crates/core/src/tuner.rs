@@ -14,6 +14,11 @@ use crate::robust::{
 };
 use crate::search::Searcher;
 use crate::space::Configuration;
+use crate::telemetry::{self, EventKind, MeasureStatus};
+
+/// Single-searcher loops have no algorithmic choice; telemetry records
+/// their events against algorithm index 0.
+const SOLO_ALGORITHM: u16 = 0;
 
 /// When should the tuning loop stop proposing new configurations?
 ///
@@ -34,7 +39,13 @@ pub enum Termination {
     /// `tolerance` (relative) for `window` consecutive iterations — the
     /// practical criterion behind the paper's "the length of the tuning
     /// loop is chosen to ensure tuning convergence".
-    Plateau { window: usize, tolerance: f64 },
+    Plateau {
+        /// Number of consecutive non-improving iterations required.
+        window: usize,
+        /// Relative improvement below which an iteration counts as
+        /// non-improving.
+        tolerance: f64,
+    },
 }
 
 impl Termination {
@@ -72,6 +83,8 @@ pub struct OnlineTuner<S: Searcher> {
 }
 
 impl<S: Searcher> OnlineTuner<S> {
+    /// Wrap a searcher into an online tuning loop with the given
+    /// termination criterion.
     pub fn new(searcher: S, termination: Termination) -> Self {
         OnlineTuner {
             searcher,
@@ -103,6 +116,11 @@ impl<S: Searcher> OnlineTuner<S> {
         let config = self.propose_config();
         let exploiting = self.done();
         let value = measure.measure(&config);
+        telemetry::emit(|| EventKind::MeasureOutcome {
+            algorithm: SOLO_ALGORITHM,
+            status: MeasureStatus::Ok,
+            runtime_ms: value,
+        });
         if !exploiting {
             self.searcher.report(value);
         }
@@ -120,8 +138,15 @@ impl<S: Searcher> OnlineTuner<S> {
     pub fn step_fallible<M: FallibleMeasure>(&mut self, measure: &mut M) -> Sample {
         let config = self.propose_config();
         let exploiting = self.done();
-        let value = match measure.measure(&config) {
+        let outcome = measure.measure(&config);
+        let status = MeasureStatus::of(&outcome);
+        let value = match outcome {
             MeasureOutcome::Ok(v) => {
+                telemetry::emit(|| EventKind::MeasureOutcome {
+                    algorithm: SOLO_ALGORITHM,
+                    status,
+                    runtime_ms: v,
+                });
                 if !exploiting {
                     self.searcher.report(v);
                 }
@@ -136,6 +161,15 @@ impl<S: Searcher> OnlineTuner<S> {
                     .worst
                     .map(|w| clamp_measurement(w * FAILURE_PENALTY_FACTOR))
                     .unwrap_or(DEFAULT_FAILURE_PENALTY_MS);
+                telemetry::emit(|| EventKind::MeasureOutcome {
+                    algorithm: SOLO_ALGORITHM,
+                    status,
+                    runtime_ms: penalty,
+                });
+                telemetry::emit(|| EventKind::PenaltyApplied {
+                    algorithm: SOLO_ALGORITHM,
+                    penalty_ms: penalty,
+                });
                 if !exploiting {
                     self.searcher.report(penalty);
                 }
@@ -146,6 +180,9 @@ impl<S: Searcher> OnlineTuner<S> {
     }
 
     fn propose_config(&mut self) -> Configuration {
+        telemetry::emit(|| EventKind::IterationStart {
+            iteration: self.iteration as u64,
+        });
         if self.done() {
             // Exploit: re-run the best-known configuration without advancing
             // the search.

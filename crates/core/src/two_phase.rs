@@ -20,14 +20,18 @@ use crate::nominal::{
 use crate::robust::{failure_penalty, MeasureOutcome};
 use crate::search::{HillClimbing, NelderMead, NelderMeadOptions, RandomSearch, Searcher};
 use crate::space::{Configuration, SearchSpace};
+use crate::telemetry::{self, EventKind, MeasureStatus, WeightSet, MAX_TRACKED_ALGORITHMS};
 
 /// Description of one tunable algorithm: its name, its own parameter space
 /// `T_A`, and an optional hand-crafted starting configuration (the paper's
 /// raytracing case study starts every builder from a best-practice config).
 #[derive(Debug, Clone)]
 pub struct AlgorithmSpec {
+    /// Display name of the algorithm.
     pub name: String,
+    /// The algorithm's own parameter space `T_A`.
     pub space: SearchSpace,
+    /// Optional hand-crafted starting configuration for phase 1.
     pub start: Option<Configuration>,
 }
 
@@ -65,6 +69,7 @@ pub enum NominalKind {
     EpsilonGreedy(f64),
     /// Gradient Weighted with the given window.
     GradientWeighted(usize),
+    /// Optimum Weighted (best inverse runtime per algorithm).
     OptimumWeighted,
     /// Sliding-Window AUC with the given window.
     SlidingWindowAuc(usize),
@@ -121,7 +126,9 @@ impl NominalKind {
 pub enum Phase1Kind {
     /// Nelder-Mead downhill simplex — the paper's choice.
     NelderMead,
+    /// Steepest-descent hill climbing.
     HillClimbing,
+    /// Uniform random sampling (ablation baseline).
     Random,
 }
 
@@ -235,6 +242,7 @@ impl TwoPhaseTuner {
         self.specs.len()
     }
 
+    /// Display name of algorithm `i`.
     pub fn algorithm_name(&self, i: usize) -> &str {
         &self.specs[i].name
     }
@@ -254,7 +262,21 @@ impl TwoPhaseTuner {
             self.pending.is_none(),
             "next() called twice without report()"
         );
+        telemetry::emit(|| EventKind::IterationStart {
+            iteration: self.iteration as u64,
+        });
         let algorithm = self.strategy.select();
+        telemetry::emit(|| {
+            // Snapshot the phase-2 weight vector into a stack buffer —
+            // recording must not allocate.
+            let mut weights = [0.0f64; MAX_TRACKED_ALGORITHMS];
+            let n = self.strategy.num_algorithms().min(MAX_TRACKED_ALGORITHMS);
+            self.strategy.weights_into(&mut weights[..n]);
+            EventKind::AlgorithmSelected {
+                algorithm: algorithm as u16,
+                weights: WeightSet::from_slice(&weights[..n]),
+            }
+        });
         let config = self.searchers[algorithm].propose();
         self.pending = Some((algorithm, config.clone()));
         (algorithm, config)
@@ -270,6 +292,11 @@ impl TwoPhaseTuner {
             return self.report_failure();
         }
         let (algorithm, config) = self.pending.take().expect("report() without next()");
+        telemetry::emit(|| EventKind::MeasureOutcome {
+            algorithm: algorithm as u16,
+            status: MeasureStatus::Ok,
+            runtime_ms: value,
+        });
         self.searchers[algorithm].report(value);
         self.strategy.report(algorithm, value);
         // Track the global optimum over (A, C) pairs.
@@ -294,11 +321,24 @@ impl TwoPhaseTuner {
     /// algorithm is deprioritized without ever being excluded, and the
     /// phase-1 searcher steers away from the failing configuration.
     pub fn report_failure(&mut self) -> TwoPhaseSample {
+        self.fail_with_status(MeasureStatus::Failed)
+    }
+
+    fn fail_with_status(&mut self, status: MeasureStatus) -> TwoPhaseSample {
         let (algorithm, config) = self
             .pending
             .take()
             .expect("report_failure() without next()");
         let penalty = failure_penalty(self.strategy.histories());
+        telemetry::emit(|| EventKind::MeasureOutcome {
+            algorithm: algorithm as u16,
+            status,
+            runtime_ms: penalty,
+        });
+        telemetry::emit(|| EventKind::PenaltyApplied {
+            algorithm: algorithm as u16,
+            penalty_ms: penalty,
+        });
         self.searchers[algorithm].report(penalty);
         self.strategy.report_failure(algorithm);
         self.failures[algorithm] += 1;
@@ -332,7 +372,8 @@ impl TwoPhaseTuner {
     pub fn report_outcome(&mut self, outcome: MeasureOutcome) -> TwoPhaseSample {
         match outcome {
             MeasureOutcome::Ok(v) => self.report(v),
-            MeasureOutcome::Failed(_) | MeasureOutcome::TimedOut => self.report_failure(),
+            MeasureOutcome::Failed(_) => self.fail_with_status(MeasureStatus::Failed),
+            MeasureOutcome::TimedOut => self.fail_with_status(MeasureStatus::TimedOut),
         }
     }
 

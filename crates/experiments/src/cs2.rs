@@ -64,7 +64,7 @@ impl Cs2Config {
         cathedral(self.seed, self.detail)
     }
 
-    fn render_options(&self) -> RenderOptions {
+    pub(crate) fn render_options(&self) -> RenderOptions {
         RenderOptions {
             width: self.width,
             height: self.height,

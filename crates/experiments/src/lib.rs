@@ -18,7 +18,11 @@
 //! Beyond the paper's artifacts, the `faults` target ([`faults`]) re-runs
 //! both case studies with 10% injected measurement failures and compares
 //! clean vs. faulty convergence — the robustness claim the measurement
-//! pipeline in [`autotune::robust`] makes.
+//! pipeline in [`autotune::robust`] makes. The `record` target ([`record`])
+//! replays both case studies with the [`autotune::telemetry`] recorder on
+//! and writes per-run JSONL traces plus Perfetto-loadable Chrome traces;
+//! `report` rebuilds per-strategy convergence tables from those files
+//! alone.
 //!
 //! The `experiments` binary drives these and writes CSV/JSON into
 //! `results/` plus ASCII plots to stdout. Scale knobs default to a *quick*
@@ -28,5 +32,6 @@ pub mod ablations;
 pub mod cs1;
 pub mod cs2;
 pub mod faults;
+pub mod record;
 pub mod report;
 pub mod tables;

@@ -4,7 +4,8 @@
 //! experiments <target> [flags]
 //!
 //! targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          cs1 cs2 kernels patterns scenes dynamic ablations faults all
+//!          cs1 cs2 kernels patterns scenes dynamic ablations faults
+//!          record report all
 //! flags:
 //!   --paper            paper-scale runs (100 reps; hours) instead of quick
 //!   --reps N           override repetition count
@@ -15,8 +16,18 @@
 //!   --out DIR          output directory (default: results)
 //! ```
 
-use experiments::{ablations, cs1, cs2, faults, report, tables};
+use experiments::{ablations, cs1, cs2, faults, record, report, tables};
 use std::path::{Path, PathBuf};
+
+/// Exit with a readable diagnostic instead of a panic backtrace when the
+/// output directory is unwritable (read-only checkout, bad `--out`, …).
+fn check_io<T>(what: &str, out: &Path, res: std::io::Result<T>) -> T {
+    res.unwrap_or_else(|e| {
+        eprintln!("error: cannot write {what} into {}: {e}", out.display());
+        eprintln!("hint: point --out at a writable directory");
+        std::process::exit(1);
+    })
+}
 
 struct Args {
     target: String,
@@ -103,19 +114,19 @@ fn cs2_config(args: &Args) -> cs2::Cs2Config {
 }
 
 fn emit_series(f: &report::SeriesFigure, out: &Path) {
-    f.save(out).expect("write figure outputs");
+    check_io(&format!("figure {}", f.id), out, f.save(out));
     println!("{}", f.ascii());
     println!("→ {}/{}.csv\n", out.display(), f.id);
 }
 
 fn emit_box(f: &report::BoxFigure, out: &Path) {
-    f.save(out).expect("write figure outputs");
+    check_io(&format!("figure {}", f.id), out, f.save(out));
     println!("{}", f.ascii());
     println!("→ {}/{}.csv\n", out.display(), f.id);
 }
 
 fn emit_grouped(f: &report::GroupedBoxFigure, out: &Path) {
-    f.save(out).expect("write figure outputs");
+    check_io(&format!("figure {}", f.id), out, f.save(out));
     println!("{}", f.ascii());
     println!("→ {}/{}.csv\n", out.display(), f.id);
 }
@@ -125,6 +136,12 @@ fn main() {
     let t = args.target.as_str();
     let run_cs1_figs = matches!(t, "fig2" | "fig3" | "fig4" | "cs1" | "all");
     let run_cs2_figs = matches!(t, "fig6" | "fig7" | "fig8" | "cs2" | "all");
+
+    // Fail fast and readably if the output directory cannot be created
+    // (`report` only reads, and tables are stdout-only).
+    if !matches!(t, "report" | "table1" | "table2") {
+        check_io("outputs", &args.out, std::fs::create_dir_all(&args.out));
+    }
 
     if matches!(t, "table1" | "all") {
         println!("{}", tables::table1());
@@ -249,7 +266,11 @@ fn main() {
         for s in &studies {
             println!("{}", faults::summary(s));
         }
-        faults::save_json(&studies, &args.out).expect("write faults.json");
+        check_io(
+            "faults.json",
+            &args.out,
+            faults::save_json(&studies, &args.out),
+        );
         println!("→ {}/faults.json\n", args.out.display());
         let _ = std::panic::take_hook();
     }
@@ -268,6 +289,35 @@ fn main() {
             &ablations::deployment_modes(cfg.corpus_bytes, cfg.iterations, cfg.reps, 5),
             &args.out,
         );
+    }
+    if matches!(t, "record" | "all") {
+        if !autotune::telemetry::compiled() {
+            eprintln!("error: `record` needs the `telemetry` cargo feature (it is on by default)");
+            std::process::exit(1);
+        }
+        let c1 = cs1_config(&args);
+        eprintln!(
+            "[record] telemetry traces, string matching: 6 strategies × {} iters…",
+            c1.iterations
+        );
+        let mut files = check_io("cs1 traces", &args.out, record::record_cs1(&c1, &args.out));
+        let c2 = cs2_config(&args);
+        eprintln!(
+            "[record] telemetry traces, raytracing: 6 strategies × {} frames…",
+            c2.frames
+        );
+        files.extend(check_io(
+            "cs2 traces",
+            &args.out,
+            record::record_cs2(&c2, &args.out),
+        ));
+        for f in &files {
+            println!("→ {}", f.display());
+        }
+        println!();
+    }
+    if matches!(t, "report" | "all") {
+        check_io("report.json", &args.out, record::report(&args.out));
     }
     let known = [
         "table1",
@@ -288,6 +338,8 @@ fn main() {
         "dynamic",
         "ablations",
         "faults",
+        "record",
+        "report",
         "all",
     ];
     if !known.contains(&t) {

@@ -109,11 +109,19 @@ pub fn measure_frame(
     base: &RenderOptions,
     opts: &RobustOptions,
 ) -> MeasureOutcome {
+    use autotune::telemetry::{self, EventKind, SpanKind};
     let build_config = decode(builder.name(), config);
     let render_opts = decode_render(config, base);
-    robust_call(opts, || {
+    telemetry::emit(|| EventKind::SpanBegin {
+        span: SpanKind::Frame,
+    });
+    let outcome = robust_call(opts, || {
         frame(scene, builder, &build_config, &render_opts).total_ms()
-    })
+    });
+    telemetry::emit(|| EventKind::SpanEnd {
+        span: SpanKind::Frame,
+    });
+    outcome
 }
 
 /// The four algorithms as [`AlgorithmSpec`]s for the two-phase tuner, in

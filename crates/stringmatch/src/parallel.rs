@@ -97,11 +97,18 @@ impl<'a> ParallelMatcher<'a> {
         require_match: bool,
         opts: &RobustOptions,
     ) -> MeasureOutcome {
+        use autotune::telemetry::{self, EventKind, SpanKind};
+        telemetry::emit(|| EventKind::SpanBegin {
+            span: SpanKind::Search,
+        });
         let hits_found = Cell::new(usize::MAX);
         let outcome = robust_call(opts, || {
             let (hits, ms) = time_ms(|| self.find_all(pattern, text));
             hits_found.set(hits.len());
             ms
+        });
+        telemetry::emit(|| EventKind::SpanEnd {
+            span: SpanKind::Search,
         });
         match outcome {
             MeasureOutcome::Ok(_) if require_match && hits_found.get() == 0 => {
