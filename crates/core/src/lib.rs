@@ -72,6 +72,7 @@ pub mod pool;
 pub mod rng;
 pub mod robust;
 pub mod search;
+pub mod site;
 pub mod space;
 pub mod stats;
 pub mod telemetry;
@@ -97,6 +98,7 @@ pub mod prelude {
         DifferentialEvolution, ExhaustiveSearch, GeneticAlgorithm, HillClimbing, NelderMead,
         NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,
     };
+    pub use crate::site::{Site, SiteGuard, SiteId, SiteSpec};
     pub use crate::space::{Configuration, SearchSpace};
     pub use crate::telemetry::{
         self, Event, EventKind, MeasureStatus, MetricsReport, SimplexOp, SpanKind, WeightSet,

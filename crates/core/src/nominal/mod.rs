@@ -43,7 +43,12 @@ use crate::rng::Rng;
 /// Protocol: call [`NominalStrategy::select`] to obtain the algorithm index
 /// for this tuning iteration, run the algorithm (with phase-1-tuned
 /// parameters), then [`NominalStrategy::report`] its measured runtime.
-pub trait NominalStrategy {
+///
+/// `Send` is a supertrait so strategy state can live inside the concurrent
+/// multi-site runtime ([`crate::site`]), where any request thread may claim
+/// a site and drive its tuner; every strategy in this crate owns plain data
+/// and is `Send` automatically.
+pub trait NominalStrategy: Send {
     /// Number of alternatives `|𝒜|`.
     fn num_algorithms(&self) -> usize;
 

@@ -44,7 +44,12 @@ use crate::space::{Configuration, SearchSpace};
 /// Protocol: alternate [`Searcher::propose`] and [`Searcher::report`]. Every
 /// proposed configuration must be reported before the next proposal; values
 /// must be finite and lower-is-better.
-pub trait Searcher {
+///
+/// `Send` is a supertrait so searcher state can live inside the concurrent
+/// multi-site runtime ([`crate::site`]), where any request thread may claim
+/// a site and drive its tuner; every searcher in this crate owns plain data
+/// and is `Send` automatically.
+pub trait Searcher: Send {
     /// The space being searched.
     fn space(&self) -> &SearchSpace;
 
@@ -78,6 +83,36 @@ pub trait Searcher {
 
     /// Strategy name for reports and plots.
     fn name(&self) -> &'static str;
+}
+
+impl Searcher for Box<dyn Searcher> {
+    fn space(&self) -> &SearchSpace {
+        (**self).space()
+    }
+
+    fn propose(&mut self) -> Configuration {
+        (**self).propose()
+    }
+
+    fn report(&mut self, value: f64) {
+        (**self).report(value)
+    }
+
+    fn abandon(&mut self) {
+        (**self).abandon()
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        (**self).best()
+    }
+
+    fn converged(&self) -> bool {
+        (**self).converged()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// Shared best-so-far bookkeeping for searcher implementations.

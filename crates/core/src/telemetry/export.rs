@@ -12,7 +12,7 @@
 //!   duration events, queue depths and phase-2 weights become `C`
 //!   counter tracks, everything else becomes instant events.
 
-use super::{Event, EventKind, MeasureStatus, SimplexOp, SpanKind, WeightSet};
+use super::{Event, EventKind, MeasureStatus, SimplexOp, SpanKind, WeightSet, NO_SITE};
 use crate::json::{Json, JsonError};
 
 fn semantic_err<T>(message: impl Into<String>) -> Result<T, JsonError> {
@@ -45,7 +45,22 @@ fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, JsonError> {
 }
 
 /// Serialize one event as a flat JSON object (one JSONL line).
+///
+/// Events recorded inside a tuning-site scope carry a `"site"` field;
+/// untagged events ([`NO_SITE`]) omit it, keeping single-tuner trace
+/// files byte-compatible with the pre-site schema.
 pub fn event_to_json(event: &Event) -> Json {
+    let mut j = event_kind_to_json(event);
+    if event.site != NO_SITE {
+        if let Json::Obj(pairs) = &mut j {
+            // Keep `site` right after `t_us` so lines stay human-scannable.
+            pairs.insert(1, ("site".into(), Json::Num(event.site as f64)));
+        }
+    }
+    j
+}
+
+fn event_kind_to_json(event: &Event) -> Json {
     let t = ("t_us", Json::Num(event.t_us as f64));
     match &event.kind {
         EventKind::IterationStart { iteration } => Json::obj(vec![
@@ -122,6 +137,16 @@ pub fn event_to_json(event: &Event) -> Json {
 /// Parse one event back from its [`event_to_json`] representation.
 pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
     let t_us = get_u64(j, "t_us")?;
+    let site = match j.get("site") {
+        Some(_) => {
+            let s = get_u64(j, "site")?;
+            if s >= NO_SITE as u64 {
+                return semantic_err(format!("site {s} out of range"));
+            }
+            s as u16
+        }
+        None => NO_SITE,
+    };
     let kind = match get_str(j, "kind")? {
         "iteration-start" => EventKind::IterationStart {
             iteration: get_u64(j, "iteration")?,
@@ -181,7 +206,7 @@ pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
         },
         other => return semantic_err(format!("unknown event kind '{other}'")),
     };
-    Ok(Event { t_us, kind })
+    Ok(Event { t_us, site, kind })
 }
 
 /// Serialize events as JSONL: one compact JSON object per line.
@@ -308,13 +333,13 @@ pub fn parse_run_log(text: &str) -> Result<RunLog, JsonError> {
     Ok(RunLog { meta, events })
 }
 
-fn trace_row(name: &str, ph: &str, ts_us: f64, args: Vec<(&str, Json)>) -> Json {
+fn trace_row(name: &str, ph: &str, ts_us: f64, tid: f64, args: Vec<(&str, Json)>) -> Json {
     let mut pairs = vec![
         ("name", Json::Str(name.into())),
         ("ph", Json::Str(ph.into())),
         ("ts", Json::Num(ts_us)),
         ("pid", Json::Num(1.0)),
-        ("tid", Json::Num(1.0)),
+        ("tid", Json::Num(tid)),
     ];
     if !args.is_empty() {
         pairs.push(("args", Json::obj(args)));
@@ -335,15 +360,24 @@ pub fn chrome_trace(events: &[Event]) -> Json {
         "process_name",
         "M",
         0.0,
+        1.0,
         vec![("name", Json::Str("autotune".into()))],
     ));
     for e in events {
         let ts = e.t_us as f64;
+        // Each tuning site gets its own Perfetto track; untagged events
+        // (single-tuner runs) stay on track 1.
+        let tid = if e.site == NO_SITE {
+            1.0
+        } else {
+            e.site as f64 + 2.0
+        };
         match &e.kind {
             EventKind::IterationStart { iteration } => rows.push(trace_row(
                 "iteration",
                 "i",
                 ts,
+                tid,
                 vec![("iteration", Json::Num(*iteration as f64))],
             )),
             EventKind::AlgorithmSelected { algorithm, weights } => {
@@ -351,6 +385,7 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                     "select",
                     "i",
                     ts,
+                    tid,
                     vec![("algorithm", Json::Num(*algorithm as f64))],
                 ));
                 let args: Vec<(String, Json)> = weights
@@ -365,7 +400,7 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                         ("ph".into(), Json::Str("C".into())),
                         ("ts".into(), Json::Num(ts)),
                         ("pid".into(), Json::Num(1.0)),
-                        ("tid".into(), Json::Num(1.0)),
+                        ("tid".into(), Json::Num(tid)),
                         ("args".into(), Json::Obj(args)),
                     ]));
                 }
@@ -375,6 +410,7 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                     "simplex",
                     "i",
                     ts,
+                    tid,
                     vec![("op", Json::Str(op.label().into()))],
                 ));
             }
@@ -386,6 +422,7 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                 "measure",
                 "i",
                 ts,
+                tid,
                 vec![
                     ("algorithm", Json::Num(*algorithm as f64)),
                     ("status", Json::Str(status.label().into())),
@@ -399,6 +436,7 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                 "penalty",
                 "i",
                 ts,
+                tid,
                 vec![
                     ("algorithm", Json::Num(*algorithm as f64)),
                     ("penalty_ms", Json::Num(*penalty_ms)),
@@ -411,21 +449,23 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                 "evict",
                 "i",
                 ts,
+                tid,
                 vec![
                     ("algorithm", Json::Num(*algorithm as f64)),
                     ("evicted_sample", Json::Num(*evicted_sample as f64)),
                 ],
             )),
             EventKind::SpanBegin { span } => {
-                rows.push(trace_row(span.label(), "B", ts, vec![]));
+                rows.push(trace_row(span.label(), "B", ts, tid, vec![]));
             }
             EventKind::SpanEnd { span } => {
-                rows.push(trace_row(span.label(), "E", ts, vec![]));
+                rows.push(trace_row(span.label(), "E", ts, tid, vec![]));
             }
             EventKind::QueueDepth { depth, workers } => rows.push(trace_row(
                 "queue-depth",
                 "C",
                 ts,
+                tid,
                 vec![
                     ("depth", Json::Num(*depth as f64)),
                     ("workers", Json::Num(*workers as f64)),
@@ -447,10 +487,12 @@ mod tests {
         vec![
             Event {
                 t_us: 0,
+                site: NO_SITE,
                 kind: EventKind::IterationStart { iteration: 3 },
             },
             Event {
                 t_us: 5,
+                site: NO_SITE,
                 kind: EventKind::AlgorithmSelected {
                     algorithm: 1,
                     weights: WeightSet::from_slice(&[0.25, 0.75]),
@@ -458,24 +500,28 @@ mod tests {
             },
             Event {
                 t_us: 6,
+                site: NO_SITE,
                 kind: EventKind::Phase1Step {
                     op: SimplexOp::Reflect,
                 },
             },
             Event {
                 t_us: 7,
+                site: NO_SITE,
                 kind: EventKind::SpanBegin {
                     span: SpanKind::Search,
                 },
             },
             Event {
                 t_us: 90,
+                site: NO_SITE,
                 kind: EventKind::SpanEnd {
                     span: SpanKind::Search,
                 },
             },
             Event {
                 t_us: 95,
+                site: NO_SITE,
                 kind: EventKind::MeasureOutcome {
                     algorithm: 1,
                     status: MeasureStatus::Ok,
@@ -484,6 +530,7 @@ mod tests {
             },
             Event {
                 t_us: 96,
+                site: NO_SITE,
                 kind: EventKind::PenaltyApplied {
                     algorithm: 0,
                     penalty_ms: 12.5,
@@ -491,6 +538,7 @@ mod tests {
             },
             Event {
                 t_us: 97,
+                site: NO_SITE,
                 kind: EventKind::WindowEvicted {
                     algorithm: 0,
                     evicted_sample: 14,
@@ -498,6 +546,7 @@ mod tests {
             },
             Event {
                 t_us: 99,
+                site: NO_SITE,
                 kind: EventKind::QueueDepth {
                     depth: 3,
                     workers: 8,

@@ -53,7 +53,7 @@ pub use metrics::{AlgoMetrics, MetricsReport};
 use crate::robust::MeasureOutcome;
 use metrics::Metrics;
 use ring::EventRing;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -67,6 +67,91 @@ pub const MAX_TRACKED_ALGORITHMS: usize = 16;
 
 /// Default event capacity used by [`enable`] (65 536 events ≈ 3 MiB).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Number of independent ring shards the *global* recorder uses.
+///
+/// Under the multi-site runtime many request threads record concurrently;
+/// a single `Mutex<EventRing>` would serialize them all. The global
+/// recorder therefore stripes events across [`RING_SHARDS`] cache-line-
+/// aligned rings — keyed by the emitting site (so one site's events stay
+/// in recorded order within a shard) or, for untagged events, by a
+/// per-thread hint — and merges them by timestamp at export time.
+/// Standalone [`Recorder::new`] recorders stay single-shard so unit tests
+/// observe exact FIFO eviction semantics.
+pub const RING_SHARDS: usize = 8;
+
+/// The `site` value carried by events not attributed to any tuning site.
+pub const NO_SITE: u16 = u16::MAX;
+
+#[cfg(feature = "telemetry")]
+thread_local! {
+    /// The site the current thread is presently working for (see
+    /// [`with_site`]). Read on every recorded event to stamp
+    /// [`Event::site`].
+    static CURRENT_SITE: std::cell::Cell<u16> = const { std::cell::Cell::new(NO_SITE) };
+    /// Lazily assigned ring-shard hint for events with no site tag.
+    static SHARD_HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// Round-robin source for [`SHARD_HINT`] assignment.
+#[cfg(feature = "telemetry")]
+static NEXT_SHARD_HINT: AtomicUsize = AtomicUsize::new(0);
+
+/// Run `f` with every event recorded by this thread tagged as belonging
+/// to tuning site `site` (see [`Event::site`]). Scopes nest; the previous
+/// tag is restored on exit, including on panic. Without the `telemetry`
+/// feature this is a plain call to `f`.
+pub fn with_site<R, F: FnOnce() -> R>(site: u16, f: F) -> R {
+    #[cfg(feature = "telemetry")]
+    {
+        struct Restore(u16);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_SITE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_SITE.with(|c| c.replace(site)));
+        f()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    f()
+}
+
+/// The site tag the current thread's events are stamped with ([`NO_SITE`]
+/// outside any [`with_site`] scope or without the `telemetry` feature).
+pub fn current_site() -> u16 {
+    #[cfg(feature = "telemetry")]
+    {
+        CURRENT_SITE.with(|c| c.get())
+    }
+    #[cfg(not(feature = "telemetry"))]
+    NO_SITE
+}
+
+/// The ring-shard index for an event tagged `site`, recorded from the
+/// current thread: site-keyed when tagged (one site's events stay ordered
+/// within their shard), thread-keyed otherwise.
+fn shard_index(site: u16, num_shards: usize) -> usize {
+    if num_shards == 1 {
+        return 0;
+    }
+    if site != NO_SITE {
+        return site as usize % num_shards;
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        SHARD_HINT.with(|h| {
+            let mut hint = h.get();
+            if hint == usize::MAX {
+                hint = NEXT_SHARD_HINT.fetch_add(1, Ordering::Relaxed);
+                h.set(hint);
+            }
+            hint % num_shards
+        })
+    }
+    #[cfg(not(feature = "telemetry"))]
+    0
+}
 
 /// A fixed-size, heap-free snapshot of a phase-2 weight vector.
 ///
@@ -303,80 +388,148 @@ pub enum EventKind {
     },
 }
 
-/// One recorded telemetry event: a timestamp plus a typed payload.
+/// One recorded telemetry event: a timestamp, the tuning site it belongs
+/// to, and a typed payload.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Event {
     /// Microseconds since the recorder's epoch ([`enable`] time).
     pub t_us: u64,
+    /// The tuning site this event was recorded for ([`NO_SITE`] when the
+    /// emitting code was not running inside a [`with_site`] scope — e.g.
+    /// a directly driven single tuner).
+    pub site: u16,
     /// The event payload.
     pub kind: EventKind,
 }
 
-/// An event sink: a ring buffer of typed events plus always-on metric
-/// registers, sharing one clock.
+impl Event {
+    /// An event not attributed to any tuning site.
+    pub fn untagged(t_us: u64, kind: EventKind) -> Self {
+        Event {
+            t_us,
+            site: NO_SITE,
+            kind,
+        }
+    }
+}
+
+/// One ring shard, padded to its own cache line so request threads
+/// recording into different shards never contend on the same line.
+#[derive(Debug)]
+#[repr(align(64))]
+struct RingShard {
+    ring: Mutex<EventRing>,
+}
+
+/// An event sink: sharded ring buffers of typed events plus always-on
+/// metric registers, sharing one clock.
 ///
 /// Most code uses the process-global recorder through [`enable`] /
 /// [`emit`] / [`drain`]; standalone recorders exist for tests.
 #[derive(Debug)]
 pub struct Recorder {
     epoch: Instant,
-    ring: Mutex<EventRing>,
+    shards: Box<[RingShard]>,
     metrics: Metrics,
 }
 
 impl Recorder {
-    /// Create a recorder whose ring holds `capacity` events. All event
-    /// storage is allocated here.
+    /// Create a single-shard recorder whose ring holds `capacity` events.
+    /// All event storage is allocated here. Single-shard recorders keep
+    /// exact FIFO eviction order; the global recorder uses
+    /// [`Recorder::sharded`] instead.
     pub fn new(capacity: usize) -> Self {
+        Self::sharded(1, capacity)
+    }
+
+    /// Create a recorder with `shards` independent cache-line-aligned
+    /// rings of `per_shard_capacity` events each. Events recorded for the
+    /// same site always land in the same shard (stays ordered); events
+    /// from different sites or threads spread out and do not contend.
+    pub fn sharded(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
         Self {
             epoch: Instant::now(),
-            ring: Mutex::new(EventRing::with_capacity(capacity)),
+            shards: (0..shards)
+                .map(|_| RingShard {
+                    ring: Mutex::new(EventRing::with_capacity(per_shard_capacity)),
+                })
+                .collect(),
             metrics: Metrics::new(),
         }
     }
 
-    fn ring(&self) -> MutexGuard<'_, EventRing> {
+    /// Number of ring shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn ring(&self, shard: usize) -> MutexGuard<'_, EventRing> {
         // A panic while holding the lock cannot leave the ring in a
         // broken state (push/clear are trivially atomic), so poisoning
         // is safe to ignore.
-        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+        self.shards[shard]
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Record one event: stamp it with the recorder clock, update the
-    /// metric registers and append it to the ring. Never allocates.
+    /// Record one event: stamp it with the recorder clock and the current
+    /// thread's site tag, update the metric registers and append it to
+    /// the site's (or thread's) ring shard. Never allocates.
     pub fn record(&self, kind: EventKind) {
         let t_us = self.epoch.elapsed().as_micros() as u64;
+        let site = current_site();
         self.metrics.observe(&kind);
-        self.ring().push(Event { t_us, kind });
+        self.ring(shard_index(site, self.shards.len()))
+            .push(Event { t_us, site, kind });
     }
 
-    /// Copy out the currently stored events, oldest-first.
+    /// Copy out the currently stored events across all shards, merged
+    /// oldest-first by timestamp (a stable sort: events within one shard
+    /// keep their recorded order).
     pub fn snapshot(&self) -> Vec<Event> {
-        self.ring().to_vec()
-    }
-
-    /// Copy out the stored events and clear the ring (metrics are kept).
-    pub fn drain(&self) -> Vec<Event> {
-        let mut ring = self.ring();
-        let events = ring.to_vec();
-        ring.clear();
+        let mut events = Vec::new();
+        for i in 0..self.shards.len() {
+            events.extend_from_slice(&self.ring(i).to_vec());
+        }
+        events.sort_by_key(|e| e.t_us);
         events
     }
 
-    /// Clear the ring and zero all metric registers.
+    /// Copy out the stored events (merged by timestamp) and clear every
+    /// ring (metrics are kept).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut events = Vec::new();
+        for i in 0..self.shards.len() {
+            let mut ring = self.ring(i);
+            events.extend_from_slice(&ring.to_vec());
+            ring.clear();
+        }
+        events.sort_by_key(|e| e.t_us);
+        events
+    }
+
+    /// Clear every ring and zero all metric registers.
     pub fn reset(&self) {
-        self.ring().clear();
+        for i in 0..self.shards.len() {
+            self.ring(i).clear();
+        }
         self.metrics.reset();
     }
 
     /// Total number of events ever recorded, including overwritten ones.
     pub fn total_recorded(&self) -> u64 {
-        self.ring().total_pushed()
+        (0..self.shards.len())
+            .map(|i| self.ring(i).total_pushed())
+            .sum()
     }
 
     /// Number of events lost to ring overwriting.
     pub fn overwritten(&self) -> u64 {
-        self.ring().overwritten()
+        (0..self.shards.len())
+            .map(|i| self.ring(i).overwritten())
+            .sum()
     }
 
     /// Snapshot the metric registers.
@@ -412,7 +565,10 @@ pub fn enable_with_capacity(capacity: usize) {
     if !compiled() {
         return;
     }
-    GLOBAL.get_or_init(|| Recorder::new(capacity));
+    // The global recorder is sharded so concurrent tuning sites never
+    // serialize on one ring lock; `capacity` stays the *total* event
+    // budget, split evenly across the shards.
+    GLOBAL.get_or_init(|| Recorder::sharded(RING_SHARDS, capacity.div_ceil(RING_SHARDS)));
     ENABLED.store(true, Ordering::SeqCst);
 }
 

@@ -107,12 +107,13 @@ impl EventRing {
 
 #[cfg(test)]
 mod tests {
-    use super::super::EventKind;
+    use super::super::{EventKind, NO_SITE};
     use super::*;
 
     fn ev(i: u64) -> Event {
         Event {
             t_us: i,
+            site: NO_SITE,
             kind: EventKind::IterationStart { iteration: i },
         }
     }

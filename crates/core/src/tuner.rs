@@ -80,6 +80,10 @@ pub struct OnlineTuner<S: Searcher> {
     worst: Option<f64>,
     /// Count of failed measurements.
     failures: usize,
+    /// Configuration proposed by [`OnlineTuner::ask`] awaiting its
+    /// [`OnlineTuner::tell`], plus whether it was an exploitation (post-
+    /// termination) proposal that must not be reported to the searcher.
+    pending: Option<(Configuration, bool)>,
 }
 
 impl<S: Searcher> OnlineTuner<S> {
@@ -95,6 +99,7 @@ impl<S: Searcher> OnlineTuner<S> {
             plateau_best: f64::INFINITY,
             worst: None,
             failures: 0,
+            pending: None,
         }
     }
 
@@ -111,11 +116,23 @@ impl<S: Searcher> OnlineTuner<S> {
             .is_met(self.iteration, self.searcher.converged(), self.plateau_len)
     }
 
-    /// One tuning-loop iteration: propose, measure, report.
-    pub fn step<M: Measure>(&mut self, measure: &mut M) -> Sample {
+    /// Ask for the next configuration to run (the first half of a tuning
+    /// iteration, split out for callers that cannot hand the tuner a
+    /// measurement closure — e.g. the per-call-site runtime in
+    /// [`crate::site`]). Must be paired with [`OnlineTuner::tell`],
+    /// [`OnlineTuner::tell_outcome`] or [`OnlineTuner::abandon`].
+    pub fn ask(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "ask() called twice without tell()");
         let config = self.propose_config();
         let exploiting = self.done();
-        let value = measure.measure(&config);
+        self.pending = Some((config.clone(), exploiting));
+        config
+    }
+
+    /// Report the measured runtime of the configuration returned by the
+    /// last [`OnlineTuner::ask`] (the second half of a tuning iteration).
+    pub fn tell(&mut self, value: f64) -> Sample {
+        let (config, exploiting) = self.pending.take().expect("tell() without ask()");
         telemetry::emit(|| EventKind::MeasureOutcome {
             algorithm: SOLO_ALGORITHM,
             status: MeasureStatus::Ok,
@@ -130,15 +147,13 @@ impl<S: Searcher> OnlineTuner<S> {
         self.finish_iteration(config, value)
     }
 
-    /// One *fault-tolerant* tuning-loop iteration: like
-    /// [`OnlineTuner::step`] but for measurements that can fail. Failed or
-    /// timed-out measurements are reported to the searcher as the failure
-    /// penalty ([`FAILURE_PENALTY_FACTOR`] × the worst successful
-    /// measurement), steering the search away without halting the loop.
-    pub fn step_fallible<M: FallibleMeasure>(&mut self, measure: &mut M) -> Sample {
-        let config = self.propose_config();
-        let exploiting = self.done();
-        let outcome = measure.measure(&config);
+    /// Report a [`MeasureOutcome`] for the last [`OnlineTuner::ask`]:
+    /// `Ok` values follow the normal path; failures and timeouts are
+    /// reported as the failure penalty ([`FAILURE_PENALTY_FACTOR`] × the
+    /// worst successful measurement), steering the search away without
+    /// halting the loop.
+    pub fn tell_outcome(&mut self, outcome: MeasureOutcome) -> Sample {
+        let (config, exploiting) = self.pending.take().expect("tell_outcome() without ask()");
         let status = MeasureStatus::of(&outcome);
         let value = match outcome {
             MeasureOutcome::Ok(v) => {
@@ -177,6 +192,36 @@ impl<S: Searcher> OnlineTuner<S> {
             }
         };
         self.finish_iteration(config, value)
+    }
+
+    /// Abandon the last [`OnlineTuner::ask`] without reporting anything —
+    /// the measurement never ran. The searcher rolls back so its next
+    /// proposal is well-defined; no iteration is consumed. Returns the
+    /// abandoned configuration, or `None` if nothing was pending (making
+    /// cleanup paths idempotent).
+    pub fn abandon(&mut self) -> Option<Configuration> {
+        let (config, exploiting) = self.pending.take()?;
+        if !exploiting {
+            self.searcher.abandon();
+        }
+        Some(config)
+    }
+
+    /// One tuning-loop iteration: propose, measure, report.
+    pub fn step<M: Measure>(&mut self, measure: &mut M) -> Sample {
+        let config = self.ask();
+        let value = measure.measure(&config);
+        self.tell(value)
+    }
+
+    /// One *fault-tolerant* tuning-loop iteration: like
+    /// [`OnlineTuner::step`] but for measurements that can fail. Failed or
+    /// timed-out measurements are reported to the searcher as the failure
+    /// penalty via [`OnlineTuner::tell_outcome`].
+    pub fn step_fallible<M: FallibleMeasure>(&mut self, measure: &mut M) -> Sample {
+        let config = self.ask();
+        let outcome = measure.measure(&config);
+        self.tell_outcome(outcome)
     }
 
     fn propose_config(&mut self) -> Configuration {

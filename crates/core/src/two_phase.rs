@@ -402,6 +402,29 @@ impl TwoPhaseTuner {
         &self.failures
     }
 
+    /// The (algorithm, configuration) pair the tuner would run if asked to
+    /// purely *exploit* right now: the phase-2 strategy's current best
+    /// algorithm with its phase-1 searcher's best-known configuration.
+    /// Falls back to algorithm 0 with its hand-crafted start (or the
+    /// space's minimum corner) before any sample has been observed.
+    ///
+    /// The concurrent site runtime ([`crate::site`]) publishes this pair
+    /// after every tuned iteration so request threads that lose the claim
+    /// race can run a sensible choice without touching tuner state.
+    pub fn exploit_choice(&self) -> (usize, Configuration) {
+        let algorithm = self.strategy.best().unwrap_or(0);
+        let config = self.searchers[algorithm]
+            .best()
+            .map(|(c, _)| c.clone())
+            .unwrap_or_else(|| {
+                self.specs[algorithm]
+                    .start
+                    .clone()
+                    .unwrap_or_else(|| self.specs[algorithm].space.min_corner())
+            });
+        (algorithm, config)
+    }
+
     /// Globally best observed (algorithm, configuration, value).
     pub fn best(&self) -> Option<(usize, &Configuration, f64)> {
         self.best.as_ref().map(|(a, c, v)| (*a, c, *v))

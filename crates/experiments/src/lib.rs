@@ -22,7 +22,10 @@
 //! replays both case studies with the [`autotune::telemetry`] recorder on
 //! and writes per-run JSONL traces plus Perfetto-loadable Chrome traces;
 //! `report` rebuilds per-strategy convergence tables from those files
-//! alone.
+//! alone. The `sites` target ([`sites`]) drives the concurrent multi-site
+//! runtime ([`autotune::site`]) at production shape — hundreds of sites,
+//! multiple request threads — and reports aggregate throughput plus
+//! per-site convergence.
 //!
 //! The `experiments` binary drives these and writes CSV/JSON into
 //! `results/` plus ASCII plots to stdout. Scale knobs default to a *quick*
@@ -34,4 +37,5 @@ pub mod cs2;
 pub mod faults;
 pub mod record;
 pub mod report;
+pub mod sites;
 pub mod tables;

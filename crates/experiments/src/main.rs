@@ -5,7 +5,7 @@
 //!
 //! targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          cs1 cs2 kernels patterns scenes dynamic ablations faults
-//!          record report all
+//!          sites record report all
 //! flags:
 //!   --paper            paper-scale runs (100 reps; hours) instead of quick
 //!   --reps N           override repetition count
@@ -16,7 +16,7 @@
 //!   --out DIR          output directory (default: results)
 //! ```
 
-use experiments::{ablations, cs1, cs2, faults, record, report, tables};
+use experiments::{ablations, cs1, cs2, faults, record, report, sites, tables};
 use std::path::{Path, PathBuf};
 
 /// Exit with a readable diagnostic instead of a panic backtrace when the
@@ -290,6 +290,24 @@ fn main() {
             &args.out,
         );
     }
+    if matches!(t, "sites" | "all") {
+        let mut cfg = if args.paper {
+            sites::SitesConfig::paper()
+        } else {
+            sites::SitesConfig::default()
+        };
+        if let Some(i) = args.iters {
+            cfg.calls_per_site = i;
+        }
+        eprintln!(
+            "[sites] multi-site runtime: {} sites × {:?} threads × {} calls/site…",
+            cfg.num_sites, cfg.threads, cfg.calls_per_site
+        );
+        let study = sites::run_study(&cfg);
+        println!("{}", sites::summary(&study));
+        check_io("sites.json", &args.out, sites::save_json(&study, &args.out));
+        println!("→ {}/sites.json\n", args.out.display());
+    }
     if matches!(t, "record" | "all") {
         if !autotune::telemetry::compiled() {
             eprintln!("error: `record` needs the `telemetry` cargo feature (it is on by default)");
@@ -338,6 +356,7 @@ fn main() {
         "dynamic",
         "ablations",
         "faults",
+        "sites",
         "record",
         "report",
         "all",

@@ -451,7 +451,7 @@ mod tests {
     use autotune::telemetry::WeightSet;
 
     fn ev(t_us: u64, kind: EventKind) -> Event {
-        Event { t_us, kind }
+        Event::untagged(t_us, kind)
     }
 
     fn meta() -> RunMeta {

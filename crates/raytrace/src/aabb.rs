@@ -7,7 +7,9 @@ use crate::vec3::Vec3;
 /// An axis-aligned box `[min, max]`. An *empty* box has `min > max`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
+    /// Componentwise lower corner.
     pub min: Vec3,
+    /// Componentwise upper corner.
     pub max: Vec3,
 }
 
@@ -18,6 +20,7 @@ impl Aabb {
         max: Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
     };
 
+    /// The box `[min, max]` (not validated; `min > max` is empty).
     pub fn new(min: Vec3, max: Vec3) -> Self {
         Aabb { min, max }
     }

@@ -42,6 +42,7 @@ pub const PACKET_WIDTH: usize = 4;
 /// every builder; `eager_cutoff` only affects [`Lazy`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BuildConfig {
+    /// SAH cost constants used by every splitting decision.
     pub sah: SahParams,
     /// Child subtrees are built on fresh threads while `depth <
     /// parallel_depth` (so up to `2^parallel_depth` concurrent tasks);
@@ -79,8 +80,11 @@ impl BuildConfig {
 /// Tree shape statistics, used by tests and the experiment reports.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeStats {
+    /// Total node count (interior + leaves).
     pub nodes: usize,
+    /// Leaf count.
     pub leaves: usize,
+    /// Deepest leaf depth (root = 0).
     pub max_depth: usize,
     /// Mean primitive references per leaf.
     pub avg_leaf_refs: f64,

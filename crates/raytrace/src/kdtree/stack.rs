@@ -75,6 +75,7 @@ impl<T: Copy, const N: usize> TraversalStack<T, N> {
         self.len
     }
 
+    /// True when no elements are stacked.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0

@@ -15,6 +15,8 @@
 //! * the autotuner bridge ([`tunable`]): per-algorithm tuning spaces and
 //!   hand-crafted starting configurations.
 
+#![warn(missing_docs)]
+
 pub mod aabb;
 pub mod kdtree;
 pub mod ray;

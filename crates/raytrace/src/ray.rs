@@ -6,7 +6,9 @@ use crate::vec3::Vec3;
 /// precomputed for slab tests.
 #[derive(Debug, Clone, Copy)]
 pub struct Ray {
+    /// Ray origin.
     pub origin: Vec3,
+    /// Ray direction (not necessarily unit length).
     pub direction: Vec3,
     /// `1 / direction`, component-wise (±∞ for zero components, which the
     /// IEEE slab test handles correctly).
@@ -39,8 +41,9 @@ pub struct Hit {
     pub t: f32,
     /// Index of the hit triangle in the scene.
     pub triangle: u32,
-    /// Barycentric coordinates (u, v) of the hit inside the triangle.
+    /// Barycentric `u` coordinate of the hit inside the triangle.
     pub u: f32,
+    /// Barycentric `v` coordinate of the hit inside the triangle.
     pub v: f32,
 }
 

@@ -27,7 +27,9 @@ const ROW_BATCH: usize = 4;
 /// Raster and threading options for a frame.
 #[derive(Debug, Clone, Copy)]
 pub struct RenderOptions {
+    /// Raster width in pixels.
     pub width: usize,
+    /// Raster height in pixels.
     pub height: usize,
     /// Render worker threads (rows are striped across them).
     pub threads: usize,
@@ -56,7 +58,9 @@ impl Default for RenderOptions {
 pub struct FrameResult {
     /// Row-major luminance in `[0, 1]`.
     pub pixels: Vec<f32>,
+    /// Raster width in pixels.
     pub width: usize,
+    /// Raster height in pixels.
     pub height: usize,
     /// Stage-1 (acceleration structure construction) time.
     pub build_ms: f64,

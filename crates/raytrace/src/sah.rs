@@ -76,10 +76,15 @@ impl SahParams {
 /// A chosen split plane with its SAH cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Split {
+    /// Split axis (0 = x, 1 = y, 2 = z).
     pub axis: usize,
+    /// Plane position along the axis.
     pub pos: f32,
+    /// SAH cost of this split.
     pub cost: f32,
+    /// Primitives on/overlapping the left side.
     pub n_left: usize,
+    /// Primitives on/overlapping the right side.
     pub n_right: usize,
 }
 

@@ -16,8 +16,11 @@ use autotune::rng::Rng;
 /// A pinhole camera.
 #[derive(Debug, Clone, Copy)]
 pub struct Camera {
+    /// Eye position.
     pub position: Vec3,
+    /// Point the camera looks at.
     pub look_at: Vec3,
+    /// Up direction of the image plane.
     pub up: Vec3,
     /// Vertical field of view in degrees.
     pub fov_deg: f32,
@@ -26,9 +29,11 @@ pub struct Camera {
 /// A renderable scene.
 #[derive(Debug, Clone)]
 pub struct Scene {
+    /// The triangle soup.
     pub triangles: Vec<Triangle>,
     /// Point light position (for the occlusion rays of stage 2).
     pub light: Vec3,
+    /// The camera the frame is rendered from.
     pub camera: Camera,
 }
 

@@ -7,12 +7,16 @@ use crate::vec3::Vec3;
 /// A triangle with vertices `a`, `b`, `c` (counter-clockwise front face).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Triangle {
+    /// First vertex.
     pub a: Vec3,
+    /// Second vertex.
     pub b: Vec3,
+    /// Third vertex.
     pub c: Vec3,
 }
 
 impl Triangle {
+    /// Construct from three vertices.
     pub fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
         Triangle { a, b, c }
     }

@@ -67,10 +67,12 @@ impl TriangleSoa {
         soa
     }
 
+    /// Number of triangles in the layout.
     pub fn len(&self) -> usize {
         self.ax.len()
     }
 
+    /// True when the layout holds no triangles.
     pub fn is_empty(&self) -> bool {
         self.ax.is_empty()
     }

@@ -16,9 +16,12 @@ use autotune::robust::{robust_call, MeasureOutcome, RobustOptions};
 use autotune::space::{Configuration, SearchSpace};
 use autotune::two_phase::AlgorithmSpec;
 
-/// Parameter order inside each algorithm's configuration.
+/// Parameter order inside each algorithm's configuration: thread-tree
+/// depth first.
 pub const PARAM_PARALLEL_DEPTH: usize = 0;
+/// SAH traversal-cost constant.
 pub const PARAM_TRAVERSAL_COST: usize = 1;
+/// SAH intersection-cost constant.
 pub const PARAM_INTERSECTION_COST: usize = 2;
 /// Ray-packet width exponent of the raycasting stage (width `2^e`).
 pub const PARAM_PACKET_EXP: usize = 3;
@@ -133,6 +136,43 @@ pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
         .collect()
 }
 
+/// A site blueprint selecting over the four builders with their full
+/// per-algorithm tuning spaces — case study 2 as one entry in the
+/// concurrent multi-site runtime ([`autotune::site`]).
+pub fn frame_site_spec(
+    name: impl Into<String>,
+    nominal: autotune::two_phase::NominalKind,
+    seed: u64,
+) -> autotune::site::SiteSpec {
+    autotune::site::SiteSpec::algorithms(name, algorithm_specs(), nominal, seed)
+}
+
+/// One site-dispatched frame: the site picks the builder and its
+/// configuration, [`measure_frame`] renders under the robust pipeline, and
+/// the outcome feeds back into the site's tuner (claim winner) or is
+/// recorded as exploit traffic.
+///
+/// `builders` must be index-aligned with the site's algorithm set —
+/// normally [`crate::kdtree::all_builders`] matching [`frame_site_spec`].
+pub fn measure_frame_site(
+    site: autotune::site::Site,
+    builders: &[Box<dyn KdBuilder>],
+    scene: &Scene,
+    base: &RenderOptions,
+    opts: &RobustOptions,
+) -> MeasureOutcome {
+    let guard = site.pre();
+    let outcome = measure_frame(
+        scene,
+        builders[guard.algorithm()].as_ref(),
+        guard.config(),
+        base,
+        opts,
+    );
+    guard.post_outcome(outcome.clone());
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +242,34 @@ mod tests {
             let ms = out.ok().unwrap_or_else(|| panic!("{}: {out:?}", b.name()));
             assert!(ms > 0.0, "{}", b.name());
         }
+    }
+
+    #[test]
+    fn site_dispatch_renders_and_tunes() {
+        use autotune::two_phase::NominalKind;
+        let site = autotune::site::site(autotune::site::register(frame_site_spec(
+            "rt-test",
+            NominalKind::EpsilonGreedy(0.10),
+            19,
+        )));
+        assert_eq!(site.num_algorithms(), 4);
+        let scene = crate::scene::cathedral(3, 1);
+        let builders = crate::kdtree::all_builders();
+        let base = RenderOptions {
+            width: 16,
+            height: 12,
+            threads: 2,
+            packet_width: 1,
+        };
+        let opts = RobustOptions::default();
+        for _ in 0..4 {
+            let out = measure_frame_site(site, &builders, &scene, &base, &opts);
+            assert!(out.is_ok(), "{out:?}");
+        }
+        assert_eq!(site.calls(), 4);
+        site.with_tuner(|t| {
+            assert_eq!(t.as_two_phase().unwrap().log().len(), 4);
+        });
     }
 
     #[test]

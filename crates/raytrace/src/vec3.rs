@@ -5,38 +5,47 @@ use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub};
 /// A 3-vector of `f32` (position, direction, or color).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
+    /// First component.
     pub x: f32,
+    /// Second component.
     pub y: f32,
+    /// Third component.
     pub z: f32,
 }
 
 impl Vec3 {
+    /// The zero vector.
     pub const ZERO: Vec3 = Vec3 {
         x: 0.0,
         y: 0.0,
         z: 0.0,
     };
+    /// The all-ones vector.
     pub const ONE: Vec3 = Vec3 {
         x: 1.0,
         y: 1.0,
         z: 1.0,
     };
 
+    /// Construct from components.
     #[inline]
     pub const fn new(x: f32, y: f32, z: f32) -> Self {
         Vec3 { x, y, z }
     }
 
+    /// All three components set to `v`.
     #[inline]
     pub fn splat(v: f32) -> Self {
         Vec3::new(v, v, v)
     }
 
+    /// Dot product.
     #[inline]
     pub fn dot(self, o: Vec3) -> f32 {
         self.x * o.x + self.y * o.y + self.z * o.z
     }
 
+    /// Cross product (right-handed).
     #[inline]
     pub fn cross(self, o: Vec3) -> Vec3 {
         Vec3::new(
@@ -46,11 +55,13 @@ impl Vec3 {
         )
     }
 
+    /// Squared Euclidean length (saves the square root).
     #[inline]
     pub fn length_squared(self) -> f32 {
         self.dot(self)
     }
 
+    /// Euclidean length.
     #[inline]
     pub fn length(self) -> f32 {
         self.length_squared().sqrt()

@@ -37,6 +37,7 @@ impl BoyerMooreSimd {
         BoyerMooreSimd { kernel }
     }
 
+    /// The kernel this matcher runs.
     pub fn kernel(&self) -> Kernel {
         self.kernel
     }

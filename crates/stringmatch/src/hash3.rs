@@ -118,6 +118,7 @@ impl Hash3Simd {
         Hash3Simd { kernel }
     }
 
+    /// The kernel this matcher runs.
     pub fn kernel(&self) -> Kernel {
         self.kernel
     }

@@ -37,6 +37,7 @@ impl HorspoolSimd {
         HorspoolSimd { kernel }
     }
 
+    /// The kernel this matcher runs.
     pub fn kernel(&self) -> Kernel {
         self.kernel
     }

@@ -88,6 +88,7 @@ impl HybridSimd {
         HybridSimd { kernel }
     }
 
+    /// The kernel this matcher runs.
     pub fn kernel(&self) -> Kernel {
         self.kernel
     }

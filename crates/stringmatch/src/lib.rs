@@ -31,6 +31,8 @@
 //! corpora used by the experiment harness (substituting for the King James
 //! Bible text and the human genome, which are not redistributable here).
 
+#![warn(missing_docs)]
+
 pub mod bndm;
 pub mod boyer_moore;
 pub mod corpus;
@@ -45,6 +47,7 @@ pub mod parallel;
 pub mod scan;
 pub mod shift_or;
 pub mod ssef;
+pub mod tuned;
 
 pub use bndm::Bndm;
 pub use boyer_moore::{BoyerMoore, BoyerMooreSimd};

@@ -42,8 +42,14 @@ pub enum Kernel {
 }
 
 /// Is SIMD detection forced off (`AUTOTUNE_FORCE_SCALAR=1`)?
+///
+/// The environment is consulted once and cached for the process lifetime:
+/// this sits on every `Kernel::detect` call, and `std::env::var` takes a
+/// global lock — measurable noise once thousands of tuning sites dispatch
+/// concurrently.
 pub fn force_scalar() -> bool {
-    std::env::var("AUTOTUNE_FORCE_SCALAR").is_ok_and(|v| v != "0")
+    static FORCE_SCALAR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE_SCALAR.get_or_init(|| std::env::var("AUTOTUNE_FORCE_SCALAR").is_ok_and(|v| v != "0"))
 }
 
 impl Kernel {
@@ -85,6 +91,7 @@ impl Kernel {
         ks
     }
 
+    /// Kernel name as shown in benchmark output.
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Swar => "SWAR",
@@ -162,6 +169,8 @@ pub struct PairScanner<'a> {
 }
 
 impl<'a> PairScanner<'a> {
+    /// A scanner over `text` for positions `i` where `text[i] == first`
+    /// and `text[i + gap] == last`, vectorized per `kernel`.
     pub fn new(kernel: Kernel, text: &'a [u8], first: u8, last: u8, gap: usize) -> Self {
         let n = text.len();
         let limit = n.saturating_sub(gap);

@@ -1,0 +1,110 @@
+//! Site-dispatched string search: case study 1 as calls through the
+//! concurrent multi-site runtime ([`autotune::site`]).
+//!
+//! [`crate::parallel::ParallelMatcher::measure_search`] times one search
+//! for a caller-supplied matcher; this module closes the loop. A
+//! [`Site`] owns the algorithmic choice over the full kernel-extended
+//! matcher set, every call dispatches through it (`pre` → search →
+//! `post_outcome`), and concurrent callers coordinate through the site's
+//! claim CAS: one drives a tuning iteration, the rest run the published
+//! best matcher.
+
+use crate::{all_matchers_with_kernels, Matcher, ParallelMatcher};
+use autotune::robust::{MeasureOutcome, RobustOptions};
+use autotune::site::{Site, SiteSpec};
+use autotune::two_phase::{AlgorithmSpec, NominalKind};
+
+/// A site blueprint selecting over [`all_matchers_with_kernels`] (the
+/// matchers expose no parameters of their own, so every phase-1 space is
+/// empty — pure algorithmic choice, as in the paper's case study 1).
+pub fn search_site_spec(name: impl Into<String>, nominal: NominalKind, seed: u64) -> SiteSpec {
+    let specs: Vec<AlgorithmSpec> = all_matchers_with_kernels()
+        .iter()
+        .map(|m| AlgorithmSpec::untunable(m.name()))
+        .collect();
+    SiteSpec::algorithms(name, specs, nominal, seed)
+}
+
+/// The matcher set a site built from [`search_site_spec`] selects over,
+/// index-aligned with the site's algorithm indices.
+pub fn site_matchers() -> Vec<Box<dyn Matcher>> {
+    all_matchers_with_kernels()
+}
+
+/// One site-dispatched search: the site picks the matcher, the search runs
+/// under the robust pipeline, and the measured outcome feeds back into the
+/// site's tuner (claim winner) or is recorded as exploit traffic.
+///
+/// `matchers` must be index-aligned with the site's algorithm set —
+/// normally the [`site_matchers`] list matching [`search_site_spec`].
+pub fn measure_search_site(
+    site: Site,
+    matchers: &[Box<dyn Matcher>],
+    pattern: &[u8],
+    text: &[u8],
+    require_match: bool,
+    threads: usize,
+    opts: &RobustOptions,
+) -> MeasureOutcome {
+    let guard = site.pre();
+    let matcher = matchers[guard.algorithm()].as_ref();
+    let outcome =
+        ParallelMatcher::new(matcher, threads).measure_search(pattern, text, require_match, opts);
+    guard.post_outcome(outcome.clone());
+    outcome
+}
+
+/// Infallible convenience wrapper: site-dispatched [`Matcher::find_all`],
+/// timed by the site itself ([`autotune::site::SiteGuard::post`]). Panics
+/// propagate after the call is abandoned.
+pub fn find_all_site(
+    site: Site,
+    matchers: &[Box<dyn Matcher>],
+    pattern: &[u8],
+    text: &[u8],
+    threads: usize,
+) -> Vec<usize> {
+    site.tuned(|algorithm, _config| {
+        ParallelMatcher::new(matchers[algorithm].as_ref(), threads).find_all(pattern, text)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune::site::register;
+
+    #[test]
+    fn site_dispatch_searches_and_tunes() {
+        let site = autotune::site::site(register(search_site_spec(
+            "sm-test",
+            NominalKind::EpsilonGreedy(0.10),
+            11,
+        )));
+        assert_eq!(site.num_algorithms(), 12);
+        let matchers = site_matchers();
+        let text = crate::corpus::bible_like_with(3, 64 << 10, 2_000);
+        let opts = RobustOptions::default();
+        for _ in 0..12 {
+            let outcome =
+                measure_search_site(site, &matchers, crate::PAPER_QUERY, &text, true, 2, &opts);
+            assert!(outcome.is_ok(), "{outcome:?}");
+        }
+        assert_eq!(site.calls(), 12);
+        site.with_tuner(|t| {
+            assert_eq!(t.as_two_phase().unwrap().log().len(), 12);
+        });
+    }
+
+    #[test]
+    fn find_all_site_returns_real_hits() {
+        let site = autotune::site::site(register(search_site_spec(
+            "sm-find",
+            NominalKind::EpsilonGreedy(0.10),
+            13,
+        )));
+        let matchers = site_matchers();
+        let hits = find_all_site(site, &matchers, b"ana", b"banana bandana", 1);
+        assert_eq!(hits, vec![1, 3, 11]);
+    }
+}

@@ -16,6 +16,13 @@ use autotune::telemetry::{
 /// → JSON → f32 journey is exact by construction, as the schema promises.
 fn arbitrary_event(rng: &mut Rng) -> Event {
     let t_us = rng.next_below(1 << 40);
+    // Half the events are tagged with a site id (the multi-site runtime's
+    // stamp), half are untagged — both forms must round-trip.
+    let site = if rng.next_bool(0.5) {
+        rng.next_below(8192) as u16
+    } else {
+        autotune::telemetry::NO_SITE
+    };
     let algorithm = rng.next_below(16) as u16;
     let kind = match rng.next_below(9) {
         0 => EventKind::IterationStart {
@@ -84,7 +91,7 @@ fn arbitrary_event(rng: &mut Rng) -> Event {
             workers: rng.next_below(256) as u32,
         },
     };
-    Event { t_us, kind }
+    Event { t_us, site, kind }
 }
 
 #[test]
@@ -122,10 +129,10 @@ fn ring_overwrites_oldest_without_reallocating() {
     let mut ring = EventRing::with_capacity(128);
     let base = ring.as_ptr();
     for i in 0..10_000u64 {
-        ring.push(Event {
-            t_us: i,
-            kind: EventKind::IterationStart { iteration: i },
-        });
+        ring.push(Event::untagged(
+            i,
+            EventKind::IterationStart { iteration: i },
+        ));
     }
     assert_eq!(ring.as_ptr(), base, "ring storage moved");
     assert_eq!(ring.len(), 128);
