@@ -1,0 +1,453 @@
+//! Workload-drift detection for long-lived tuning sites.
+//!
+//! An online tuner converges, publishes its best decision, and then mostly
+//! exploits. If the workload shifts underneath it — a bigger corpus, a
+//! morphing scene, a cache suddenly cold — the "best" decision can turn
+//! stale while the tuner, happily converged, never re-explores. The paper
+//! frames online autotuning as an always-on companion of a long-running
+//! application; staying correct under such drift is what separates a
+//! service from a batch experiment.
+//!
+//! [`DriftMonitor`] watches the per-call runtimes flowing through one site
+//! and compares a **sliding recent window** against a **ratcheting
+//! baseline**:
+//!
+//! * While warming up, the first [`DriftConfig::baseline_window`] samples
+//!   establish the baseline — their *median*.
+//! * Afterwards each new sample lands in a ring of the most recent
+//!   [`DriftConfig::recent_window`] runtimes. Every
+//!   [`DriftConfig::stride`] samples the monitor compares the recent
+//!   median against the baseline median.
+//! * If the ratio exceeds [`DriftConfig::threshold`] for
+//!   [`DriftConfig::patience`] *consecutive* checks, the verdict is
+//!   [`Verdict::Drifted`].
+//! * A *sustained* improvement re-anchors the baseline downward: the
+//!   warm-up happens during the paired tuner's exploration phase, so the
+//!   settled post-convergence regime — which only emerges later — is the
+//!   regime a regression must be judged against. Re-anchoring is held to
+//!   the same bar as drift (a full threshold factor, for `patience`
+//!   consecutive checks), and the baseline only ever ratchets down —
+//!   moving back up is exactly the drift being watched for.
+//!
+//! Medians make the monitor robust by construction: a single spike (a page
+//! fault, a GC pause, a timeout penalty) moves the recent median not at
+//! all, and noise without a sustained shift cannot keep the median above
+//! the threshold for `patience` straight checks. A step change or a slow
+//! ramp, by contrast, eventually drags the whole window up and trips every
+//! check — the unit tests pin all four behaviors.
+//!
+//! The intended reaction is [`observe_and_restart`]: emit a
+//! [`EventKind::DriftDetected`] telemetry event, [`Site::restart`] the
+//! tuner from its recipe (re-widening the search), and [`reset`] the
+//! monitor so it re-baselines against the new regime.
+//!
+//! Only *regressions* trigger: a workload getting faster re-ranks nothing
+//! that matters (the exploit choice is still near-optimal or better), so
+//! the monitor stays quiet and the baseline simply becomes conservative.
+//!
+//! [`reset`]: DriftMonitor::reset
+
+use crate::site::Site;
+use crate::telemetry::{self, EventKind};
+
+/// Tuning knobs for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Samples used to establish the frozen baseline median.
+    pub baseline_window: usize,
+    /// Size of the sliding window of recent runtimes.
+    pub recent_window: usize,
+    /// Recent-median / baseline-median ratio above which a check counts
+    /// as a strike.
+    pub threshold: f64,
+    /// Consecutive strikes required before declaring drift.
+    pub patience: u32,
+    /// Evaluate every `stride` samples (amortizes the median scan; the
+    /// per-sample cost between checks is one ring-buffer store).
+    pub stride: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            baseline_window: 64,
+            recent_window: 32,
+            threshold: 1.5,
+            patience: 3,
+            stride: 8,
+        }
+    }
+}
+
+/// Where a [`DriftMonitor`] currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Still collecting baseline samples; no judgment possible yet.
+    Warming,
+    /// Recent runtimes are consistent with the baseline.
+    Stable,
+    /// Sustained regression vs the baseline: the workload has drifted and
+    /// the site should be restarted.
+    Drifted,
+}
+
+/// Sliding-window regression monitor for one site's runtime stream (see
+/// the [module docs](self) for the detection scheme).
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    /// Baseline samples while warming; frozen into `baseline_ms` when full.
+    warmup: Vec<f64>,
+    /// Baseline median — ratchets down as the settled regime improves —
+    /// or `None` while warming up.
+    baseline_ms: Option<f64>,
+    /// Ring buffer of the most recent `recent_window` runtimes.
+    recent: Vec<f64>,
+    /// Next write position in `recent`.
+    cursor: usize,
+    /// Samples seen since the baseline froze (drives the stride).
+    since_baseline: usize,
+    /// Consecutive over-threshold checks.
+    strikes: u32,
+    /// Consecutive checks qualifying to lower the baseline, and the
+    /// largest qualifying recent median seen in the streak.
+    improve_strikes: u32,
+    improve_peak: f64,
+    /// Scratch for the median scan, kept to avoid per-check allocation.
+    scratch: Vec<f64>,
+    /// Recent-window median at the moment drift was declared.
+    observed_ms: f64,
+}
+
+fn median(scratch: &mut Vec<f64>, samples: &[f64]) -> f64 {
+    scratch.clear();
+    scratch.extend_from_slice(samples);
+    let mid = scratch.len() / 2;
+    let (_, m, _) = scratch.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    *m
+}
+
+impl DriftMonitor {
+    /// A monitor with the given configuration. `baseline_window`,
+    /// `recent_window` and `stride` must be nonzero.
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(config.baseline_window > 0, "baseline_window must be > 0");
+        assert!(config.recent_window > 0, "recent_window must be > 0");
+        assert!(config.stride > 0, "stride must be > 0");
+        DriftMonitor {
+            config,
+            warmup: Vec::with_capacity(config.baseline_window),
+            baseline_ms: None,
+            recent: Vec::with_capacity(config.recent_window),
+            cursor: 0,
+            since_baseline: 0,
+            strikes: 0,
+            improve_strikes: 0,
+            improve_peak: f64::NAN,
+            scratch: Vec::with_capacity(config.baseline_window.max(config.recent_window)),
+            observed_ms: f64::NAN,
+        }
+    }
+
+    /// The current baseline median (the warm-up median, ratcheted down as
+    /// the settled regime improves), once warm-up has completed.
+    pub fn baseline_ms(&self) -> Option<f64> {
+        self.baseline_ms
+    }
+
+    /// The recent-window median captured when [`Verdict::Drifted`] was
+    /// returned (`NaN` before that).
+    pub fn observed_ms(&self) -> f64 {
+        self.observed_ms
+    }
+
+    /// Feed one runtime sample; returns the current verdict.
+    ///
+    /// Non-finite samples (the penalty path's `NaN` runtimes for failed or
+    /// timed-out measurements) are ignored — the robust pipeline already
+    /// penalizes those, and letting them into the windows would double-count
+    /// the failure as drift.
+    pub fn observe(&mut self, runtime_ms: f64) -> Verdict {
+        if !runtime_ms.is_finite() {
+            return self.verdict();
+        }
+        let Some(baseline) = self.baseline_ms else {
+            self.warmup.push(runtime_ms);
+            if self.warmup.len() < self.config.baseline_window {
+                return Verdict::Warming;
+            }
+            self.baseline_ms = Some(median(&mut self.scratch, &self.warmup));
+            self.warmup = Vec::new();
+            return Verdict::Stable;
+        };
+        // Ring-buffer store: O(1) per sample between checks.
+        if self.recent.len() < self.config.recent_window {
+            self.recent.push(runtime_ms);
+        } else {
+            self.recent[self.cursor] = runtime_ms;
+        }
+        self.cursor = (self.cursor + 1) % self.config.recent_window;
+        self.since_baseline += 1;
+        if self.recent.len() < self.config.recent_window
+            || !self.since_baseline.is_multiple_of(self.config.stride)
+        {
+            return self.verdict();
+        }
+        let recent = median(&mut self.scratch, &self.recent);
+        if recent > baseline * self.config.threshold {
+            self.improve_strikes = 0;
+            self.strikes += 1;
+            if self.strikes >= self.config.patience {
+                self.observed_ms = recent;
+                return Verdict::Drifted;
+            }
+        } else {
+            self.strikes = 0;
+            if recent * self.config.threshold < baseline {
+                // Ratchet the baseline down: when the paired tuner
+                // converges (or the workload genuinely gets faster), the
+                // settled regime — not the noisy exploration phase the
+                // warm-up happened to sample — is what drift must be
+                // judged against. Re-anchoring is held to the same bar as
+                // drift itself, in both size (a full threshold factor
+                // below the baseline, so window-to-window jitter never
+                // qualifies) and duration (`patience` consecutive
+                // qualifying checks, anchoring to the *largest* of them,
+                // so one lucky window cannot drag the baseline to a level
+                // ordinary traffic would then "drift" over).
+                self.improve_peak = if self.improve_strikes == 0 {
+                    recent
+                } else {
+                    self.improve_peak.max(recent)
+                };
+                self.improve_strikes += 1;
+                if self.improve_strikes >= self.config.patience {
+                    self.baseline_ms = Some(self.improve_peak);
+                    self.improve_strikes = 0;
+                }
+            } else {
+                self.improve_strikes = 0;
+            }
+        }
+        self.verdict()
+    }
+
+    /// The verdict as of the last evaluated check.
+    pub fn verdict(&self) -> Verdict {
+        if self.baseline_ms.is_none() {
+            Verdict::Warming
+        } else if self.strikes >= self.config.patience {
+            Verdict::Drifted
+        } else {
+            Verdict::Stable
+        }
+    }
+
+    /// Forget everything and re-enter warm-up — called after the paired
+    /// site restarts, so the next baseline describes the *new* regime.
+    pub fn reset(&mut self) {
+        self.warmup = Vec::with_capacity(self.config.baseline_window);
+        self.baseline_ms = None;
+        self.recent.clear();
+        self.cursor = 0;
+        self.since_baseline = 0;
+        self.strikes = 0;
+        self.improve_strikes = 0;
+        self.improve_peak = f64::NAN;
+        self.observed_ms = f64::NAN;
+    }
+}
+
+/// Feed one runtime sample for `site`; on a [`Verdict::Drifted`] verdict,
+/// emit a [`EventKind::DriftDetected`] telemetry event (tagged with the
+/// site), restart the site's tuner from its recipe, reset the monitor, and
+/// return `true`.
+///
+/// This is the glue a serving loop calls once per completed request; the
+/// caller owns the monitor (one per site). Must not be called while the
+/// calling thread holds the site's claim (see [`Site::restart`]).
+pub fn observe_and_restart(site: Site, monitor: &mut DriftMonitor, runtime_ms: f64) -> bool {
+    if monitor.observe(runtime_ms) != Verdict::Drifted {
+        return false;
+    }
+    let baseline_ms = monitor.baseline_ms().unwrap_or(f64::NAN);
+    let observed_ms = monitor.observed_ms();
+    telemetry::with_site(site.id().tag(), || {
+        telemetry::emit(|| EventKind::DriftDetected {
+            baseline_ms,
+            observed_ms,
+        });
+    });
+    site.restart();
+    monitor.reset();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> DriftConfig {
+        DriftConfig {
+            baseline_window: 16,
+            recent_window: 8,
+            threshold: 1.5,
+            patience: 2,
+            stride: 4,
+        }
+    }
+
+    /// Deterministic ±10% "noise" around a center, far below the 1.5x bar.
+    fn noisy(center: f64, i: usize) -> f64 {
+        center * (1.0 + 0.10 * ((i % 7) as f64 - 3.0) / 3.0)
+    }
+
+    fn drive(monitor: &mut DriftMonitor, samples: impl IntoIterator<Item = f64>) -> Verdict {
+        let mut v = monitor.verdict();
+        for s in samples {
+            v = monitor.observe(s);
+            if v == Verdict::Drifted {
+                return v;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn step_change_is_detected() {
+        let mut m = DriftMonitor::new(quick_config());
+        let v = drive(&mut m, (0..32).map(|i| noisy(1.0, i)));
+        assert_eq!(v, Verdict::Stable);
+        // Workload steps to 3x the baseline: must fire.
+        let v = drive(&mut m, (0..64).map(|i| noisy(3.0, i)));
+        assert_eq!(v, Verdict::Drifted);
+        assert!(m.observed_ms() > m.baseline_ms().unwrap() * 1.5);
+    }
+
+    #[test]
+    fn slow_ramp_is_detected() {
+        let mut m = DriftMonitor::new(quick_config());
+        assert_eq!(
+            drive(&mut m, (0..32).map(|i| noisy(1.0, i))),
+            Verdict::Stable
+        );
+        // +2% per call: the recent median crosses 1.5x around sample ~90
+        // and stays there, so patience is exhausted well within 300.
+        let v = drive(
+            &mut m,
+            (0..300).map(|i| noisy(1.0, i) * 1.02f64.powi(i as i32)),
+        );
+        assert_eq!(v, Verdict::Drifted);
+    }
+
+    #[test]
+    fn noise_alone_never_fires() {
+        let mut m = DriftMonitor::new(quick_config());
+        let v = drive(&mut m, (0..2_000).map(|i| noisy(1.0, i)));
+        assert_eq!(v, Verdict::Stable);
+    }
+
+    #[test]
+    fn single_spike_does_not_fire() {
+        let mut m = DriftMonitor::new(quick_config());
+        assert_eq!(
+            drive(&mut m, (0..32).map(|i| noisy(1.0, i))),
+            Verdict::Stable
+        );
+        // One 100x spike (a hiccup, not drift) surrounded by normal
+        // traffic: the median never moves.
+        let v = drive(&mut m, std::iter::once(100.0));
+        assert_eq!(v, Verdict::Stable);
+        let v = drive(&mut m, (0..200).map(|i| noisy(1.0, i)));
+        assert_eq!(v, Verdict::Stable);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut m = DriftMonitor::new(quick_config());
+        assert_eq!(
+            drive(&mut m, (0..32).map(|i| noisy(1.0, i))),
+            Verdict::Stable
+        );
+        let v = drive(&mut m, (0..100).map(|_| f64::NAN));
+        assert_eq!(v, Verdict::Stable);
+    }
+
+    #[test]
+    fn improvement_never_fires() {
+        let mut m = DriftMonitor::new(quick_config());
+        assert_eq!(
+            drive(&mut m, (0..32).map(|i| noisy(2.0, i))),
+            Verdict::Stable
+        );
+        // Workload gets 4x faster: not a regression, stays quiet.
+        let v = drive(&mut m, (0..200).map(|i| noisy(0.5, i)));
+        assert_eq!(v, Verdict::Stable);
+    }
+
+    #[test]
+    fn baseline_ratchets_down_with_convergence() {
+        let mut m = DriftMonitor::new(quick_config());
+        // Warm-up happens mid-exploration: expensive, scattered runtimes.
+        assert_eq!(
+            drive(&mut m, (0..16).map(|i| noisy(10.0, i))),
+            Verdict::Stable
+        );
+        let warm = m.baseline_ms().unwrap();
+        // The tuner converges to a 10x faster decision; the baseline follows.
+        assert_eq!(
+            drive(&mut m, (0..64).map(|i| noisy(1.0, i))),
+            Verdict::Stable
+        );
+        assert!(m.baseline_ms().unwrap() < warm / 5.0);
+        // A 4x regression on the *converged* regime — still well below the
+        // exploration-era baseline — must nonetheless fire.
+        assert_eq!(
+            drive(&mut m, (0..64).map(|i| noisy(4.0, i))),
+            Verdict::Drifted
+        );
+    }
+
+    #[test]
+    fn reset_rebaselines() {
+        let mut m = DriftMonitor::new(quick_config());
+        drive(&mut m, (0..32).map(|i| noisy(1.0, i)));
+        assert_eq!(
+            drive(&mut m, (0..64).map(|i| noisy(3.0, i))),
+            Verdict::Drifted
+        );
+        m.reset();
+        assert_eq!(m.verdict(), Verdict::Warming);
+        // The 3x regime is the new normal after re-baselining.
+        let v = drive(&mut m, (0..200).map(|i| noisy(3.0, i)));
+        assert_eq!(v, Verdict::Stable);
+    }
+
+    #[test]
+    fn observe_and_restart_restarts_the_site() {
+        use crate::site::{register, site, SiteSpec};
+        use crate::two_phase::{AlgorithmSpec, NominalKind};
+        let s = site(register(SiteSpec::algorithms(
+            "drift-restart",
+            vec![AlgorithmSpec::untunable("a"), AlgorithmSpec::untunable("b")],
+            NominalKind::EpsilonGreedy(0.10),
+            41,
+        )));
+        let mut m = DriftMonitor::new(quick_config());
+        for i in 0..32 {
+            s.tuned(|_, _| {});
+            assert!(!observe_and_restart(s, &mut m, noisy(1.0, i)));
+        }
+        let mut fired = false;
+        for i in 0..64 {
+            s.tuned(|_, _| {});
+            if observe_and_restart(s, &mut m, noisy(3.0, i)) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "sustained 3x regression must restart the site");
+        assert_eq!(s.restarts(), 1);
+        assert_eq!(m.verdict(), Verdict::Warming, "monitor re-baselines");
+    }
+}

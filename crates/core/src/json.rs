@@ -177,8 +177,10 @@ impl Json {
 }
 
 /// `f64` encoding: integers print without a fraction so round-trips of
-/// integer-valued parameters stay exact and readable.
-fn write_number(out: &mut String, x: f64) {
+/// integer-valued parameters stay exact and readable. Crate-visible so the
+/// incremental JSONL exporter ([`crate::telemetry::export`]) can render
+/// events byte-identically without building a [`Json`] tree.
+pub(crate) fn write_number(out: &mut String, x: f64) {
     if !x.is_finite() {
         // JSON has no Inf/NaN; persist as null like serde_json does.
         out.push_str("null");
@@ -197,7 +199,7 @@ fn write_number(out: &mut String, x: f64) {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

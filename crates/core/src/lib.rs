@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod history;
 pub mod json;
 pub mod measure;
@@ -72,6 +73,7 @@ pub mod pool;
 pub mod rng;
 pub mod robust;
 pub mod search;
+pub mod serve;
 pub mod site;
 pub mod space;
 pub mod stats;
@@ -81,6 +83,7 @@ pub mod two_phase;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::drift::{DriftConfig, DriftMonitor, Verdict};
     pub use crate::measure::{duration_ms, time_ms, Context, Measure, Sample};
     pub use crate::mixed::MixedTuner;
     pub use crate::nominal::{
@@ -98,6 +101,7 @@ pub mod prelude {
         DifferentialEvolution, ExhaustiveSearch, GeneticAlgorithm, HillClimbing, NelderMead,
         NelderMeadOptions, ParticleSwarm, RandomSearch, Searcher, SimulatedAnnealing,
     };
+    pub use crate::serve::{Client, RequestHandler, ServeConfig, ServeReport, StopFlag};
     pub use crate::site::{Site, SiteGuard, SiteId, SiteSpec};
     pub use crate::space::{Configuration, SearchSpace};
     pub use crate::telemetry::{

@@ -1,0 +1,128 @@
+//! A small blocking client for the serve protocol — used by the load
+//! generator, the `serve` bench and the tests.
+//!
+//! Two usage shapes:
+//!
+//! * **Ping-pong** ([`Client::request`] / [`Client::request_into`]): one
+//!   frame out, one frame back. Simple, and what the bench uses for
+//!   honest round-trip latency numbers.
+//! * **Pipelined** ([`Client::send_raw`] + [`Client::recv_into`]): the
+//!   caller batches many frames into one buffer (via
+//!   [`super::protocol::write_frame`]), writes them in a single syscall,
+//!   then pulls the responses. This is how the load generator reaches
+//!   throughput targets — the per-request syscall cost amortizes across
+//!   the batch.
+//!
+//! The receive path reuses one internal buffer; [`Client::recv_into`]
+//! copies only the payload into the caller's (also reusable) buffer, so a
+//! steady-state request loop performs no allocations.
+
+use super::protocol::{self, Parse};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to an [`super::serve`] server.
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rlen: usize,
+    roff: usize,
+}
+
+impl Client {
+    /// Connect (blocking) and disable Nagle — the protocol is its own
+    /// batching layer.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            rbuf: vec![0; 64 << 10],
+            rlen: 0,
+            roff: 0,
+        })
+    }
+
+    /// Set/clear the read timeout (useful for smoke tests that must not
+    /// hang on a wedged server).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Write pre-framed bytes (one or many frames) in one go.
+    pub fn send_raw(&mut self, frames: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(frames)
+    }
+
+    /// Frame and send a single request.
+    pub fn send(&mut self, op: u8, payload: &[u8]) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(payload.len() + 8);
+        protocol::write_frame(&mut buf, op, payload);
+        self.send_raw(&buf)
+    }
+
+    /// Receive one frame, appending its payload to `payload` (cleared
+    /// first); returns the opcode. Blocks until a full frame arrives.
+    pub fn recv_into(&mut self, payload: &mut Vec<u8>) -> std::io::Result<u8> {
+        payload.clear();
+        loop {
+            match protocol::parse_frame(&self.rbuf[self.roff..self.rlen]) {
+                Parse::Ready(frame) => {
+                    let (p0, p1) = frame.payload;
+                    payload.extend_from_slice(&self.rbuf[self.roff + p0..self.roff + p1]);
+                    self.roff += frame.wire_len;
+                    if self.roff == self.rlen {
+                        self.roff = 0;
+                        self.rlen = 0;
+                    }
+                    return Ok(frame.op);
+                }
+                Parse::Malformed => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        "malformed frame from server",
+                    ));
+                }
+                Parse::Incomplete => {
+                    // Compact consumed bytes, then read more.
+                    if self.roff > 0 {
+                        self.rbuf.copy_within(self.roff..self.rlen, 0);
+                        self.rlen -= self.roff;
+                        self.roff = 0;
+                    }
+                    if self.rlen == self.rbuf.len() {
+                        self.rbuf.resize(self.rbuf.len() * 2, 0);
+                    }
+                    let n = self.stream.read(&mut self.rbuf[self.rlen..])?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-frame",
+                        ));
+                    }
+                    self.rlen += n;
+                }
+            }
+        }
+    }
+
+    /// One blocking round trip: send, then receive into a reused buffer.
+    /// Returns the response opcode.
+    pub fn request_into(
+        &mut self,
+        op: u8,
+        payload: &[u8],
+        response: &mut Vec<u8>,
+    ) -> std::io::Result<u8> {
+        self.send(op, payload)?;
+        self.recv_into(response)
+    }
+
+    /// One blocking round trip, allocating the response.
+    pub fn request(&mut self, op: u8, payload: &[u8]) -> std::io::Result<(u8, Vec<u8>)> {
+        let mut response = Vec::new();
+        let code = self.request_into(op, payload, &mut response)?;
+        Ok((code, response))
+    }
+}

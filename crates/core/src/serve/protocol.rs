@@ -1,0 +1,185 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is `[u32 LE length][u8 opcode][payload]`, where `length`
+//! counts the opcode byte plus the payload (so an empty-payload frame has
+//! `length == 1`). Responses reuse the request's opcode; server-detected
+//! failures come back as an [`OP_ERR`] frame whose payload is a UTF-8
+//! message. The format is deliberately trivial: parsing a frame is three
+//! bounds checks and zero allocations ([`parse_frame`] returns ranges into
+//! the caller's buffer), and writing one is a reserve + patch
+//! ([`begin_frame`]/[`end_frame`]) so request handlers can serialize
+//! payloads straight into the connection's output buffer.
+
+/// Liveness probe; the payload is echoed back verbatim.
+pub const OP_PING: u8 = 0x01;
+/// String-search request (application-defined payload; see EXPERIMENTS.md).
+pub const OP_MATCH: u8 = 0x02;
+/// Ray-trace render request (application-defined payload).
+pub const OP_RENDER: u8 = 0x03;
+/// Server statistics; the response payload is a JSON object.
+pub const OP_STATS: u8 = 0x04;
+/// Subscribe this connection to the live telemetry stream.
+pub const OP_SUBSCRIBE: u8 = 0x05;
+/// Server→client push: a chunk of JSONL telemetry. Concatenating the
+/// payloads of consecutive `OP_EVENTS` frames yields a byte-exact JSONL
+/// document in the [`crate::telemetry::export`] schema.
+pub const OP_EVENTS: u8 = 0x06;
+/// Graceful shutdown: the server acks, drains all connections, and stops.
+pub const OP_QUIT: u8 = 0x07;
+/// Switch the served workload mid-run (application-defined payload) —
+/// the hook drift schedules use to shift the workload under the tuners.
+pub const OP_MORPH: u8 = 0x08;
+/// Server→client error report; payload is a UTF-8 message.
+pub const OP_ERR: u8 = 0x7F;
+
+/// Frame length prefix size in bytes.
+pub const HEADER_LEN: usize = 4;
+
+/// Hard cap on `length` (opcode + payload): one frame may not exceed
+/// 16 MiB. Anything larger is a protocol error and the connection is
+/// dropped — it is almost certainly not speaking this protocol.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// A parsed frame: the opcode and the payload's byte range within the
+/// input buffer (borrowed, not copied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame opcode.
+    pub op: u8,
+    /// Payload range within the buffer passed to [`parse_frame`].
+    pub payload: (usize, usize),
+    /// Total encoded size: header + opcode + payload.
+    pub wire_len: usize,
+}
+
+/// Outcome of [`parse_frame`] on a receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parse {
+    /// Not enough bytes yet; read more.
+    Incomplete,
+    /// One complete frame at the front of the buffer.
+    Ready(Frame),
+    /// The length prefix is invalid (zero or over [`MAX_FRAME_LEN`]).
+    Malformed,
+}
+
+/// Try to parse one frame from the front of `buf` without copying.
+pub fn parse_frame(buf: &[u8]) -> Parse {
+    if buf.len() < HEADER_LEN {
+        return Parse::Incomplete;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Parse::Malformed;
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Parse::Incomplete;
+    }
+    Parse::Ready(Frame {
+        op: buf[HEADER_LEN],
+        payload: (HEADER_LEN + 1, HEADER_LEN + len),
+        wire_len: HEADER_LEN + len,
+    })
+}
+
+/// Append a complete frame with the given payload.
+pub fn write_frame(out: &mut Vec<u8>, op: u8, payload: &[u8]) {
+    let len = (payload.len() + 1) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(payload);
+}
+
+/// Start a frame whose payload will be serialized in place: writes a
+/// placeholder header plus the opcode and returns a mark for
+/// [`end_frame`]. Everything the caller appends to `out` between the two
+/// calls becomes the payload — no intermediate buffer.
+pub fn begin_frame(out: &mut Vec<u8>, op: u8) -> usize {
+    let mark = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0, op]);
+    mark
+}
+
+/// Finish a frame started by [`begin_frame`], patching the length prefix.
+pub fn end_frame(out: &mut [u8], mark: usize) {
+    let len = (out.len() - mark - HEADER_LEN) as u32;
+    out[mark..mark + HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_PING, b"hello");
+        match parse_frame(&buf) {
+            Parse::Ready(f) => {
+                assert_eq!(f.op, OP_PING);
+                assert_eq!(&buf[f.payload.0..f.payload.1], b"hello");
+                assert_eq!(f.wire_len, buf.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn begin_end_matches_write() {
+        let mut a = Vec::new();
+        write_frame(&mut a, OP_STATS, b"{\"x\":1}");
+        let mut b = Vec::new();
+        let mark = begin_frame(&mut b, OP_STATS);
+        b.extend_from_slice(b"{\"x\":1}");
+        end_frame(&mut b, mark);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_frames_are_incomplete() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_MATCH, b"pattern");
+        for cut in 0..buf.len() {
+            assert_eq!(parse_frame(&buf[..cut]), Parse::Incomplete, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_QUIT, b"");
+        match parse_frame(&buf) {
+            Parse::Ready(f) => assert_eq!(f.payload.0, f.payload.1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_malformed() {
+        assert_eq!(parse_frame(&[0, 0, 0, 0, 9]), Parse::Malformed);
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        assert_eq!(
+            parse_frame(&[huge[0], huge[1], huge[2], huge[3], 9]),
+            Parse::Malformed
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_PING, b"a");
+        write_frame(&mut buf, OP_MATCH, b"bb");
+        let f1 = match parse_frame(&buf) {
+            Parse::Ready(f) => f,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(f1.op, OP_PING);
+        let rest = &buf[f1.wire_len..];
+        let f2 = match parse_frame(rest) {
+            Parse::Ready(f) => f,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(f2.op, OP_MATCH);
+        assert_eq!(&rest[f2.payload.0..f2.payload.1], b"bb");
+    }
+}

@@ -1,0 +1,677 @@
+//! The serving poll loop: nonblocking accept/read/dispatch/flush over
+//! plain `std::net`, engineered so the steady-state per-request cost is a
+//! frame parse, the site-dispatched work itself, and an amortized share
+//! of one `read`/`write` syscall per pipelined batch.
+
+use super::protocol::{self, Frame, Parse};
+use super::{LatencyHist, RequestHandler};
+use crate::json::Json;
+use crate::telemetry::{self, Event};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for [`serve`]. `Default` is tuned for the loopback benchmarks.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connections beyond this are accepted and immediately closed.
+    pub max_connections: usize,
+    /// Sleep when a full poll iteration moved no bytes (keeps an idle
+    /// server off the CPU without adding meaningful tail latency).
+    pub idle_sleep: Duration,
+    /// How long the graceful-shutdown drain may spend flushing pending
+    /// response bytes before connections are dropped.
+    pub drain_timeout: Duration,
+    /// Disconnect a connection whose un-flushed output exceeds this
+    /// (a subscriber that stopped reading must not hold the server's
+    /// memory hostage).
+    pub max_backlog: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_connections: 64,
+            idle_sleep: Duration::from_micros(100),
+            drain_timeout: Duration::from_secs(2),
+            max_backlog: 64 << 20,
+        }
+    }
+}
+
+/// Cooperative stop signal for [`serve`]: cloneable, settable from any
+/// thread (or from the wire via `OP_QUIT`).
+#[derive(Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has a shutdown been requested?
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// What a completed [`serve`] run did — the substance of
+/// `results/serve.json`.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Frames dispatched (all opcodes, including pings and stats).
+    pub requests: u64,
+    /// Frames delegated to the [`RequestHandler`] (match/render/morph).
+    pub app_requests: u64,
+    /// Error frames sent (malformed input, unknown opcodes, handler
+    /// rejections).
+    pub errors: u64,
+    /// Connections accepted over the run.
+    pub connections: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Telemetry events streamed to live subscribers.
+    pub events_streamed: u64,
+    /// Wall-clock seconds from first poll to shutdown.
+    pub elapsed_s: f64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Median per-request service time (dispatch entry to response
+    /// serialized), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile service time, microseconds.
+    pub p99_us: f64,
+    /// Worst service time, microseconds.
+    pub max_us: f64,
+}
+
+impl ServeReport {
+    /// The report as a JSON object (the `"server"` section of
+    /// `results/serve.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("app_requests", Json::Num(self.app_requests as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("connections", Json::Num(self.connections as f64)),
+            ("bytes_in", Json::Num(self.bytes_in as f64)),
+            ("bytes_out", Json::Num(self.bytes_out as f64)),
+            ("events_streamed", Json::Num(self.events_streamed as f64)),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("throughput_rps", Json::Num(self.throughput_rps)),
+            ("p50_us", Json::Num(self.p50_us)),
+            ("p99_us", Json::Num(self.p99_us)),
+            ("max_us", Json::Num(self.max_us)),
+        ])
+    }
+}
+
+/// Read-buffer chunk size: one `read` call tries to pull this much.
+const READ_CHUNK: usize = 64 << 10;
+
+struct Conn {
+    stream: TcpStream,
+    /// Reused receive buffer; `rlen` bytes valid, parsed frames are
+    /// compacted away once per read batch.
+    rbuf: Vec<u8>,
+    rlen: usize,
+    /// Reused send buffer; `wpos..` is pending. Cleared (capacity kept)
+    /// once fully flushed.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Live telemetry subscriber (binary `OP_EVENTS` frames)?
+    subscribed: bool,
+    /// Detected as HTTP; `http_stream` marks the ndjson `/stream` route.
+    http: bool,
+    http_stream: bool,
+    /// Close once `wbuf` drains.
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rlen: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            subscribed: false,
+            http: false,
+            http_stream: false,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    /// Nonblocking read into the reused buffer; returns bytes read.
+    fn fill(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            if self.rbuf.len() < self.rlen + READ_CHUNK {
+                self.rbuf.resize(self.rlen + READ_CHUNK, 0);
+            }
+            match self.stream.read(&mut self.rbuf[self.rlen..]) {
+                Ok(0) => {
+                    // Peer closed its write side; flush what we owe, then go.
+                    self.close_after_flush = true;
+                    return total;
+                }
+                Ok(n) => {
+                    self.rlen += n;
+                    total += n;
+                    if self.rlen < self.rbuf.len() {
+                        return total; // short read: socket drained
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return total,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return total;
+                }
+            }
+        }
+    }
+
+    /// Flush pending output; returns bytes written.
+    fn flush(&mut self) -> usize {
+        let mut total = 0;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    total += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            if self.close_after_flush {
+                self.dead = true;
+            }
+        }
+        total
+    }
+}
+
+/// Run the serving loop until `stop` is raised (externally or by an
+/// `OP_QUIT` frame). The listener is switched to nonblocking; everything
+/// — accepts, reads, request dispatch through `handler`, telemetry
+/// streaming, writes — happens on the calling thread. Returns the run's
+/// [`ServeReport`] after the graceful drain.
+pub fn serve(
+    listener: TcpListener,
+    handler: &mut dyn RequestHandler,
+    config: &ServeConfig,
+    stop: &StopFlag,
+) -> std::io::Result<ServeReport> {
+    listener.set_nonblocking(true)?;
+    let start = Instant::now();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut report = ServeReport::default();
+    let mut hist = LatencyHist::new();
+    // Telemetry-streaming scratch, reused across the whole run.
+    let mut ev_scratch: Vec<Event> = Vec::new();
+    let mut jsonl_scratch = String::new();
+
+    while !stop.is_stopped() {
+        let mut moved = 0usize;
+
+        // Accept everything pending.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    moved += 1;
+                    if conns.len() >= config.max_connections {
+                        drop(stream); // at capacity: refuse by closing
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    conns.push(Conn::new(stream));
+                    report.connections += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        // Read + dispatch per connection.
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            let got = conn.fill();
+            moved += got;
+            report.bytes_in += got as u64;
+            if conn.rlen == 0 || conn.dead {
+                continue;
+            }
+            if !conn.http && looks_like_http(&conn.rbuf[..conn.rlen]) {
+                conn.http = true;
+            }
+            if conn.http {
+                handle_http(conn, handler, &hist, &mut report, start);
+            } else {
+                dispatch_frames(conn, handler, &mut hist, &mut report, start, stop);
+            }
+        }
+
+        // Stream freshly recorded telemetry to subscribers (only drained
+        // while someone is listening, so an unsubscribed server keeps its
+        // ring intact for the shutdown export).
+        if conns
+            .iter()
+            .any(|c| !c.dead && (c.subscribed || c.http_stream))
+        {
+            jsonl_scratch.clear();
+            let n = telemetry::drain_jsonl_into(&mut ev_scratch, &mut jsonl_scratch);
+            if n > 0 {
+                report.events_streamed += n as u64;
+                for conn in conns.iter_mut().filter(|c| !c.dead) {
+                    if conn.subscribed {
+                        protocol::write_frame(
+                            &mut conn.wbuf,
+                            protocol::OP_EVENTS,
+                            jsonl_scratch.as_bytes(),
+                        );
+                    } else if conn.http_stream {
+                        conn.wbuf.extend_from_slice(jsonl_scratch.as_bytes());
+                    }
+                }
+            }
+        }
+
+        // Batched flush.
+        for conn in conns.iter_mut() {
+            if !conn.dead {
+                let wrote = conn.flush();
+                moved += wrote;
+                report.bytes_out += wrote as u64;
+                if conn.wbuf.len() - conn.wpos > config.max_backlog {
+                    conn.dead = true;
+                }
+            }
+        }
+        conns.retain(|c| !c.dead);
+
+        if moved == 0 {
+            std::thread::sleep(config.idle_sleep);
+        }
+    }
+
+    // Graceful drain: give pending responses (quit acks, final telemetry
+    // chunks) a bounded window to reach their clients.
+    let deadline = Instant::now() + config.drain_timeout;
+    loop {
+        let mut pending = false;
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            report.bytes_out += conn.flush() as u64;
+            pending |= !conn.dead && conn.wpos < conn.wbuf.len();
+        }
+        if !pending || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    report.elapsed_s = start.elapsed().as_secs_f64();
+    report.throughput_rps = if report.elapsed_s > 0.0 {
+        report.requests as f64 / report.elapsed_s
+    } else {
+        0.0
+    };
+    report.p50_us = hist.quantile(0.50) / 1_000.0;
+    report.p99_us = hist.quantile(0.99) / 1_000.0;
+    report.max_us = hist.max_ns() as f64 / 1_000.0;
+    Ok(report)
+}
+
+/// Parse and dispatch every complete frame in the connection's buffer,
+/// then compact the leftovers to the front.
+fn dispatch_frames(
+    conn: &mut Conn,
+    handler: &mut dyn RequestHandler,
+    hist: &mut LatencyHist,
+    report: &mut ServeReport,
+    start: Instant,
+    stop: &StopFlag,
+) {
+    let mut off = 0usize;
+    loop {
+        match protocol::parse_frame(&conn.rbuf[off..conn.rlen]) {
+            Parse::Incomplete => break,
+            Parse::Malformed => {
+                protocol::write_frame(&mut conn.wbuf, protocol::OP_ERR, b"malformed frame");
+                report.errors += 1;
+                conn.close_after_flush = true;
+                off = conn.rlen; // discard the rest; the stream is garbage
+                break;
+            }
+            Parse::Ready(frame) => {
+                let t0 = Instant::now();
+                dispatch_one(conn, frame, off, handler, report, start, stop);
+                hist.record(t0.elapsed().as_nanos() as u64);
+                report.requests += 1;
+                off += frame.wire_len;
+            }
+        }
+    }
+    if off > 0 {
+        conn.rbuf.copy_within(off..conn.rlen, 0);
+        conn.rlen -= off;
+    }
+}
+
+fn dispatch_one(
+    conn: &mut Conn,
+    frame: Frame,
+    off: usize,
+    handler: &mut dyn RequestHandler,
+    report: &mut ServeReport,
+    start: Instant,
+    stop: &StopFlag,
+) {
+    let (p0, p1) = frame.payload;
+    match frame.op {
+        protocol::OP_PING => {
+            // Echo straight out of the receive buffer (disjoint fields,
+            // so the borrow splits without a staging copy).
+            let mark = protocol::begin_frame(&mut conn.wbuf, protocol::OP_PING);
+            conn.wbuf.extend_from_slice(&conn.rbuf[off + p0..off + p1]);
+            protocol::end_frame(&mut conn.wbuf, mark);
+        }
+        protocol::OP_STATS => {
+            let json = stats_json(handler, report, start).to_string();
+            protocol::write_frame(&mut conn.wbuf, protocol::OP_STATS, json.as_bytes());
+        }
+        protocol::OP_SUBSCRIBE => {
+            conn.subscribed = true;
+            protocol::write_frame(&mut conn.wbuf, protocol::OP_SUBSCRIBE, b"");
+        }
+        protocol::OP_QUIT => {
+            protocol::write_frame(&mut conn.wbuf, protocol::OP_QUIT, b"");
+            stop.stop();
+        }
+        op => {
+            // Payload borrows rbuf, the response goes to wbuf — disjoint
+            // fields, so the handler sees the bytes in place (no copy).
+            let handled = handler.handle(op, &conn.rbuf[off + p0..off + p1], &mut conn.wbuf);
+            if handled {
+                report.app_requests += 1;
+            } else {
+                protocol::write_frame(&mut conn.wbuf, protocol::OP_ERR, b"unknown opcode");
+                report.errors += 1;
+            }
+        }
+    }
+}
+
+fn stats_json(handler: &dyn RequestHandler, report: &ServeReport, start: Instant) -> Json {
+    let mut pairs = vec![
+        ("uptime_s", Json::Num(start.elapsed().as_secs_f64())),
+        ("requests", Json::Num(report.requests as f64)),
+        ("app_requests", Json::Num(report.app_requests as f64)),
+        ("errors", Json::Num(report.errors as f64)),
+        ("connections", Json::Num(report.connections as f64)),
+        ("events_streamed", Json::Num(report.events_streamed as f64)),
+        ("telemetry", telemetry::metrics().to_json()),
+    ];
+    if let Some(app) = handler.stats_json() {
+        pairs.push(("app", app));
+    }
+    Json::obj(pairs)
+}
+
+// ---------------------------------------------------------------------
+// HTTP/1.1 fallback
+// ---------------------------------------------------------------------
+
+fn looks_like_http(buf: &[u8]) -> bool {
+    buf.len() >= 4 && (&buf[..4] == b"GET " || &buf[..4] == b"HEAD")
+}
+
+/// Serve one HTTP request once its header block is complete. One request
+/// per connection (`Connection: close`), except `/stream` which stays
+/// open and is closed by server shutdown.
+fn handle_http(
+    conn: &mut Conn,
+    handler: &mut dyn RequestHandler,
+    hist: &LatencyHist,
+    report: &mut ServeReport,
+    start: Instant,
+) {
+    if conn.http_stream {
+        conn.rlen = 0; // a streaming client has nothing more to say
+        return;
+    }
+    let head = &conn.rbuf[..conn.rlen];
+    let Some(end) = find_header_end(head) else {
+        if conn.rlen > 16 << 10 {
+            conn.dead = true; // header flood
+        }
+        return;
+    };
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(b"");
+    let path = line
+        .split(|&b| b == b' ')
+        .nth(1)
+        .map(|p| String::from_utf8_lossy(p).into_owned())
+        .unwrap_or_default();
+    let _ = end;
+    conn.rlen = 0;
+    report.requests += 1;
+    match path.as_str() {
+        "/stats" => {
+            let body = stats_json(handler, report, start).to_string();
+            http_response(
+                &mut conn.wbuf,
+                "200 OK",
+                "application/json",
+                body.as_bytes(),
+            );
+            conn.close_after_flush = true;
+        }
+        "/stream" => {
+            conn.wbuf.extend_from_slice(
+                b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                  Cache-Control: no-cache\r\nConnection: close\r\n\r\n",
+            );
+            conn.http_stream = true;
+        }
+        "/" => {
+            let p99 = hist.quantile(0.99) / 1_000.0;
+            let body = format!(
+                "autotune serve\n\nrequests: {}\napp_requests: {}\np99_us: {:.1}\n\n\
+                 endpoints:\n  GET /stats   server + app counters (JSON)\n  \
+                 GET /stream  live telemetry (ndjson)\n",
+                report.requests, report.app_requests, p99
+            );
+            http_response(&mut conn.wbuf, "200 OK", "text/plain", body.as_bytes());
+            conn.close_after_flush = true;
+        }
+        _ => {
+            http_response(
+                &mut conn.wbuf,
+                "404 Not Found",
+                "text/plain",
+                b"not found\n",
+            );
+            report.errors += 1;
+            conn.close_after_flush = true;
+        }
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn http_response(out: &mut Vec<u8>, status: &str, content_type: &str, body: &[u8]) {
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::Client;
+
+    /// Test handler: `OP_MATCH` reverses the payload; everything else is
+    /// unknown.
+    struct Reverser;
+    impl RequestHandler for Reverser {
+        fn handle(&mut self, op: u8, payload: &[u8], out: &mut Vec<u8>) -> bool {
+            if op != protocol::OP_MATCH {
+                return false;
+            }
+            let mark = protocol::begin_frame(out, protocol::OP_MATCH);
+            out.extend(payload.iter().rev());
+            protocol::end_frame(out, mark);
+            true
+        }
+        fn stats_json(&self) -> Option<Json> {
+            Some(Json::obj(vec![("handler", Json::Str("reverser".into()))]))
+        }
+    }
+
+    fn spawn_server() -> (String, std::thread::JoinHandle<ServeReport>, StopFlag) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = StopFlag::new();
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            serve(listener, &mut Reverser, &ServeConfig::default(), &stop2).unwrap()
+        });
+        (addr, handle, stop)
+    }
+
+    #[test]
+    fn ping_match_stats_quit_round_trip() {
+        let (addr, handle, _stop) = spawn_server();
+        let mut c = Client::connect(&addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let (op, body) = c.request(protocol::OP_PING, b"hello").unwrap();
+        assert_eq!((op, body.as_slice()), (protocol::OP_PING, &b"hello"[..]));
+
+        let (op, body) = c.request(protocol::OP_MATCH, b"abc").unwrap();
+        assert_eq!((op, body.as_slice()), (protocol::OP_MATCH, &b"cba"[..]));
+
+        let (op, body) = c.request(protocol::OP_STATS, b"").unwrap();
+        assert_eq!(op, protocol::OP_STATS);
+        let stats = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(stats.get("app_requests").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            stats
+                .get("app")
+                .and_then(|a| a.get("handler"))
+                .and_then(Json::as_str),
+            Some("reverser")
+        );
+
+        let (op, _) = c.request(protocol::OP_QUIT, b"").unwrap();
+        assert_eq!(op, protocol::OP_QUIT);
+        let report = handle.join().unwrap();
+        assert_eq!(report.app_requests, 1);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.requests, 4);
+        assert!(report.p99_us > 0.0);
+    }
+
+    #[test]
+    fn pipelined_batches_come_back_in_order() {
+        let (addr, handle, _stop) = spawn_server();
+        let mut c = Client::connect(&addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..500u32 {
+            protocol::write_frame(&mut batch, protocol::OP_MATCH, &i.to_le_bytes());
+        }
+        c.send_raw(&batch).unwrap();
+        let mut body = Vec::new();
+        for i in 0..500u32 {
+            let op = c.recv_into(&mut body).unwrap();
+            assert_eq!(op, protocol::OP_MATCH);
+            let mut expect = i.to_le_bytes();
+            expect.reverse();
+            assert_eq!(body, expect);
+        }
+        c.request(protocol::OP_QUIT, b"").unwrap();
+        assert_eq!(handle.join().unwrap().app_requests, 500);
+    }
+
+    #[test]
+    fn unknown_opcode_gets_an_error_frame() {
+        let (addr, handle, _stop) = spawn_server();
+        let mut c = Client::connect(&addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let (op, body) = c.request(0x66, b"").unwrap();
+        assert_eq!(op, protocol::OP_ERR);
+        assert_eq!(body, b"unknown opcode");
+        c.request(protocol::OP_QUIT, b"").unwrap();
+        assert_eq!(handle.join().unwrap().errors, 1);
+    }
+
+    #[test]
+    fn http_stats_fallback_works_on_the_same_port() {
+        let (addr, handle, stop) = spawn_server();
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let stats = Json::parse(body).unwrap();
+        assert!(stats.get("uptime_s").and_then(Json::as_f64).is_some());
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn external_stop_flag_shuts_the_server_down() {
+        let (addr, handle, stop) = spawn_server();
+        let mut c = Client::connect(&addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        c.request(protocol::OP_PING, b"x").unwrap();
+        stop.stop();
+        let report = handle.join().unwrap();
+        assert_eq!(report.requests, 1);
+    }
+}

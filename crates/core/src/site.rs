@@ -46,7 +46,7 @@
 //! **Slab layout.** Sites live in a fixed-capacity, process-global
 //! [`SiteRegistry`] of [`MAX_SITES`] slots, striped round-robin across
 //! [`NUM_SHARDS`] shards. Each shard owns an independently allocated table
-//! of `AtomicPtr` slot pointers, and every [`SiteSlot`] is a separate
+//! of `AtomicPtr` slot pointers, and every `SiteSlot` is a separate
 //! cache-line-aligned heap allocation — threads hitting *different* sites
 //! never share a cache line, and registration in one shard never invalidates
 //! another shard's table. Slot pointers are written once (`Release`) at
@@ -144,6 +144,7 @@ impl SiteId {
 
 /// What a site tunes: algorithmic choice (two-phase) or a single numeric
 /// parameter space.
+#[derive(Clone)]
 enum SpecKind {
     /// Phase-2 selection over algorithms, each with its own phase-1 space.
     Algorithms(Vec<AlgorithmSpec>, NominalKind),
@@ -152,7 +153,9 @@ enum SpecKind {
 }
 
 /// Blueprint of a tuning site: what it tunes and with which strategies and
-/// seed. Consumed by [`register`].
+/// seed. Consumed by [`register`]; the slot keeps a clone as the recipe
+/// for [`Site::restart`].
+#[derive(Clone)]
 pub struct SiteSpec {
     name: String,
     kind: SpecKind,
@@ -341,6 +344,8 @@ struct SiteSlot {
     calls: AtomicU64,
     /// Calls that lost the claim race and took the exploit fast path.
     contended: AtomicU64,
+    /// Times the tuner was rebuilt from the recipe ([`Site::restart`]).
+    restarts: AtomicU64,
     /// Seqlock sequence word for the published decision (even = stable).
     seq: AtomicU32,
     /// Published decision: algorithm index.
@@ -355,6 +360,9 @@ struct SiteSlot {
     id: SiteId,
     name: String,
     num_algorithms: usize,
+    /// The registration blueprint, kept so [`Site::restart`] can rebuild a
+    /// fresh tuner (same spec, same seed) after workload drift.
+    recipe: SiteSpec,
     /// Tuner state; accessed only by the claim holder (see module docs).
     tuner: UnsafeCell<SiteTuner>,
 }
@@ -378,6 +386,7 @@ const _: fn() = || {
 
 impl SiteSlot {
     fn new(id: SiteId, spec: SiteSpec) -> Self {
+        let recipe = spec.clone();
         let (tuner, name) = SiteTuner::build(spec);
         let num_algorithms = match &tuner {
             SiteTuner::TwoPhase(t) => t.num_algorithms(),
@@ -387,6 +396,7 @@ impl SiteSlot {
             claim: AtomicU32::new(0),
             calls: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
             seq: AtomicU32::new(0),
             pub_algo: AtomicU32::new(0),
             pub_len: AtomicU32::new(0),
@@ -395,6 +405,7 @@ impl SiteSlot {
             id,
             name,
             num_algorithms,
+            recipe,
             tuner: UnsafeCell::new(tuner),
         };
         // Publish the initial exploit decision (the hand-crafted start or
@@ -494,6 +505,41 @@ impl Site {
     /// Calls that ran a full tuning iteration.
     pub fn tuned_iterations(self) -> u64 {
         self.calls() - self.contended()
+    }
+
+    /// Times this site's tuner was rebuilt from its recipe
+    /// ([`Site::restart`]) — normally in response to detected workload
+    /// drift ([`crate::drift`]).
+    pub fn restarts(self) -> u64 {
+        self.slot.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Throw away all learned state and rebuild the tuner from the
+    /// registration recipe (same algorithm set, same strategies, same
+    /// seed), re-widening the search after workload drift.
+    ///
+    /// Spins for the claim like [`Site::with_tuner`], so it must not be
+    /// called from a thread that already holds it (e.g. inside
+    /// [`Site::tuned`]'s closure). The fresh tuner's exploit choice is
+    /// published before the claim is released, so concurrent exploit
+    /// traffic never observes stale decisions. Counters (`calls`,
+    /// `contended`) are *not* reset — they count traffic, not learning.
+    pub fn restart(self) {
+        let slot = self.slot;
+        while slot
+            .claim
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let (tuner, _name) = SiteTuner::build(slot.recipe.clone());
+        // SAFETY: this thread holds the claim (see `Sync` impl).
+        unsafe { *slot.tuner.get() = tuner };
+        let (algo, config) = unsafe { &*slot.tuner.get() }.exploit_choice();
+        slot.publish(algo, &config);
+        slot.restarts.fetch_add(1, Ordering::Relaxed);
+        slot.claim.store(0, Ordering::Release);
     }
 
     /// Enter the site (Tuna's `tuna_pre`): pick the algorithm and
@@ -934,6 +980,27 @@ mod tests {
         a.tuned(|_, _| {});
         b.tuned(|_, _| {});
         assert_eq!(a.calls(), 2);
+    }
+
+    #[test]
+    fn restart_rebuilds_the_tuner_and_republishes() {
+        let id = register(three_algo_spec("restart", 37));
+        let s = site(id);
+        for _ in 0..40 {
+            s.tuned(|_, _| {});
+        }
+        s.with_tuner(|t| assert_eq!(t.as_two_phase().unwrap().log().len(), 40));
+        assert_eq!(s.restarts(), 0);
+        s.restart();
+        assert_eq!(s.restarts(), 1);
+        // Learned state is gone; traffic counters are not.
+        s.with_tuner(|t| assert_eq!(t.as_two_phase().unwrap().log().len(), 0));
+        assert_eq!(s.calls(), 40);
+        // The published decision is still valid and the site keeps tuning.
+        let (algo, _) = s.slot.read_decision();
+        assert!(algo < 3);
+        s.tuned(|_, _| {});
+        s.with_tuner(|t| assert_eq!(t.as_two_phase().unwrap().log().len(), 1));
     }
 
     #[test]

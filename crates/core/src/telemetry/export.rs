@@ -131,7 +131,121 @@ fn event_kind_to_json(event: &Event) -> Json {
             ("depth", Json::Num(*depth as f64)),
             ("workers", Json::Num(*workers as f64)),
         ]),
+        EventKind::DriftDetected {
+            baseline_ms,
+            observed_ms,
+        } => Json::obj(vec![
+            t,
+            ("kind", Json::Str("drift-detected".into())),
+            ("baseline_ms", Json::Num(*baseline_ms)),
+            ("observed_ms", Json::Num(*observed_ms)),
+        ]),
     }
+}
+
+/// Append one event as a compact JSONL line (including the trailing
+/// newline) directly into a caller-owned buffer.
+///
+/// This is the incremental, allocation-free flavor of [`event_to_json`]:
+/// no `Json` tree is built, so repeatedly draining a live recorder into a
+/// single reused `String` (see
+/// [`crate::telemetry::Recorder::drain_jsonl_into`]) costs no per-event
+/// allocations. The rendering is byte-identical to
+/// `event_to_json(event).to_string() + "\n"` — pinned by a test so the
+/// streamed and the batch-exported JSONL schemas can never diverge.
+pub fn append_event_jsonl(event: &Event, out: &mut String) {
+    use crate::json::{write_escaped, write_number};
+
+    fn key(out: &mut String, k: &str) {
+        out.push(',');
+        write_escaped(out, k);
+        out.push(':');
+    }
+    fn num(out: &mut String, k: &str, v: f64) {
+        key(out, k);
+        write_number(out, v);
+    }
+    fn str_field(out: &mut String, k: &str, v: &str) {
+        key(out, k);
+        write_escaped(out, v);
+    }
+
+    out.push_str("{\"t_us\":");
+    write_number(out, event.t_us as f64);
+    if event.site != NO_SITE {
+        num(out, "site", event.site as f64);
+    }
+    match &event.kind {
+        EventKind::IterationStart { iteration } => {
+            str_field(out, "kind", "iteration-start");
+            num(out, "iteration", *iteration as f64);
+        }
+        EventKind::AlgorithmSelected { algorithm, weights } => {
+            str_field(out, "kind", "algorithm-selected");
+            num(out, "algorithm", *algorithm as f64);
+            key(out, "weights");
+            out.push('[');
+            for (i, w) in weights.as_slice().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_number(out, *w as f64);
+            }
+            out.push(']');
+        }
+        EventKind::Phase1Step { op } => {
+            str_field(out, "kind", "phase1-step");
+            str_field(out, "op", op.label());
+        }
+        EventKind::MeasureOutcome {
+            algorithm,
+            status,
+            runtime_ms,
+        } => {
+            str_field(out, "kind", "measure-outcome");
+            num(out, "algorithm", *algorithm as f64);
+            str_field(out, "status", status.label());
+            num(out, "runtime_ms", *runtime_ms);
+        }
+        EventKind::PenaltyApplied {
+            algorithm,
+            penalty_ms,
+        } => {
+            str_field(out, "kind", "penalty-applied");
+            num(out, "algorithm", *algorithm as f64);
+            num(out, "penalty_ms", *penalty_ms);
+        }
+        EventKind::WindowEvicted {
+            algorithm,
+            evicted_sample,
+        } => {
+            str_field(out, "kind", "window-evicted");
+            num(out, "algorithm", *algorithm as f64);
+            num(out, "evicted_sample", *evicted_sample as f64);
+        }
+        EventKind::SpanBegin { span } => {
+            str_field(out, "kind", "span-begin");
+            str_field(out, "span", span.label());
+        }
+        EventKind::SpanEnd { span } => {
+            str_field(out, "kind", "span-end");
+            str_field(out, "span", span.label());
+        }
+        EventKind::QueueDepth { depth, workers } => {
+            str_field(out, "kind", "queue-depth");
+            num(out, "depth", *depth as f64);
+            num(out, "workers", *workers as f64);
+        }
+        EventKind::DriftDetected {
+            baseline_ms,
+            observed_ms,
+        } => {
+            str_field(out, "kind", "drift-detected");
+            num(out, "baseline_ms", *baseline_ms);
+            num(out, "observed_ms", *observed_ms);
+        }
+    }
+    out.push_str("}\n");
 }
 
 /// Parse one event back from its [`event_to_json`] representation.
@@ -204,17 +318,21 @@ pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
             depth: get_u64(j, "depth")? as u32,
             workers: get_u64(j, "workers")? as u32,
         },
+        "drift-detected" => EventKind::DriftDetected {
+            baseline_ms: get_f64(j, "baseline_ms")?,
+            observed_ms: get_f64(j, "observed_ms")?,
+        },
         other => return semantic_err(format!("unknown event kind '{other}'")),
     };
     Ok(Event { t_us, site, kind })
 }
 
-/// Serialize events as JSONL: one compact JSON object per line.
+/// Serialize events as JSONL: one compact JSON object per line
+/// (the batch wrapper around [`append_event_jsonl`]).
 pub fn to_jsonl(events: &[Event]) -> String {
     let mut out = String::new();
     for e in events {
-        out.push_str(&event_to_json(e).to_string());
-        out.push('\n');
+        append_event_jsonl(e, &mut out);
     }
     out
 }
@@ -471,6 +589,19 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                     ("workers", Json::Num(*workers as f64)),
                 ],
             )),
+            EventKind::DriftDetected {
+                baseline_ms,
+                observed_ms,
+            } => rows.push(trace_row(
+                "drift",
+                "i",
+                ts,
+                tid,
+                vec![
+                    ("baseline_ms", Json::Num(*baseline_ms)),
+                    ("observed_ms", Json::Num(*observed_ms)),
+                ],
+            )),
         }
     }
     Json::obj(vec![
@@ -552,6 +683,14 @@ mod tests {
                     workers: 8,
                 },
             },
+            Event {
+                t_us: 104,
+                site: 7,
+                kind: EventKind::DriftDetected {
+                    baseline_ms: 0.5,
+                    observed_ms: 1.375,
+                },
+            },
         ]
     }
 
@@ -561,6 +700,18 @@ mod tests {
         let text = to_jsonl(&events);
         let parsed = parse_jsonl(&text).expect("parse back");
         assert_eq!(parsed, events);
+    }
+
+    /// The incremental writer must stay byte-identical to the `Json`-tree
+    /// path, or live-streamed telemetry would drift from batch exports.
+    #[test]
+    fn append_event_jsonl_matches_json_tree_rendering() {
+        for e in sample_events() {
+            let mut incremental = String::new();
+            append_event_jsonl(&e, &mut incremental);
+            let batch = event_to_json(&e).to_string() + "\n";
+            assert_eq!(incremental, batch, "divergent rendering for {e:?}");
+        }
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub struct Metrics {
     spans: AtomicU64,
     max_queue_depth: AtomicU64,
     last_queue_depth: AtomicU64,
+    drift_events: AtomicU64,
 }
 
 impl Metrics {
@@ -117,6 +118,7 @@ impl Metrics {
             spans: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
             last_queue_depth: AtomicU64::new(0),
+            drift_events: AtomicU64::new(0),
         }
     }
 
@@ -186,6 +188,9 @@ impl Metrics {
                 self.max_queue_depth.fetch_max(d, Ordering::Relaxed);
                 self.last_queue_depth.store(d, Ordering::Relaxed);
             }
+            EventKind::DriftDetected { .. } => {
+                self.drift_events.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -200,6 +205,7 @@ impl Metrics {
         self.spans.store(0, Ordering::Relaxed);
         self.max_queue_depth.store(0, Ordering::Relaxed);
         self.last_queue_depth.store(0, Ordering::Relaxed);
+        self.drift_events.store(0, Ordering::Relaxed);
     }
 
     /// Take a plain-data snapshot of every register.
@@ -234,6 +240,7 @@ impl Metrics {
             spans: self.spans.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             last_queue_depth: self.last_queue_depth.load(Ordering::Relaxed),
+            drift_events: self.drift_events.load(Ordering::Relaxed),
             algorithms,
         }
     }
@@ -277,6 +284,8 @@ pub struct MetricsReport {
     pub max_queue_depth: u64,
     /// Most recent pool queue depth observed.
     pub last_queue_depth: u64,
+    /// Drift-restart events recorded (see [`EventKind::DriftDetected`]).
+    pub drift_events: u64,
     /// Per-algorithm registers, indexed by algorithm id (trimmed to the
     /// highest index touched).
     pub algorithms: Vec<AlgoMetrics>,
@@ -316,6 +325,7 @@ impl MetricsReport {
             ("spans", Json::Num(self.spans as f64)),
             ("max_queue_depth", Json::Num(self.max_queue_depth as f64)),
             ("last_queue_depth", Json::Num(self.last_queue_depth as f64)),
+            ("drift_events", Json::Num(self.drift_events as f64)),
             ("algorithms", Json::Arr(algos)),
         ])
     }

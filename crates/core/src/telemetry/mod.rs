@@ -386,6 +386,15 @@ pub enum EventKind {
         /// Number of live worker threads in the pool.
         workers: u32,
     },
+    /// A drift monitor ([`crate::drift`]) detected sustained regression
+    /// against the converged baseline and triggered a tuner restart. The
+    /// event's `site` tag names the restarted site.
+    DriftDetected {
+        /// The frozen baseline runtime (window median at convergence).
+        baseline_ms: f64,
+        /// The recent window median that breached the drift threshold.
+        observed_ms: f64,
+    },
 }
 
 /// One recorded telemetry event: a timestamp, the tuning site it belongs
@@ -495,6 +504,29 @@ impl Recorder {
         }
         events.sort_by_key(|e| e.t_us);
         events
+    }
+
+    /// Drain every ring into `events` (cleared and reused as the merge
+    /// scratch) and append the JSONL rendering of the drained events to
+    /// `out`. Returns the number of events drained.
+    ///
+    /// This is the incremental flavor of [`Recorder::drain`] +
+    /// [`export::to_jsonl`]: both buffers are caller-owned, so a streaming
+    /// consumer (the [`crate::serve`] telemetry subscription path) drains
+    /// the ring repeatedly with zero per-drain allocations once its
+    /// buffers have warmed up.
+    pub fn drain_jsonl_into(&self, events: &mut Vec<Event>, out: &mut String) -> usize {
+        events.clear();
+        for i in 0..self.shards.len() {
+            let mut ring = self.ring(i);
+            events.extend(ring.iter().copied());
+            ring.clear();
+        }
+        events.sort_by_key(|e| e.t_us);
+        for e in events.iter() {
+            export::append_event_jsonl(e, out);
+        }
+        events.len()
     }
 
     /// Copy out the stored events (merged by timestamp) and clear every
@@ -611,6 +643,16 @@ pub fn snapshot() -> Vec<Event> {
 /// Use between runs to split a recording into per-run logs.
 pub fn drain() -> Vec<Event> {
     GLOBAL.get().map(Recorder::drain).unwrap_or_default()
+}
+
+/// Incrementally drain the global recorder as JSONL into caller-owned,
+/// reused buffers; see [`Recorder::drain_jsonl_into`]. Returns 0 if
+/// recording was never enabled.
+pub fn drain_jsonl_into(events: &mut Vec<Event>, out: &mut String) -> usize {
+    GLOBAL
+        .get()
+        .map(|r| r.drain_jsonl_into(events, out))
+        .unwrap_or(0)
 }
 
 /// Clear the global ring and zero all global metric registers.

@@ -25,7 +25,11 @@
 //! alone. The `sites` target ([`sites`]) drives the concurrent multi-site
 //! runtime ([`autotune::site`]) at production shape — hundreds of sites,
 //! multiple request threads — and reports aggregate throughput plus
-//! per-site convergence.
+//! per-site convergence. The `serve` target ([`serve`]) stands both case
+//! studies up as an always-on TCP tuning service ([`autotune::serve`])
+//! with per-site drift detection, and the `load` target ([`load`]) is its
+//! pipelined loopback load generator with morph schedules and live
+//! telemetry-stream validation.
 //!
 //! The `experiments` binary drives these and writes CSV/JSON into
 //! `results/` plus ASCII plots to stdout. Scale knobs default to a *quick*
@@ -35,7 +39,9 @@ pub mod ablations;
 pub mod cs1;
 pub mod cs2;
 pub mod faults;
+pub mod load;
 pub mod record;
 pub mod report;
+pub mod serve;
 pub mod sites;
 pub mod tables;

@@ -1,23 +1,64 @@
-//! Command-line driver regenerating the paper's tables and figures.
-//!
-//! ```text
-//! experiments <target> [flags]
-//!
-//! targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          cs1 cs2 kernels patterns scenes dynamic ablations faults
-//!          sites record report all
-//! flags:
-//!   --paper            paper-scale runs (100 reps; hours) instead of quick
-//!   --reps N           override repetition count
-//!   --iters N          override tuning iterations / frames
-//!   --corpus-kb N      corpus size for case study 1
-//!   --detail N         cathedral detail for case study 2
-//!   --fault-rate R     injected-fault probability for `faults` (default 0.1)
-//!   --out DIR          output directory (default: results)
-//! ```
+//! Command-line driver regenerating the paper's tables and figures, plus
+//! the always-on serving mode. Run `experiments help` for the full usage
+//! text ([`USAGE`]).
 
-use experiments::{ablations, cs1, cs2, faults, record, report, sites, tables};
+use experiments::{ablations, cs1, cs2, faults, load, record, report, serve, sites, tables};
 use std::path::{Path, PathBuf};
+
+/// The usage text (`experiments help`, `--help`, or any unknown target).
+const USAGE: &str = "\
+experiments <target> [flags]
+
+batch targets (write into --results-dir, default `results/`):
+  table1      Table I: parameter classes and their legal operations
+  table2      Table II: the benchmark system description
+  fig1        Figure 1: untuned string-matcher runtimes (box plot)
+  fig2        Figure 2: median convergence, string matching
+  fig3        Figure 3: mean convergence, string matching
+  fig4        Figure 4: algorithm-choice histogram, string matching
+  fig5        Figure 5: per-builder Nelder-Mead tuning timelines
+  fig6        Figure 6: median convergence, raytracing
+  fig7        Figure 7: mean convergence, raytracing
+  fig8        Figure 8: builder-choice histogram, raytracing
+  cs1         figures 1-4 in one run (case study 1: string matching)
+  cs2         figures 5-8 in one run (case study 2: raytracing)
+  kernels     scalar vs SWAR/SIMD matcher kernels under tuning
+  patterns    pattern-length study across the matcher set
+  scenes      kd-builder comparison across scene types
+  dynamic     scene-size jump study (tuning under workload change)
+  ablations   eps/window/phase-1/crossover/deployment sweeps
+  faults      both case studies under injected measurement faults
+  sites       concurrent multi-site runtime at production shape
+  record      replay both case studies with telemetry traces on
+  report      rebuild convergence tables from recorded traces
+  all         every batch target above, quick profile
+
+serving targets:
+  serve       stand both case studies up as an always-on TCP tuning
+              service with drift detection (blocks until OP_QUIT)
+  load        loopback load generator for `serve` (pipelined batches,
+              optional drift schedule and telemetry-stream validation)
+
+general flags:
+  --paper            paper-scale runs (100 reps; hours) instead of quick
+  --reps N           override repetition count
+  --iters N          override tuning iterations / frames
+  --corpus-kb N      corpus size for case study 1 and `serve` (KiB)
+  --detail N         cathedral detail for case study 2 and `serve`
+  --fault-rate R     injected-fault probability for `faults` (default 0.1)
+  --seed N           workload/tuner seed for `serve` (default 42)
+  --results-dir DIR  output directory (default: results); --out is an alias
+
+serve/load flags:
+  --addr HOST:PORT   listen/connect address (default 127.0.0.1:7070)
+  --requests N       total load-generator requests (default 100000)
+  --threads N        load-generator worker connections (default 2)
+  --batch N          frames pipelined per write (default 64)
+  --render-every N   every Nth load request is a render (default 0 = off)
+  --drift            load: inject the morph schedule at 50%/55% of the run
+  --subscribe        load: attach a telemetry subscriber and validate JSONL
+  --quit             load: send OP_QUIT when done (graceful server shutdown)
+";
 
 /// Exit with a readable diagnostic instead of a panic backtrace when the
 /// output directory is unwritable (read-only checkout, bad `--out`, …).
@@ -37,7 +78,16 @@ struct Args {
     corpus_kb: Option<usize>,
     detail: Option<u32>,
     fault_rate: Option<f64>,
+    seed: Option<u64>,
     out: PathBuf,
+    addr: Option<String>,
+    requests: Option<u64>,
+    threads: Option<usize>,
+    batch: Option<usize>,
+    render_every: Option<u64>,
+    drift: bool,
+    subscribe: bool,
+    quit: bool,
 }
 
 fn parse_args() -> Args {
@@ -49,13 +99,26 @@ fn parse_args() -> Args {
         corpus_kb: None,
         detail: None,
         fault_rate: None,
+        seed: None,
         out: PathBuf::from("results"),
+        addr: None,
+        requests: None,
+        threads: None,
+        batch: None,
+        render_every: None,
+        drift: false,
+        subscribe: false,
+        quit: false,
     };
     let mut it = std::env::args().skip(1);
     let mut target_set = false;
     while let Some(a) = it.next() {
         let mut grab = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match a.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
             "--paper" => args.paper = true,
             "--reps" => args.reps = Some(grab("--reps").parse().expect("--reps N")),
             "--iters" => args.iters = Some(grab("--iters").parse().expect("--iters N")),
@@ -66,12 +129,26 @@ fn parse_args() -> Args {
             "--fault-rate" => {
                 args.fault_rate = Some(grab("--fault-rate").parse().expect("--fault-rate R"))
             }
-            "--out" => args.out = PathBuf::from(grab("--out")),
+            "--seed" => args.seed = Some(grab("--seed").parse().expect("--seed N")),
+            "--out" | "--results-dir" => args.out = PathBuf::from(grab("--results-dir")),
+            "--addr" => args.addr = Some(grab("--addr")),
+            "--requests" => args.requests = Some(grab("--requests").parse().expect("--requests N")),
+            "--threads" => args.threads = Some(grab("--threads").parse().expect("--threads N")),
+            "--batch" => args.batch = Some(grab("--batch").parse().expect("--batch N")),
+            "--render-every" => {
+                args.render_every = Some(grab("--render-every").parse().expect("--render-every N"))
+            }
+            "--drift" => args.drift = true,
+            "--subscribe" => args.subscribe = true,
+            "--quit" => args.quit = true,
             t if !target_set && !t.starts_with("--") => {
                 args.target = t.to_string();
                 target_set = true;
             }
-            other => panic!("unknown argument: {other}"),
+            other => {
+                eprintln!("unknown argument: {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
         }
     }
     args
@@ -134,6 +211,10 @@ fn emit_grouped(f: &report::GroupedBoxFigure, out: &Path) {
 fn main() {
     let args = parse_args();
     let t = args.target.as_str();
+    if t == "help" {
+        print!("{USAGE}");
+        return;
+    }
     let run_cs1_figs = matches!(t, "fig2" | "fig3" | "fig4" | "cs1" | "all");
     let run_cs2_figs = matches!(t, "fig6" | "fig7" | "fig8" | "cs2" | "all");
 
@@ -337,6 +418,61 @@ fn main() {
     if matches!(t, "report" | "all") {
         check_io("report.json", &args.out, record::report(&args.out));
     }
+    if t == "serve" {
+        let mut opts = serve::ServeOptions::default();
+        if let Some(addr) = &args.addr {
+            opts.addr = addr.clone();
+        }
+        if let Some(kb) = args.corpus_kb {
+            opts.corpus_kb = kb;
+        }
+        if let Some(d) = args.detail {
+            opts.detail = d;
+        }
+        if let Some(s) = args.seed {
+            opts.seed = s;
+        }
+        let stop = autotune::serve::StopFlag::new();
+        let files = check_io(
+            "serve results",
+            &args.out,
+            serve::run_serve(&opts, &args.out, &stop),
+        );
+        for f in &files {
+            println!("→ {}", f.display());
+        }
+    }
+    if t == "load" {
+        let mut opts = load::LoadOptions::default();
+        if let Some(addr) = &args.addr {
+            opts.addr = addr.clone();
+        }
+        if let Some(r) = args.requests {
+            opts.requests = r;
+        }
+        if let Some(n) = args.threads {
+            opts.threads = n;
+        }
+        if let Some(b) = args.batch {
+            opts.batch = b;
+        }
+        if let Some(n) = args.render_every {
+            opts.render_every = n;
+        }
+        opts.drift = args.drift;
+        opts.subscribe = args.subscribe;
+        opts.quit = args.quit;
+        if let Err(e) = load::ping(&opts.addr) {
+            eprintln!("error: no serve instance answering at {}: {e}", opts.addr);
+            eprintln!(
+                "hint: start one with `experiments serve --addr {}`",
+                opts.addr
+            );
+            std::process::exit(1);
+        }
+        let path = check_io("load.json", &args.out, load::run_load(&opts, &args.out));
+        println!("→ {}", path.display());
+    }
     let known = [
         "table1",
         "table2",
@@ -359,10 +495,12 @@ fn main() {
         "sites",
         "record",
         "report",
+        "serve",
+        "load",
         "all",
     ];
     if !known.contains(&t) {
-        eprintln!("unknown target '{t}'; known: {}", known.join(" "));
+        eprintln!("unknown target '{t}'\n\n{USAGE}");
         std::process::exit(2);
     }
 }

@@ -1,0 +1,156 @@
+//! End-to-end loopback test of the always-on tuning service: a real
+//! server on an ephemeral port, the real load generator against it —
+//! pipelined workers, a morph schedule, a live telemetry subscriber, and
+//! a graceful `OP_QUIT` shutdown — then the written result files are
+//! parsed back and checked.
+
+use autotune::drift::DriftConfig;
+use autotune::json::Json;
+use autotune::serve::StopFlag;
+use experiments::load::{self, LoadOptions};
+use experiments::serve::{run_serve_on, ServeOptions};
+use std::net::TcpListener;
+
+fn fresh_out_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-loopback-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_json(path: &std::path::Path) -> Json {
+    Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+#[test]
+fn serve_and_load_end_to_end() {
+    let out = fresh_out_dir("e2e");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let opts = ServeOptions {
+        addr: addr.clone(),
+        corpus_kb: 8,
+        seed: 7001,
+        // Hair-trigger monitor so the morph restarts within a small run.
+        drift: DriftConfig {
+            baseline_window: 16,
+            recent_window: 8,
+            threshold: 1.5,
+            patience: 2,
+            stride: 4,
+        },
+        ..ServeOptions::default()
+    };
+    let server = {
+        let (opts, out) = (opts.clone(), out.clone());
+        std::thread::spawn(move || run_serve_on(listener, &opts, &out, &StopFlag::new()))
+    };
+
+    let report = load::generate(&LoadOptions {
+        addr,
+        requests: 6_000,
+        threads: 2,
+        batch: 64,
+        drift: true,
+        subscribe: true,
+        quit: true,
+        ..LoadOptions::default()
+    })
+    .expect("load run");
+    let files = server.join().unwrap().expect("server run");
+
+    // The load generator saw a clean run and a valid telemetry stream.
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.ok, report.sent);
+    assert!(report.stream_valid, "streamed JSONL must parse");
+    assert!(report.streamed_lines > 0, "subscriber saw live events");
+    assert!(report.p99_us > 0.0 && report.throughput_rps > 0.0);
+
+    // serve.json: server totals line up, both sites converged.
+    assert!(files.iter().any(|f| f.ends_with("serve.json")));
+    let doc = read_json(&out.join("serve.json"));
+    let requests = doc.get("server").unwrap().get("requests").unwrap();
+    assert!(requests.as_f64().unwrap() >= report.sent as f64 - 1.0);
+    let sites = doc.get("sites").and_then(Json::as_arr).unwrap();
+    assert_eq!(sites.len(), 2);
+    let match_site = &sites[0];
+    assert!(match_site.get("calls").unwrap().as_f64().unwrap() > 0.0);
+    assert!(
+        match_site
+            .get("tuned_iterations")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0,
+        "per-site convergence must be nonzero"
+    );
+    assert!(match_site
+        .get("exploit_algorithm")
+        .unwrap()
+        .as_str()
+        .is_some());
+
+    // serve_drift.json: the corpus morph produced at least one restart
+    // episode with a measured time-to-reconvergence or detection lag.
+    let drift = read_json(&out.join("serve_drift.json"));
+    let m = drift.get("match").unwrap();
+    assert!(
+        m.get("restarts").unwrap().as_f64().unwrap() >= 1.0,
+        "morph must trip the drift monitor: {drift}"
+    );
+    let episodes = m.get("episodes").and_then(Json::as_arr).unwrap();
+    assert!(!episodes.is_empty());
+
+    // serve_trace.jsonl: whatever the subscriber did not drain still
+    // parses under the batch schema (byte-compatible stream).
+    let trace = std::fs::read_to_string(out.join("serve_trace.jsonl")).unwrap();
+    let events = autotune::telemetry::export::parse_jsonl(&trace).expect("trace parses");
+    // Subscriber was attached the whole run, so the residue can be small
+    // — but parseability (not volume) is the contract here.
+    let _ = events;
+
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn http_fallback_answers_stats() {
+    use std::io::{Read, Write};
+    let out = fresh_out_dir("http");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let opts = ServeOptions {
+        addr: addr.to_string(),
+        corpus_kb: 4,
+        seed: 7003,
+        ..ServeOptions::default()
+    };
+    let server = {
+        let (opts, out) = (opts.clone(), out.clone());
+        std::thread::spawn(move || run_serve_on(listener, &opts, &out, &StopFlag::new()))
+    };
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("has body");
+    let stats = Json::parse(body).expect("stats body is JSON");
+    assert!(stats.get("uptime_s").is_some(), "{stats}");
+
+    // Shut down via the wire.
+    let mut quit = autotune::serve::Client::connect(addr).unwrap();
+    let (op, _) = quit
+        .request(autotune::serve::protocol::OP_QUIT, &[])
+        .unwrap();
+    assert_eq!(op, autotune::serve::protocol::OP_QUIT);
+    server.join().unwrap().expect("server run");
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -173,6 +173,27 @@ pub fn measure_frame_site(
     outcome
 }
 
+/// One request-sized, site-dispatched render: the serving entry point
+/// ([`autotune::serve`]). The site picks the builder and configuration,
+/// one (small) frame renders, and the guard's wall time feeds the tuner.
+/// Returns `(mean_luminance, elapsed_ms)` — the luminance is a cheap
+/// image fingerprint for the response payload, the runtime is what the
+/// server's per-site drift monitor ([`autotune::drift`]) observes.
+pub fn render_request(
+    site: autotune::site::Site,
+    builders: &[Box<dyn KdBuilder>],
+    scene: &Scene,
+    base: &RenderOptions,
+) -> (f32, f64) {
+    let guard = site.pre();
+    let builder = builders[guard.algorithm()].as_ref();
+    let build_config = decode(builder.name(), guard.config());
+    let render_opts = decode_render(guard.config(), base);
+    let result = frame(scene, builder, &build_config, &render_opts);
+    let ms = guard.post();
+    (result.mean_luminance(), ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +291,28 @@ mod tests {
         site.with_tuner(|t| {
             assert_eq!(t.as_two_phase().unwrap().log().len(), 4);
         });
+    }
+
+    #[test]
+    fn render_request_returns_fingerprint_and_time() {
+        use autotune::two_phase::NominalKind;
+        let site = autotune::site::site(autotune::site::register(frame_site_spec(
+            "rt-req",
+            NominalKind::EpsilonGreedy(0.10),
+            23,
+        )));
+        let scene = crate::scene::cathedral(3, 1);
+        let builders = crate::kdtree::all_builders();
+        let base = RenderOptions {
+            width: 16,
+            height: 12,
+            threads: 1,
+            packet_width: 1,
+        };
+        let (lum, ms) = render_request(site, &builders, &scene, &base);
+        assert!((0.0..=1.0).contains(&lum), "{lum}");
+        assert!(ms > 0.0);
+        assert_eq!(site.calls(), 1);
     }
 
     #[test]

@@ -54,6 +54,24 @@ pub fn measure_search_site(
     outcome
 }
 
+/// One request-sized, site-dispatched search: the serving entry point
+/// ([`autotune::serve`]). The site picks the matcher, the occurrence
+/// count is computed single-threaded (a server worker handles one
+/// request at a time), and the guard's wall time feeds the tuner.
+/// Returns `(count, elapsed_ms)` — the runtime is what the server's
+/// per-site drift monitor ([`autotune::drift`]) observes.
+pub fn match_request(
+    site: Site,
+    matchers: &[Box<dyn Matcher>],
+    pattern: &[u8],
+    text: &[u8],
+) -> (usize, f64) {
+    let guard = site.pre();
+    let count = matchers[guard.algorithm()].count(pattern, text);
+    let ms = guard.post();
+    (count, ms)
+}
+
 /// Infallible convenience wrapper: site-dispatched [`Matcher::find_all`],
 /// timed by the site itself ([`autotune::site::SiteGuard::post`]). Panics
 /// propagate after the call is abandoned.
@@ -94,6 +112,21 @@ mod tests {
         site.with_tuner(|t| {
             assert_eq!(t.as_two_phase().unwrap().log().len(), 12);
         });
+    }
+
+    #[test]
+    fn match_request_counts_and_feeds_the_tuner() {
+        let site = autotune::site::site(register(search_site_spec(
+            "sm-req",
+            NominalKind::EpsilonGreedy(0.10),
+            17,
+        )));
+        let matchers = site_matchers();
+        let (count, ms) = match_request(site, &matchers, b"ana", b"banana bandana");
+        assert_eq!(count, 3);
+        assert!(ms >= 0.0);
+        assert_eq!(site.calls(), 1);
+        assert_eq!(site.tuned_iterations(), 1);
     }
 
     #[test]
