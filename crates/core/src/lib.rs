@@ -103,7 +103,7 @@ pub mod prelude {
     };
     pub use crate::serve::{Client, RequestHandler, ServeConfig, ServeReport, StopFlag};
     pub use crate::site::{Site, SiteGuard, SiteId, SiteSpec};
-    pub use crate::space::{Configuration, SearchSpace};
+    pub use crate::space::{Configuration, Constraint, SearchSpace};
     pub use crate::telemetry::{
         self, Event, EventKind, MeasureStatus, MetricsReport, SimplexOp, SpanKind, WeightSet,
     };

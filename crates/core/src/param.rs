@@ -136,15 +136,17 @@ impl Value {
         }
     }
 
-    /// The value as an integer, rounding floats. Panics only on NaN.
+    /// The value as an integer, rounding floats. Total on all inputs:
+    /// NaN — which a degenerate simplex can smuggle into a raw
+    /// [`Value::Float`] — maps to 0 and ±∞ saturate (the decode layers
+    /// clamp against the real domain anyway), rather than panicking
+    /// mid-measurement.
     pub fn as_i64(self) -> i64 {
         match self {
             Value::Index(i) => i as i64,
             Value::Int(v) => v,
-            Value::Float(v) => {
-                assert!(!v.is_nan(), "NaN has no integer value");
-                v.round() as i64
-            }
+            // `as` casts from f64 are saturating and map NaN to 0.
+            Value::Float(v) => v.round() as i64,
         }
     }
 
@@ -411,24 +413,34 @@ impl Parameter {
 
     /// Clamp a continuous coordinate back into the domain, returning the
     /// nearest legal [`Value`]. This is how numeric searchers project their
-    /// unconstrained moves onto the search space.
+    /// unconstrained moves onto the search space. Non-finite coordinates
+    /// (NaN from a collapsed simplex, ±∞ from an overflowed move) carry no
+    /// usable position information and all project to the domain minimum.
     pub fn clamp_continuous(&self, x: f64) -> Value {
         match &self.domain {
             Domain::Labels(ls) => {
                 let max = ls.len() as f64 - 1.0;
-                let c = if x.is_nan() { 0.0 } else { x.clamp(0.0, max) };
+                let c = if x.is_finite() {
+                    x.clamp(0.0, max)
+                } else {
+                    0.0
+                };
                 Value::Index(c.round() as usize)
             }
             Domain::IntRange { lo, hi } => {
-                let c = if x.is_nan() {
-                    *lo as f64
-                } else {
+                let c = if x.is_finite() {
                     x.clamp(*lo as f64, *hi as f64)
+                } else {
+                    *lo as f64
                 };
                 Value::Int(c.round() as i64)
             }
             Domain::FloatRange { lo, hi } => {
-                let c = if x.is_nan() { *lo } else { x.clamp(*lo, *hi) };
+                let c = if x.is_finite() {
+                    x.clamp(*lo, *hi)
+                } else {
+                    *lo
+                };
                 Value::Float(c)
             }
         }
@@ -584,6 +596,15 @@ mod tests {
         assert_eq!(p.clamp_continuous(3.6), Value::Int(4));
         assert_eq!(p.clamp_continuous(99.0), Value::Int(8));
         assert_eq!(p.clamp_continuous(f64::NAN), Value::Int(1));
+        assert_eq!(p.clamp_continuous(f64::INFINITY), Value::Int(1));
+        assert_eq!(p.clamp_continuous(f64::NEG_INFINITY), Value::Int(1));
+    }
+
+    #[test]
+    fn as_i64_is_total_on_non_finite_floats() {
+        assert_eq!(Value::Float(f64::NAN).as_i64(), 0);
+        assert_eq!(Value::Float(f64::INFINITY).as_i64(), i64::MAX);
+        assert_eq!(Value::Float(f64::NEG_INFINITY).as_i64(), i64::MIN);
     }
 
     #[test]

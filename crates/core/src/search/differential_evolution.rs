@@ -64,9 +64,9 @@ impl DifferentialEvolution {
         assert!(opts.weight > 0.0 && opts.weight <= 2.0, "F out of range");
         assert!((0.0..=1.0).contains(&opts.crossover), "CR out of range");
         let mut rng = Rng::new(seed);
-        let mut agents = vec![space.min_corner().as_coords()];
+        let mut agents = vec![space.min_corner_feasible().as_coords()];
         while agents.len() < opts.agents {
-            agents.push(space.random(&mut rng).as_coords());
+            agents.push(space.random_feasible(&mut rng).as_coords());
         }
         DifferentialEvolution {
             space,
@@ -132,7 +132,7 @@ impl Searcher for DifferentialEvolution {
             State::Init => self.agents[self.cursor].clone(),
             State::Trial { trial } => trial.clone(),
         };
-        self.space.clamp(&coords)
+        self.space.clamp_feasible(&coords)
     }
 
     fn abandon(&mut self) {
@@ -146,7 +146,7 @@ impl Searcher for DifferentialEvolution {
         self.pending = false;
         match std::mem::replace(&mut self.state, State::Init) {
             State::Init => {
-                let config = self.space.clamp(&self.agents[self.cursor]);
+                let config = self.space.clamp_feasible(&self.agents[self.cursor]);
                 self.tracker.observe(&config, value);
                 self.values.push(value);
                 self.cursor += 1;
@@ -159,7 +159,7 @@ impl Searcher for DifferentialEvolution {
                 }
             }
             State::Trial { trial } => {
-                let config = self.space.clamp(&trial);
+                let config = self.space.clamp_feasible(&trial);
                 self.tracker.observe(&config, value);
                 if value < self.values[self.cursor] {
                     self.agents[self.cursor] = trial;

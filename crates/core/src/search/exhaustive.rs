@@ -22,11 +22,16 @@ pub struct ExhaustiveSearch {
 }
 
 impl ExhaustiveSearch {
-    /// Build the sweep. Panics if the space is continuous or too large to
-    /// enumerate — exhaustive search is only meaningful on small finite
-    /// spaces.
+    /// Build the sweep over the *feasible* configurations. Panics if the
+    /// space is continuous or too large to enumerate — exhaustive search
+    /// is only meaningful on small finite spaces. If no configuration is
+    /// feasible, the sweep degenerates to the minimum corner alone, which
+    /// the tuners recognize as infeasible and penalize without measuring.
     pub fn new(space: SearchSpace) -> Self {
-        let queue = space.enumerate();
+        let mut queue = space.enumerate_feasible();
+        if queue.is_empty() {
+            queue.push(space.min_corner());
+        }
         ExhaustiveSearch {
             space,
             queue,

@@ -70,9 +70,9 @@ impl GeneticAlgorithm {
         let mut rng = Rng::new(seed);
         // Deterministic first individual plus random rest, mirroring the
         // paper's "start with a deterministic configuration" convention.
-        let mut population = vec![space.min_corner()];
+        let mut population = vec![space.min_corner_feasible()];
         while population.len() < opts.population {
-            population.push(space.random(&mut rng));
+            population.push(space.random_feasible(&mut rng));
         }
         GeneticAlgorithm {
             space,
@@ -121,7 +121,8 @@ impl GeneticAlgorithm {
     fn breed(&mut self) {
         // Sort indices by fitness to extract elites.
         let mut order: Vec<usize> = (0..self.population.len()).collect();
-        order.sort_by(|&i, &j| self.values[i].partial_cmp(&self.values[j]).expect("finite"));
+        // total_cmp: NaN fitness sorts worst instead of panicking.
+        order.sort_by(|&i, &j| self.values[i].total_cmp(&self.values[j]));
 
         let mut next = Vec::with_capacity(self.opts.population);
         for &i in order.iter().take(self.opts.elites) {
@@ -149,7 +150,12 @@ impl GeneticAlgorithm {
                 let d = self.rng.pick_index(child.len());
                 child[d] = self.space.params()[d].random_value(&mut self.rng);
             }
-            next.push(Configuration::new(child));
+            // Crossover and mutation know nothing of constraints; repair
+            // offspring into the feasible region when possible (irreparable
+            // children are left as-is and penalized by the tuners).
+            let child = Configuration::new(child);
+            let child = self.space.repair(&child).unwrap_or(child);
+            next.push(child);
         }
         self.population = next;
         self.values.clear();

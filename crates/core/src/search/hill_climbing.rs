@@ -39,11 +39,12 @@ pub struct HillClimbing {
 }
 
 impl HillClimbing {
-    /// Start climbing from the deterministic minimum corner of the space.
+    /// Start climbing from the deterministic minimum corner of the space
+    /// (repaired into the feasible region when constraints reject it).
     ///
     /// Panics if the space contains a nominal parameter (no neighborhood).
     pub fn new(space: SearchSpace, seed: u64) -> Self {
-        let start = space.min_corner();
+        let start = space.min_corner_feasible();
         Self::from_start(space, start, seed)
     }
 
@@ -63,7 +64,9 @@ impl HillClimbing {
     }
 
     fn begin_neighborhood(&mut self) {
-        let queue = self.space.neighbors(&self.current);
+        // Only feasible neighbors are candidates: an empty feasible
+        // neighborhood is a local optimum of the constrained problem.
+        let queue = self.space.neighbors_feasible(&self.current);
         if queue.is_empty() {
             self.state = State::Converged;
         } else {

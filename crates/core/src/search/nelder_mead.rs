@@ -102,9 +102,10 @@ pub struct NelderMead {
 }
 
 impl NelderMead {
-    /// Start from the deterministic minimum corner of the space.
+    /// Start from the deterministic minimum corner of the space (repaired
+    /// into the feasible region when constraints reject it).
     pub fn new(space: SearchSpace, opts: NelderMeadOptions) -> Self {
-        let start = space.min_corner();
+        let start = space.min_corner_feasible();
         Self::from_start(space, &start, opts)
     }
 
@@ -178,8 +179,10 @@ impl NelderMead {
     /// Sort the simplex, test convergence, and compute the next reflection
     /// point; transitions into `Reflect` or `Exploit`.
     fn start_iteration(&mut self) -> Vec<f64> {
-        self.simplex
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
+        // total_cmp, not partial_cmp: a NaN measurement smuggled past the
+        // robust layer must sort as worst-possible, not kill the tuning
+        // thread mid-simplex.
+        self.simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         // Convergence: simplex collapsed in value and in space.
         let f_best = self.simplex[0].1;
@@ -273,7 +276,7 @@ impl Searcher for NelderMead {
             },
         };
         self.pending = Some(coords.clone());
-        self.space.clamp(&coords)
+        self.space.clamp_feasible(&coords)
     }
 
     fn abandon(&mut self) {
@@ -287,7 +290,7 @@ impl Searcher for NelderMead {
 
     fn report(&mut self, value: f64) {
         let coords = self.pending.take().expect("report() without propose()");
-        let config = self.space.clamp(&coords);
+        let config = self.space.clamp_feasible(&coords);
         self.tracker.observe(&config, value);
 
         // Zero-dimensional spaces: the single empty configuration is all

@@ -74,9 +74,9 @@ impl ParticleSwarm {
         let mut particles = Vec::with_capacity(opts.particles);
         for i in 0..opts.particles {
             let position = if i == 0 {
-                space.min_corner().as_coords()
+                space.min_corner_feasible().as_coords()
             } else {
-                space.random(&mut rng).as_coords()
+                space.random_feasible(&mut rng).as_coords()
             };
             let velocity: Vec<f64> = (0..n)
                 .map(|d| {
@@ -138,7 +138,8 @@ impl Searcher for ParticleSwarm {
     fn propose(&mut self) -> Configuration {
         assert!(!self.pending, "propose() called twice without report()");
         self.pending = true;
-        self.space.clamp(&self.particles[self.cursor].position)
+        self.space
+            .clamp_feasible(&self.particles[self.cursor].position)
     }
 
     fn abandon(&mut self) {
@@ -151,7 +152,7 @@ impl Searcher for ParticleSwarm {
         assert!(self.pending, "report() without propose()");
         self.pending = false;
         let pos = self.particles[self.cursor].position.clone();
-        let config = self.space.clamp(&pos);
+        let config = self.space.clamp_feasible(&pos);
         self.tracker.observe(&config, value);
 
         {

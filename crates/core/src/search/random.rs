@@ -40,7 +40,7 @@ impl Searcher for RandomSearch {
             self.pending.is_none(),
             "propose() called twice without report()"
         );
-        let c = self.space.random(&mut self.rng);
+        let c = self.space.random_feasible(&mut self.rng);
         self.pending = Some(c.clone());
         c
     }

@@ -66,7 +66,7 @@ impl SimulatedAnnealing {
             opts.cooling > 0.0 && opts.cooling < 1.0,
             "cooling factor must be in (0, 1)"
         );
-        let current = space.min_corner();
+        let current = space.min_corner_feasible();
         SimulatedAnnealing {
             space,
             temperature: opts.initial_temperature,
@@ -86,7 +86,9 @@ impl SimulatedAnnealing {
     }
 
     fn random_neighbor(&mut self) -> Option<Configuration> {
-        let ns = self.space.neighbors(&self.current);
+        // Feasible moves only: with no feasible neighbor the walk freezes,
+        // mirroring the empty-neighborhood case of nominal spaces.
+        let ns = self.space.neighbors_feasible(&self.current);
         if ns.is_empty() {
             None
         } else {

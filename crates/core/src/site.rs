@@ -102,7 +102,7 @@ use crate::measure::duration_ms;
 use crate::param::Value;
 use crate::robust::MeasureOutcome;
 use crate::search::Searcher;
-use crate::space::{Configuration, SearchSpace};
+use crate::space::{Configuration, Constraint, SearchSpace};
 use crate::telemetry::{self, EventKind, MeasureStatus};
 use crate::tuner::{OnlineTuner, Termination};
 use crate::two_phase::{AlgorithmSpec, NominalKind, Phase1Kind, TwoPhaseTuner};
@@ -200,6 +200,26 @@ impl SiteSpec {
         self
     }
 
+    /// Attach a feasibility [`Constraint`] to the site's search space.
+    /// Single-space sites attach it to their space; algorithmic-choice
+    /// sites attach it to *every* algorithm's space (declare constraints on
+    /// the individual [`AlgorithmSpec`] spaces for per-algorithm rules).
+    /// Proposals the constraint rejects and cannot repair are penalized by
+    /// the site's tuner without ever reaching the interchangeable code.
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        match &mut self.kind {
+            SpecKind::Algorithms(specs, _) => {
+                for s in specs.iter_mut() {
+                    s.space = s.space.clone().with_constraint(constraint.clone());
+                }
+            }
+            SpecKind::Space(space, _) => {
+                *space = space.clone().with_constraint(constraint.clone());
+            }
+        }
+        self
+    }
+
     /// Override the termination criterion (single-space sites only; a
     /// terminated site keeps exploiting its best-known configuration).
     pub fn with_termination(mut self, termination: Termination) -> Self {
@@ -258,6 +278,13 @@ impl SiteTuner {
         match self {
             SiteTuner::TwoPhase(t) => t.next(),
             SiteTuner::Single(t) => (0, t.ask()),
+        }
+    }
+
+    fn is_feasible(&self, algorithm: usize, config: &Configuration) -> bool {
+        match self {
+            SiteTuner::TwoPhase(t) => t.space(algorithm).is_feasible(config),
+            SiteTuner::Single(t) => t.searcher().space().is_feasible(config),
         }
     }
 
@@ -549,7 +576,7 @@ impl Site {
     /// interchangeable code, or drop the guard to abandon the call.
     pub fn pre(self) -> SiteGuard {
         let slot = self.slot;
-        let claimed = slot
+        let mut claimed = slot
             .claim
             .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok();
@@ -564,10 +591,32 @@ impl Site {
             }
             let bomb = ReleaseOnPanic(slot);
             // SAFETY: this thread holds the claim (see `Sync` impl).
-            let proposal =
-                telemetry::with_site(slot.id.tag(), || unsafe { &mut *slot.tuner.get() }.next());
+            let proposal = telemetry::with_site(slot.id.tag(), || {
+                let tuner = unsafe { &mut *slot.tuner.get() };
+                let (a, c) = tuner.next();
+                if tuner.is_feasible(a, &c) {
+                    Some((a, c))
+                } else {
+                    // The searcher could not repair its proposal into the
+                    // constrained region: take the penalty path inside the
+                    // claim instead of letting the caller run (and time) an
+                    // invalid configuration, and re-publish the exploit
+                    // decision so the fast path below serves a sane choice.
+                    tuner.report_outcome(MeasureOutcome::Failed("infeasible proposal".into()));
+                    let (algo, config) = tuner.exploit_choice();
+                    slot.publish(algo, &config);
+                    None
+                }
+            });
             std::mem::forget(bomb);
-            proposal
+            match proposal {
+                Some(p) => p,
+                None => {
+                    slot.claim.store(0, Ordering::Release);
+                    claimed = false;
+                    slot.read_decision()
+                }
+            }
         } else {
             slot.contended.fetch_add(1, Ordering::Relaxed);
             slot.read_decision()
@@ -912,6 +961,56 @@ mod tests {
         }
         let (_, config) = s.slot.read_decision();
         assert!(space.contains(&config), "{config:?}");
+    }
+
+    #[test]
+    fn constrained_site_never_runs_infeasible_tuning_proposals() {
+        // Threads must be even; repair rounds down. Claim-winning calls are
+        // real measurements, so they must always satisfy the constraint.
+        let space = SearchSpace::new(vec![Parameter::ratio("threads", 1, 8)]).with_constraint(
+            Constraint::new("even", |c: &Configuration| c.get(0).as_i64() % 2 == 0).with_repair(
+                |c: &Configuration| {
+                    let t = c.get(0).as_i64();
+                    Configuration::new(vec![Value::Int((t - t % 2).max(2))])
+                },
+            ),
+        );
+        let id = register(SiteSpec::space("constrained", space, 31));
+        let s = site(id);
+        for _ in 0..100 {
+            let g = s.pre();
+            if g.is_tuning() {
+                assert_eq!(g.config().get(0).as_i64() % 2, 0, "{:?}", g.config());
+            }
+            g.post();
+        }
+        assert_eq!(s.calls(), 100);
+    }
+
+    #[test]
+    fn irreparable_site_penalizes_and_serves_the_exploit_path() {
+        // Unsatisfiable constraint: every proposal is irreparably
+        // infeasible, so the tuner absorbs penalties and callers are served
+        // the published decision — the site never wedges and the body is
+        // never timed as a measurement.
+        let spec = SiteSpec::space(
+            "blocked",
+            SearchSpace::new(vec![Parameter::ratio("x", 0, 4)]),
+            37,
+        )
+        .with_constraint(Constraint::new("never", |_| false));
+        let id = register(spec);
+        let s = site(id);
+        for _ in 0..20 {
+            let g = s.pre();
+            assert!(!g.is_tuning(), "infeasible proposals must not be timed");
+            g.post();
+        }
+        assert_eq!(s.calls(), 20);
+        s.with_tuner(|t| {
+            let tuner = t.as_single().unwrap();
+            assert_eq!(tuner.failure_count(), 20, "each call penalized once");
+        });
     }
 
     #[test]

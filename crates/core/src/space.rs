@@ -3,10 +3,21 @@
 //! Following the paper's formalization, a search space `T` is the Cartesian
 //! product of a finite set of tuning parameters `τ_0 × τ_1 × … × τ_J`; a
 //! configuration `C ∈ T` is one point in that product.
+//!
+//! Real spaces are rarely pure products: threads must not exceed cores,
+//! packet widths interact with thread-tree depth, SIMD variants need CPU
+//! features. [`Constraint`]s capture those cross-parameter rules as named
+//! predicates with optional *repair* functions, and the `*_feasible`
+//! projection family ([`SearchSpace::clamp_feasible`],
+//! [`SearchSpace::random_feasible`], …) projects points into the feasible
+//! region instead of merely into the box, so searchers never hand the
+//! measurement pipeline a configuration the application cannot run.
 
 use crate::json::{Json, JsonError};
 use crate::param::{Domain, ParamClass, Parameter, Value};
 use crate::rng::Rng;
+use crate::telemetry::{self, EventKind};
+use std::sync::Arc;
 
 /// A point in a [`SearchSpace`]: one [`Value`] per parameter, in parameter
 /// order.
@@ -77,22 +88,175 @@ impl Configuration {
     }
 }
 
-/// The product of a finite list of [`Parameter`]s.
-#[derive(Debug, Clone, PartialEq)]
+/// A named feasibility rule over whole configurations: a predicate that
+/// decides membership in the feasible region, plus an optional *repair*
+/// function that projects a violating configuration back into it.
+///
+/// Constraints express what the box product cannot: cross-parameter rules
+/// (threads × packet width vs a core budget) and host-dependent
+/// availability (a SIMD kernel that needs AVX2). A constraint without a
+/// repair function makes violating proposals *irreparable* — the tuners
+/// route those through the failure-penalty path instead of measuring them.
+#[derive(Clone)]
+pub struct Constraint {
+    name: String,
+    predicate: Arc<dyn Fn(&Configuration) -> bool + Send + Sync>,
+    repair: Option<RepairFn>,
+}
+
+/// A shared repair function: projects a violating configuration back into
+/// the feasible region.
+type RepairFn = Arc<dyn Fn(&Configuration) -> Configuration + Send + Sync>;
+
+impl Constraint {
+    /// A constraint from a name and a feasibility predicate.
+    pub fn new(
+        name: impl Into<String>,
+        predicate: impl Fn(&Configuration) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Constraint {
+            name: name.into(),
+            predicate: Arc::new(predicate),
+            repair: None,
+        }
+    }
+
+    /// Attach a repair function. It is only invoked on configurations that
+    /// violate the predicate, and must return a configuration inside the
+    /// space's box (per-parameter domains); [`SearchSpace::repair`] rejects
+    /// repairs that leave the box.
+    pub fn with_repair(
+        mut self,
+        repair: impl Fn(&Configuration) -> Configuration + Send + Sync + 'static,
+    ) -> Self {
+        self.repair = Some(Arc::new(repair));
+        self
+    }
+
+    /// The constraint's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Does `c` satisfy this constraint?
+    pub fn is_satisfied(&self, c: &Configuration) -> bool {
+        (self.predicate)(c)
+    }
+
+    /// Does this constraint carry a repair function?
+    pub fn has_repair(&self) -> bool {
+        self.repair.is_some()
+    }
+
+    /// Apply the repair function, if any.
+    pub fn repair(&self, c: &Configuration) -> Option<Configuration> {
+        self.repair.as_ref().map(|r| r(c))
+    }
+
+    /// This constraint with its repair function stripped — the
+    /// reject-and-retry baseline of the `constraints` study.
+    pub fn without_repair(&self) -> Constraint {
+        Constraint {
+            name: self.name.clone(),
+            predicate: self.predicate.clone(),
+            repair: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .field("has_repair", &self.repair.is_some())
+            .finish()
+    }
+}
+
+/// Telemetry tag for degenerate-coordinate events emitted below any
+/// algorithm context (e.g. from [`SearchSpace::clamp`]); deliberately
+/// outside `MAX_TRACKED_ALGORITHMS` so metrics ignore it.
+const DEGENERATE_PROPOSAL: u16 = u16::MAX;
+
+/// How many uniform draws [`SearchSpace::random_feasible`] attempts before
+/// falling back to the repaired minimum corner.
+const RANDOM_FEASIBLE_ATTEMPTS: usize = 16;
+
+/// The product of a finite list of [`Parameter`]s, optionally restricted
+/// by [`Constraint`]s.
+///
+/// Equality compares parameters and constraint *names* (predicates are
+/// opaque closures); JSON round-trips encode parameters only — constraints
+/// are host-dependent runtime objects and must be re-attached by the code
+/// that declared them.
+#[derive(Debug, Clone)]
 pub struct SearchSpace {
     params: Vec<Parameter>,
+    constraints: Vec<Constraint>,
+}
+
+impl PartialEq for SearchSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+            && self.constraints.len() == other.constraints.len()
+            && self
+                .constraints
+                .iter()
+                .zip(&other.constraints)
+                .all(|(a, b)| a.name == b.name)
+    }
 }
 
 impl SearchSpace {
     /// A space over the given parameters, in order.
     pub fn new(params: Vec<Parameter>) -> Self {
-        SearchSpace { params }
+        SearchSpace {
+            params,
+            constraints: Vec::new(),
+        }
     }
 
     /// The space with no parameters; its only configuration is
     /// [`Configuration::empty`].
     pub fn empty() -> Self {
-        SearchSpace { params: Vec::new() }
+        Self::new(Vec::new())
+    }
+
+    /// Attach one constraint (builder style).
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Attach several constraints (builder style).
+    pub fn with_constraints(mut self, constraints: impl IntoIterator<Item = Constraint>) -> Self {
+        self.constraints.extend(constraints);
+        self
+    }
+
+    /// The attached constraints, in declaration order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Does this space carry any constraints?
+    pub fn is_constrained(&self) -> bool {
+        !self.constraints.is_empty()
+    }
+
+    /// This space with every repair function stripped: the same feasible
+    /// region, but violating proposals become irreparable (penalized, not
+    /// projected) — the reject-and-retry baseline of the `constraints`
+    /// study.
+    pub fn without_repairs(&self) -> SearchSpace {
+        SearchSpace {
+            params: self.params.clone(),
+            constraints: self
+                .constraints
+                .iter()
+                .map(Constraint::without_repair)
+                .collect(),
+        }
     }
 
     /// The parameters, in order.
@@ -147,6 +311,9 @@ impl SearchSpace {
     }
 
     /// Is `c` a member of this space?
+    ///
+    /// Box membership only: every value inside its parameter's domain.
+    /// Constraint satisfaction is [`SearchSpace::is_feasible`].
     pub fn contains(&self, c: &Configuration) -> bool {
         c.len() == self.params.len()
             && self
@@ -156,9 +323,73 @@ impl SearchSpace {
                 .all(|(p, &v)| p.contains(v))
     }
 
-    /// A uniformly random configuration.
+    /// Is `c` inside the box *and* does it satisfy every constraint?
+    pub fn is_feasible(&self, c: &Configuration) -> bool {
+        self.contains(c) && self.constraints.iter().all(|k| k.is_satisfied(c))
+    }
+
+    /// The first violated constraint of an in-box configuration, if any.
+    pub fn violated(&self, c: &Configuration) -> Option<&Constraint> {
+        self.constraints.iter().find(|k| !k.is_satisfied(c))
+    }
+
+    /// Project `c` into the feasible region by applying the repair
+    /// functions of violated constraints, first-violated first, until a
+    /// fixed point. Returns `None` when the configuration is irreparable:
+    /// a violated constraint carries no repair, a repair leaves the box,
+    /// or the repairs do not reach a feasible fixed point (constraints
+    /// fighting each other). Feasible inputs come back unchanged.
+    pub fn repair(&self, c: &Configuration) -> Option<Configuration> {
+        if c.len() != self.params.len() {
+            return None;
+        }
+        // Box-project first: repair predicates may assume in-box values
+        // (this also sanitizes non-finite coordinates to parameter minima).
+        let mut current = if self.contains(c) {
+            c.clone()
+        } else {
+            self.clamp(&c.as_coords())
+        };
+        // Each pass fixes the first violated constraint; allow every
+        // constraint a couple of interactions before declaring a cycle.
+        for _ in 0..=(2 * self.constraints.len()) {
+            match self.violated(&current) {
+                None => return Some(current),
+                Some(k) => {
+                    let repaired = k.repair(&current)?;
+                    if !self.contains(&repaired) {
+                        return None;
+                    }
+                    current = repaired;
+                }
+            }
+        }
+        None
+    }
+
+    /// A uniformly random configuration (box only; see
+    /// [`SearchSpace::random_feasible`] for the constraint-aware variant).
     pub fn random(&self, rng: &mut Rng) -> Configuration {
         Configuration::new(self.params.iter().map(|p| p.random_value(rng)).collect())
+    }
+
+    /// A random configuration projected into the feasible region: draw
+    /// uniformly, accept feasible points, repair violating ones, and after
+    /// a bounded number of irreparable draws fall back to the (repaired)
+    /// minimum corner. The result can still be infeasible when the
+    /// feasible region is unreachable by repair — the tuners detect that
+    /// and charge the failure penalty instead of measuring.
+    pub fn random_feasible(&self, rng: &mut Rng) -> Configuration {
+        for _ in 0..RANDOM_FEASIBLE_ATTEMPTS {
+            let c = self.random(rng);
+            if self.is_feasible(&c) {
+                return c;
+            }
+            if let Some(repaired) = self.repair(&c) {
+                return repaired;
+            }
+        }
+        self.min_corner_feasible()
     }
 
     /// The deterministic "lowest corner" configuration — the paper's
@@ -167,9 +398,26 @@ impl SearchSpace {
         Configuration::new(self.params.iter().map(|p| p.min_value()).collect())
     }
 
-    /// Project continuous coordinates onto the nearest legal configuration.
+    /// The minimum corner projected into the feasible region (repaired if
+    /// a constraint rejects the raw corner; unchanged when irreparable).
+    pub fn min_corner_feasible(&self) -> Configuration {
+        let c = self.min_corner();
+        self.repair(&c).unwrap_or(c)
+    }
+
+    /// Project continuous coordinates onto the nearest legal configuration
+    /// (box only). Non-finite coordinates — a collapsed Nelder-Mead
+    /// simplex can produce NaN — project to the parameter's minimum value
+    /// and emit a telemetry [`EventKind::PenaltyApplied`] (tagged with an
+    /// out-of-range algorithm index) instead of panicking.
     pub fn clamp(&self, coords: &[f64]) -> Configuration {
         assert_eq!(coords.len(), self.params.len(), "coordinate arity mismatch");
+        if coords.iter().any(|x| !x.is_finite()) {
+            telemetry::emit(|| EventKind::PenaltyApplied {
+                algorithm: DEGENERATE_PROPOSAL,
+                penalty_ms: 0.0,
+            });
+        }
         Configuration::new(
             self.params
                 .iter()
@@ -177,6 +425,14 @@ impl SearchSpace {
                 .map(|(p, &x)| p.clamp_continuous(x))
                 .collect(),
         )
+    }
+
+    /// Project continuous coordinates into the *feasible* region: box-clamp,
+    /// then repair. Irreparable points come back merely box-clamped — the
+    /// tuners recognize them as infeasible and penalize without measuring.
+    pub fn clamp_feasible(&self, coords: &[f64]) -> Configuration {
+        let boxed = self.clamp(coords);
+        self.repair(&boxed).unwrap_or(boxed)
     }
 
     /// All configurations of a finite space, in lexicographic order.
@@ -238,7 +494,7 @@ impl SearchSpace {
             .iter()
             .map(Parameter::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(SearchSpace { params })
+        Ok(SearchSpace::new(params))
     }
 
     /// The full neighborhood of `c`: all configurations differing in exactly
@@ -253,6 +509,24 @@ impl SearchSpace {
             }
         }
         out
+    }
+
+    /// The feasible subset of [`SearchSpace::neighbors`]. An empty result
+    /// on a non-nominal space means `c` sits alone in its feasible
+    /// component — hill climbing and simulated annealing treat that as
+    /// convergence, exactly like a nominal space's empty neighborhood.
+    pub fn neighbors_feasible(&self, c: &Configuration) -> Vec<Configuration> {
+        let mut ns = self.neighbors(c);
+        ns.retain(|n| self.is_feasible(n));
+        ns
+    }
+
+    /// The feasible subset of [`SearchSpace::enumerate`], in the same
+    /// lexicographic order.
+    pub fn enumerate_feasible(&self) -> Vec<Configuration> {
+        let mut all = self.enumerate();
+        all.retain(|c| self.is_feasible(c));
+        all
     }
 }
 
@@ -416,5 +690,127 @@ mod tests {
         assert!(s.contains(&s.min_corner()));
         assert_eq!(s.min_corner(), s.min_corner());
         assert_eq!(s.min_corner().values(), &[Value::Int(1), Value::Int(0)]);
+    }
+
+    /// threads × 2^cutoff ≤ 4, repaired by lowering the cutoff.
+    fn budget_constraint() -> Constraint {
+        Constraint::new("budget", |c| c.get(0).as_i64() << c.get(1).as_i64() <= 4).with_repair(
+            |c| {
+                let threads = c.get(0).as_i64();
+                let mut cutoff = c.get(1).as_i64();
+                while cutoff > 0 && threads << cutoff > 4 {
+                    cutoff -= 1;
+                }
+                Configuration::new(vec![Value::Int(threads.min(4)), Value::Int(cutoff)])
+            },
+        )
+    }
+
+    fn constrained() -> SearchSpace {
+        space().with_constraint(budget_constraint())
+    }
+
+    #[test]
+    fn feasibility_distinguishes_box_from_constraints() {
+        let s = constrained();
+        let ok = Configuration::new(vec![Value::Int(2), Value::Int(1)]);
+        let bad = Configuration::new(vec![Value::Int(4), Value::Int(2)]);
+        assert!(s.contains(&ok) && s.is_feasible(&ok));
+        assert!(s.contains(&bad) && !s.is_feasible(&bad));
+        assert_eq!(s.violated(&bad).unwrap().name(), "budget");
+        assert!(s.violated(&ok).is_none());
+    }
+
+    #[test]
+    fn repair_is_identity_on_feasible_and_projects_violations() {
+        let s = constrained();
+        let ok = Configuration::new(vec![Value::Int(2), Value::Int(1)]);
+        assert_eq!(s.repair(&ok), Some(ok.clone()));
+        let bad = Configuration::new(vec![Value::Int(4), Value::Int(2)]);
+        let fixed = s.repair(&bad).expect("repairable");
+        assert!(s.is_feasible(&fixed));
+        assert_eq!(fixed.values(), &[Value::Int(4), Value::Int(0)]);
+    }
+
+    #[test]
+    fn stripped_repairs_make_violations_irreparable() {
+        let s = constrained().without_repairs();
+        let bad = Configuration::new(vec![Value::Int(4), Value::Int(2)]);
+        assert_eq!(s.repair(&bad), None);
+        // The feasible region itself is unchanged.
+        let ok = Configuration::new(vec![Value::Int(2), Value::Int(1)]);
+        assert_eq!(s.repair(&ok), Some(ok));
+    }
+
+    #[test]
+    fn clamp_feasible_projects_into_the_feasible_region() {
+        let s = constrained();
+        let c = s.clamp_feasible(&[99.0, 99.0]);
+        assert!(s.is_feasible(&c), "{c:?}");
+        // Without repairs the projection stops at the box.
+        let stripped = constrained().without_repairs();
+        let boxed = stripped.clamp_feasible(&[99.0, 99.0]);
+        assert!(stripped.contains(&boxed) && !stripped.is_feasible(&boxed));
+    }
+
+    #[test]
+    fn random_feasible_always_satisfies_constraints() {
+        let s = constrained();
+        let mut rng = Rng::new(7);
+        for _ in 0..300 {
+            let c = s.random_feasible(&mut rng);
+            assert!(s.is_feasible(&c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn enumerate_and_neighbors_feasible_filter() {
+        let s = constrained();
+        let all = s.enumerate();
+        let feasible = s.enumerate_feasible();
+        assert!(feasible.len() < all.len());
+        assert!(feasible.iter().all(|c| s.is_feasible(c)));
+        // (4, 0) is feasible but both its in-box neighbors up the cutoff
+        // or down the threads: only the feasible ones survive.
+        let c = Configuration::new(vec![Value::Int(4), Value::Int(0)]);
+        for n in s.neighbors_feasible(&c) {
+            assert!(s.is_feasible(&n), "{n:?}");
+        }
+        assert!(s.neighbors_feasible(&c).len() < s.neighbors(&c).len());
+    }
+
+    #[test]
+    fn min_corner_feasible_repairs_a_rejected_corner() {
+        // A constraint the raw corner violates: threads must be ≥ 2.
+        let s = space().with_constraint(
+            Constraint::new("min-threads", |c| c.get(0).as_i64() >= 2)
+                .with_repair(|c| Configuration::new(vec![Value::Int(2), c.get(1)])),
+        );
+        assert!(!s.is_feasible(&s.min_corner()));
+        let fixed = s.min_corner_feasible();
+        assert!(s.is_feasible(&fixed));
+        assert_eq!(fixed.values(), &[Value::Int(2), Value::Int(0)]);
+    }
+
+    #[test]
+    fn clamp_projects_non_finite_coordinates_to_minima() {
+        let s = space();
+        let c = s.clamp(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(c.values(), &[Value::Int(1), Value::Int(0)]);
+        let c = s.clamp(&[f64::NEG_INFINITY, f64::NAN]);
+        assert_eq!(c.values(), &[Value::Int(1), Value::Int(0)]);
+    }
+
+    #[test]
+    fn equality_compares_constraint_names() {
+        assert_eq!(constrained(), constrained());
+        assert_ne!(constrained(), space());
+        assert_ne!(
+            space().with_constraint(Constraint::new("a", |_| true)),
+            space().with_constraint(Constraint::new("b", |_| true))
+        );
+        // JSON round-trips carry parameters only.
+        let round = SearchSpace::from_json(&constrained().to_json()).unwrap();
+        assert_eq!(round, space());
     }
 }

@@ -131,7 +131,14 @@ impl<S: Searcher> OnlineTuner<S> {
 
     /// Report the measured runtime of the configuration returned by the
     /// last [`OnlineTuner::ask`] (the second half of a tuning iteration).
+    ///
+    /// A non-finite value is treated as a measurement failure and routed
+    /// through the penalty path of [`OnlineTuner::tell_outcome`], mirroring
+    /// [`crate::two_phase::TwoPhaseTuner::report`].
     pub fn tell(&mut self, value: f64) -> Sample {
+        if !value.is_finite() {
+            return self.tell_outcome(MeasureOutcome::Failed("non-finite measurement".into()));
+        }
         let (config, exploiting) = self.pending.take().expect("tell() without ask()");
         telemetry::emit(|| EventKind::MeasureOutcome {
             algorithm: SOLO_ALGORITHM,
@@ -210,6 +217,11 @@ impl<S: Searcher> OnlineTuner<S> {
     /// One tuning-loop iteration: propose, measure, report.
     pub fn step<M: Measure>(&mut self, measure: &mut M) -> Sample {
         let config = self.ask();
+        if !self.searcher.space().is_feasible(&config) {
+            // The searcher could not repair the proposal into the
+            // constrained region: penalize it without burning a measurement.
+            return self.tell_outcome(MeasureOutcome::Failed("infeasible proposal".into()));
+        }
         let value = measure.measure(&config);
         self.tell(value)
     }
@@ -220,6 +232,9 @@ impl<S: Searcher> OnlineTuner<S> {
     /// penalty via [`OnlineTuner::tell_outcome`].
     pub fn step_fallible<M: FallibleMeasure>(&mut self, measure: &mut M) -> Sample {
         let config = self.ask();
+        if !self.searcher.space().is_feasible(&config) {
+            return self.tell_outcome(MeasureOutcome::Failed("infeasible proposal".into()));
+        }
         let outcome = measure.measure(&config);
         self.tell_outcome(outcome)
     }
@@ -473,6 +488,25 @@ mod tests {
         let s = t.step_fallible(&mut m);
         assert_eq!(s.value, DEFAULT_FAILURE_PENALTY_MS);
         assert_eq!(t.failure_count(), 1);
+    }
+
+    #[test]
+    fn infeasible_proposals_never_reach_the_measure_function() {
+        use crate::space::Constraint;
+        // Irreparably infeasible space: the measure closure must never run,
+        // and every iteration takes the penalty path.
+        let blocked = space().with_constraint(Constraint::new("never", |_| false));
+        let mut t = OnlineTuner::new(RandomSearch::new(blocked, 17), Termination::Never);
+        let mut measured = 0usize;
+        let mut m = |_: &Configuration| {
+            measured += 1;
+            1.0
+        };
+        for _ in 0..15 {
+            t.step(&mut m);
+        }
+        assert_eq!(measured, 0, "measure must never see an infeasible config");
+        assert_eq!(t.failure_count(), 15);
     }
 
     #[test]

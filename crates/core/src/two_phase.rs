@@ -247,6 +247,12 @@ impl TwoPhaseTuner {
         &self.specs[i].name
     }
 
+    /// Search space of algorithm `i` — constraints included, so callers can
+    /// check [`SearchSpace::is_feasible`] before spending a measurement.
+    pub fn space(&self, i: usize) -> &SearchSpace {
+        &self.specs[i].space
+    }
+
     /// Phase-2 strategy display name.
     pub fn strategy_name(&self) -> String {
         self.strategy.name()
@@ -379,8 +385,16 @@ impl TwoPhaseTuner {
 
     /// Convenience: run one full iteration against a measurement function
     /// `m(algorithm, config) -> runtime`.
+    ///
+    /// An infeasible proposal — one the phase-1 searcher could not repair
+    /// into the constrained region — is *never* passed to `m`: it takes the
+    /// penalty path directly, so no real measurement is burned on a
+    /// configuration that violates a declared constraint.
     pub fn step<F: FnMut(usize, &Configuration) -> f64>(&mut self, mut m: F) -> TwoPhaseSample {
         let (a, c) = self.next();
+        if !self.specs[a].space.is_feasible(&c) {
+            return self.report_failure();
+        }
         let v = m(a, &c);
         self.report(v)
     }
@@ -388,11 +402,17 @@ impl TwoPhaseTuner {
     /// Convenience: run one full iteration against a *fallible* measurement
     /// function `m(algorithm, config) -> MeasureOutcome` (typically
     /// [`crate::robust::robust_call`] around the real measurement).
+    ///
+    /// Like [`TwoPhaseTuner::step`], infeasible proposals are penalized
+    /// without invoking `m`.
     pub fn step_fallible<F: FnMut(usize, &Configuration) -> MeasureOutcome>(
         &mut self,
         mut m: F,
     ) -> TwoPhaseSample {
         let (a, c) = self.next();
+        if !self.specs[a].space.is_feasible(&c) {
+            return self.report_failure();
+        }
         let outcome = m(a, &c);
         self.report_outcome(outcome)
     }
@@ -688,6 +708,57 @@ mod tests {
         assert_eq!(t.log().len(), 400);
         assert!(t.failure_counts().iter().sum::<usize>() > 40);
         assert!(t.best().is_some());
+    }
+
+    #[test]
+    fn infeasible_proposals_are_penalized_without_measuring() {
+        use crate::space::Constraint;
+        // An unsatisfiable constraint with no repair: every proposal is
+        // irreparably infeasible, so the measurement closure must never run.
+        let space = SearchSpace::new(vec![Parameter::ratio("x", 0, 10)])
+            .with_constraint(Constraint::new("never", |_| false));
+        let specs = vec![AlgorithmSpec::new("blocked", space)];
+        let mut t = TwoPhaseTuner::new(specs, NominalKind::EpsilonGreedy(0.0), 41);
+        let mut measured = 0usize;
+        for _ in 0..20 {
+            let s = t.step(|_, _| {
+                measured += 1;
+                1.0
+            });
+            assert!(s.failed, "infeasible proposals must take the penalty path");
+        }
+        assert_eq!(measured, 0, "measure must never see an infeasible config");
+        assert_eq!(t.failure_counts()[0], 20);
+        assert!(t.best().is_none(), "penalties never become best");
+    }
+
+    #[test]
+    fn repairable_constraints_keep_measurements_feasible() {
+        use crate::space::Constraint;
+        // x must be even; repair rounds down. Every measured configuration
+        // satisfies the constraint and the search still makes progress.
+        let space = SearchSpace::new(vec![Parameter::ratio("x", 0, 40)]).with_constraint(
+            Constraint::new("even", |c: &Configuration| c.get(0).as_i64() % 2 == 0).with_repair(
+                |c: &Configuration| {
+                    let x = c.get(0).as_i64();
+                    Configuration::new(vec![crate::param::Value::Int(x - x % 2)])
+                },
+            ),
+        );
+        let specs = vec![AlgorithmSpec::new("even-only", space)];
+        let mut t = TwoPhaseTuner::new(specs, NominalKind::EpsilonGreedy(0.0), 43);
+        for _ in 0..200 {
+            let s = t.step(|_, c| {
+                let x = c.get(0).as_i64();
+                assert_eq!(x % 2, 0, "measured an odd x: {x}");
+                10.0 + 0.2 * ((x - 20) as f64).powi(2)
+            });
+            assert!(!s.failed, "repairable proposals must be measured");
+        }
+        let (_, config, _) = t.best().unwrap();
+        let x = config.get(0).as_i64();
+        assert_eq!(x % 2, 0, "best configuration violates the constraint");
+        assert!((x - 20).abs() <= 2, "should approach the optimum, got {x}");
     }
 
     #[test]

@@ -164,6 +164,66 @@ fn two_phase_with_tunable_spaces_survives_faults() {
     assert!(tuner.failure_counts().iter().sum::<usize>() > 20);
 }
 
+/// Degenerate coordinates — NaN and ±infinity — must never panic anywhere
+/// in the space layer: they project to each parameter's minimum instead.
+/// Historically `Value::as_i64` asserted on NaN floats and
+/// `clamp_continuous` mapped ±∞ through `f64 as i64` saturation, so a
+/// degenerate Nelder-Mead simplex (all-equal vertices produce NaN
+/// centroids) could kill the tuning thread.
+#[test]
+fn non_finite_coordinates_never_panic() {
+    use autotune::param::Value;
+    let space = SearchSpace::new(vec![
+        Parameter::ratio("threads", 1, 8),
+        Parameter::interval("cutoff", -10, 50),
+        Parameter::ratio_f64("alpha", 0.5, 2.0),
+    ]);
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let c = space.clamp(&[bad, bad, bad]);
+        assert!(space.contains(&c), "{bad} must project into the space");
+        assert_eq!(c.get(0).as_i64(), 1, "non-finite projects to the minimum");
+        assert_eq!(c.get(1).as_i64(), -10);
+        assert_eq!(c.get(2).as_f64(), 0.5);
+        let c = space.clamp_feasible(&[bad, 0.0, 1.0]);
+        assert!(space.contains(&c));
+    }
+    // as_i64 is total on every float, including the non-finite ones.
+    assert_eq!(Value::Float(f64::NAN).as_i64(), 0);
+    assert_eq!(Value::Float(f64::INFINITY).as_i64(), i64::MAX);
+    assert_eq!(Value::Float(f64::NEG_INFINITY).as_i64(), i64::MIN);
+}
+
+/// A measurement function that returns NaN-breeding values must not crash a
+/// Nelder-Mead loop: the simplex arithmetic (centroids, reflections over
+/// penalty-valued vertices) stays inside the box thanks to the projecting
+/// clamp, and the loop keeps proposing in-space configurations.
+#[test]
+fn nelder_mead_survives_nan_breeding_measurements() {
+    let space = SearchSpace::new(vec![
+        Parameter::ratio("x", 0, 20),
+        Parameter::ratio("y", 0, 20),
+    ]);
+    let mut t = OnlineTuner::new(
+        NelderMead::new(space.clone(), NelderMeadOptions::default()),
+        Termination::Never,
+    );
+    let mut i = 0usize;
+    let mut m = |c: &Configuration| {
+        assert!(space.contains(c), "proposed out-of-space: {c:?}");
+        i += 1;
+        match i % 5 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => 0.0,
+            _ => (c.get(0).as_f64() - 7.0).powi(2) + 1.0,
+        }
+    };
+    for _ in 0..300 {
+        t.step(&mut m);
+    }
+    assert_eq!(t.iteration(), 300, "loop must complete without panicking");
+}
+
 /// Abandoning a proposal mid-flight (measurement never ran at all) must be
 /// recoverable and idempotent for every strategy.
 #[test]

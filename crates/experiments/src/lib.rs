@@ -18,7 +18,10 @@
 //! Beyond the paper's artifacts, the `faults` target ([`faults`]) re-runs
 //! both case studies with 10% injected measurement failures and compares
 //! clean vs. faulty convergence — the robustness claim the measurement
-//! pipeline in [`autotune::robust`] makes. The `record` target ([`record`])
+//! pipeline in [`autotune::robust`] makes. The `constraints` target
+//! ([`constraints`]) runs both case studies over budget-constrained
+//! spaces and compares repair against reject-and-retry, recording the
+//! per-algorithm feasibility of each algorithm set on the current host. The `record` target ([`record`])
 //! replays both case studies with the [`autotune::telemetry`] recorder on
 //! and writes per-run JSONL traces plus Perfetto-loadable Chrome traces;
 //! `report` rebuilds per-strategy convergence tables from those files
@@ -36,6 +39,7 @@
 //! profile; `--paper` selects the paper's full scale.
 
 pub mod ablations;
+pub mod constraints;
 pub mod cs1;
 pub mod cs2;
 pub mod faults;

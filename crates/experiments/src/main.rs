@@ -2,7 +2,9 @@
 //! the always-on serving mode. Run `experiments help` for the full usage
 //! text ([`USAGE`]).
 
-use experiments::{ablations, cs1, cs2, faults, load, record, report, serve, sites, tables};
+use experiments::{
+    ablations, constraints, cs1, cs2, faults, load, record, report, serve, sites, tables,
+};
 use std::path::{Path, PathBuf};
 
 /// The usage text (`experiments help`, `--help`, or any unknown target).
@@ -28,6 +30,8 @@ batch targets (write into --results-dir, default `results/`):
   dynamic     scene-size jump study (tuning under workload change)
   ablations   eps/window/phase-1/crossover/deployment sweeps
   faults      both case studies under injected measurement faults
+  constraints repair vs reject-and-retry on budget-constrained spaces,
+              plus the per-algorithm feasibility report for this host
   sites       concurrent multi-site runtime at production shape
   record      replay both case studies with telemetry traces on
   report      rebuild convergence tables from recorded traces
@@ -355,6 +359,32 @@ fn main() {
         println!("→ {}/faults.json\n", args.out.display());
         let _ = std::panic::take_hook();
     }
+    if matches!(t, "constraints" | "all") {
+        let c1 = cs1_config(&args);
+        eprintln!(
+            "[constraints] string matching repair vs reject: 6 strategies × 2 × {} reps × {} iters…",
+            c1.reps, c1.iterations
+        );
+        let s1 = constraints::cs1_constraints(&c1);
+        emit_series(&constraints::figure(&s1), &args.out);
+        let c2 = cs2_config(&args);
+        eprintln!(
+            "[constraints] raytracing repair vs reject: 6 strategies × 2 × {} reps × {} frames…",
+            c2.reps, c2.frames
+        );
+        let s2 = constraints::cs2_constraints(&c2);
+        emit_series(&constraints::figure(&s2), &args.out);
+        let studies = [s1, s2];
+        for s in &studies {
+            println!("{}", constraints::summary(s));
+        }
+        check_io(
+            "constraints.json",
+            &args.out,
+            constraints::save_json(&studies, &args.out),
+        );
+        println!("→ {}/constraints.json\n", args.out.display());
+    }
     if matches!(t, "ablations" | "all") {
         let reps = args.reps.unwrap_or(10);
         let iters = args.iters.unwrap_or(300);
@@ -492,6 +522,7 @@ fn main() {
         "dynamic",
         "ablations",
         "faults",
+        "constraints",
         "sites",
         "record",
         "report",

@@ -11,9 +11,9 @@ use crate::kdtree::{BuildConfig, KdBuilder};
 use crate::render::{frame, RenderOptions};
 use crate::sah::SahParams;
 use crate::scene::Scene;
-use autotune::param::Parameter;
+use autotune::param::{Parameter, Value};
 use autotune::robust::{robust_call, MeasureOutcome, RobustOptions};
-use autotune::space::{Configuration, SearchSpace};
+use autotune::space::{Configuration, Constraint, SearchSpace};
 use autotune::two_phase::AlgorithmSpec;
 
 /// Parameter order inside each algorithm's configuration: thread-tree
@@ -45,28 +45,107 @@ fn common_params() -> Vec<Parameter> {
     ]
 }
 
-/// The tuning space of a builder, by its figure name.
-pub fn space_for(builder: &str) -> SearchSpace {
+/// The host's core budget the default tuning spaces are constrained to:
+/// [`std::thread::available_parallelism`], or 1 when detection fails.
+pub fn default_core_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Deepest thread-tree depth a `cores`-wide host can fill without
+/// oversubscribing: `ceil(log2(cores))` (depth 0 — sequential — on a
+/// single core).
+pub fn max_depth_for_budget(cores: usize) -> i64 {
+    cores.max(1).next_power_of_two().trailing_zeros() as i64
+}
+
+/// The feasibility constraints a `cores`-wide host imposes on every
+/// builder's space:
+///
+/// * `thread-budget` — `2^parallel_depth` worker subtrees must not exceed
+///   the core budget; repair clamps the depth down.
+/// * `lane-budget` — build parallelism times ray-packet width must stay
+///   within 4× the core budget (packets beyond that only add masked-lane
+///   waste); repair narrows the packet first, preserving the depth the
+///   thread budget allows.
+fn budget_constraints(cores: usize) -> Vec<Constraint> {
+    let cores = cores.max(1);
+    let max_depth = max_depth_for_budget(cores);
+    let thread = Constraint::new("thread-budget", move |c: &Configuration| {
+        c.get(PARAM_PARALLEL_DEPTH).as_i64() <= max_depth
+    })
+    .with_repair(move |c: &Configuration| {
+        let mut values = c.values().to_vec();
+        let depth = c.get(PARAM_PARALLEL_DEPTH).as_i64().min(max_depth);
+        values[PARAM_PARALLEL_DEPTH] = Value::Int(depth);
+        Configuration::new(values)
+    });
+    let lane_budget = 4 * cores as i64;
+    let lanes_of = |c: &Configuration| {
+        let depth = c.get(PARAM_PARALLEL_DEPTH).as_i64().clamp(0, 30);
+        let exp = c.get(PARAM_PACKET_EXP).as_i64().clamp(0, 2);
+        (1i64 << depth) * (1i64 << exp)
+    };
+    let lanes = Constraint::new("lane-budget", move |c: &Configuration| {
+        lanes_of(c) <= lane_budget
+    })
+    .with_repair(move |c: &Configuration| {
+        let depth = c.get(PARAM_PARALLEL_DEPTH).as_i64().clamp(0, 30);
+        let mut exp = c.get(PARAM_PACKET_EXP).as_i64().clamp(0, 2);
+        while exp > 0 && (1i64 << depth) * (1i64 << exp) > lane_budget {
+            exp -= 1;
+        }
+        let mut values = c.values().to_vec();
+        values[PARAM_PACKET_EXP] = Value::Int(exp);
+        Configuration::new(values)
+    });
+    vec![thread, lanes]
+}
+
+/// The tuning space of a builder under an explicit core budget: the box of
+/// [`space_for`] plus `thread-budget`/`lane-budget` constraints. The
+/// experiments' repair-vs-reject study sweeps this over 1/2/8-core budgets.
+pub fn space_for_with_budget(builder: &str, cores: usize) -> SearchSpace {
     let mut params = common_params();
     if builder == "Lazy" {
         params.push(Parameter::ratio("eager_cutoff", 0, 16));
     }
-    SearchSpace::new(params)
+    SearchSpace::new(params).with_constraints(budget_constraints(cores))
 }
 
-/// The hand-crafted best-practice starting configuration the paper's
-/// tuner begins from (Wald-Havran SAH constants, moderate parallelism).
-pub fn start_for(builder: &str) -> Configuration {
-    use autotune::param::Value;
+/// The tuning space of a builder, by its figure name, constrained to the
+/// host's core budget ([`default_core_budget`]).
+pub fn space_for(builder: &str) -> SearchSpace {
+    space_for_with_budget(builder, default_core_budget())
+}
+
+/// [`start_for`] under an explicit core budget: the hand-crafted depth 3
+/// is clamped to what the budget's thread constraint allows, so the start
+/// is feasible (not merely inside the box) on any host.
+pub fn start_for_with_budget(builder: &str, cores: usize) -> Configuration {
     // packet_exp starts at 0 (single-ray): the conservative hand-crafted
     // baseline; the tuner must *discover* that packets pay off.
-    let mut values = vec![Value::Int(3), Value::Int(15), Value::Int(20), Value::Int(0)];
+    let depth = 3i64.min(max_depth_for_budget(cores));
+    let mut values = vec![
+        Value::Int(depth),
+        Value::Int(15),
+        Value::Int(20),
+        Value::Int(0),
+    ];
     if builder == "Lazy" {
         values.push(Value::Int(8));
     }
-    space_for(builder)
+    space_for_with_budget(builder, cores)
         .configuration(values)
         .expect("start configuration is in the space")
+}
+
+/// The hand-crafted best-practice starting configuration the paper's
+/// tuner begins from (Wald-Havran SAH constants, moderate parallelism),
+/// clamped to the host's core budget.
+pub fn start_for(builder: &str) -> Configuration {
+    start_for_with_budget(builder, default_core_budget())
 }
 
 /// Decode a tuner configuration for `builder` into a [`BuildConfig`].
@@ -128,12 +207,23 @@ pub fn measure_frame(
 }
 
 /// The four algorithms as [`AlgorithmSpec`]s for the two-phase tuner, in
-/// figure order, each with its hand-crafted start.
-pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
+/// figure order, each with its hand-crafted start and the budget
+/// constraints of an explicit core budget.
+pub fn algorithm_specs_with_budget(cores: usize) -> Vec<AlgorithmSpec> {
     crate::kdtree::all_builders()
         .iter()
-        .map(|b| AlgorithmSpec::new(b.name(), space_for(b.name())).with_start(start_for(b.name())))
+        .map(|b| {
+            AlgorithmSpec::new(b.name(), space_for_with_budget(b.name(), cores))
+                .with_start(start_for_with_budget(b.name(), cores))
+        })
         .collect()
+}
+
+/// The four algorithms as [`AlgorithmSpec`]s for the two-phase tuner, in
+/// figure order, each with its hand-crafted start, constrained to the
+/// host's core budget.
+pub fn algorithm_specs() -> Vec<AlgorithmSpec> {
+    algorithm_specs_with_budget(default_core_budget())
 }
 
 /// A site blueprint selecting over the four builders with their full
@@ -212,9 +302,47 @@ mod tests {
         let bc = decode("Wald-Havran", &c);
         assert_eq!(bc.sah.traversal_cost, 15.0);
         assert_eq!(bc.sah.intersection_cost, 20.0);
-        assert_eq!(bc.parallel_depth, 3);
+        // Depth 3 unless the host's core budget can't fill it.
+        let expected = 3i64.min(max_depth_for_budget(default_core_budget()));
+        assert_eq!(bc.parallel_depth as i64, expected);
         // Hand-crafted baseline renders single-ray.
         assert_eq!(decode_packet_width(&c), 1);
+    }
+
+    #[test]
+    fn budget_constraints_cap_depth_and_packets() {
+        for cores in [1usize, 2, 8] {
+            let max_depth = max_depth_for_budget(cores);
+            for builder in ["Inplace", "Lazy", "Nested", "Wald-Havran"] {
+                let space = space_for_with_budget(builder, cores);
+                assert!(space.is_constrained());
+                // The start is feasible on every budget, not just in the box.
+                let start = start_for_with_budget(builder, cores);
+                assert!(space.is_feasible(&start), "{builder} @ {cores} cores");
+                // An oversubscribed proposal repairs into the budget.
+                let mut greedy: Vec<Value> = start.values().to_vec();
+                greedy[PARAM_PARALLEL_DEPTH] = Value::Int(6);
+                greedy[PARAM_PACKET_EXP] = Value::Int(2);
+                let repaired = space
+                    .repair(&Configuration::new(greedy))
+                    .expect("budget constraints are always repairable");
+                assert!(space.is_feasible(&repaired));
+                let depth = repaired.get(PARAM_PARALLEL_DEPTH).as_i64();
+                assert!(depth <= max_depth, "{depth} > {max_depth} @ {cores}");
+                let lanes = (1i64 << depth) * decode_packet_width(&repaired) as i64;
+                assert!(lanes <= 4 * cores as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_budget_forces_sequential_builds() {
+        let space = space_for_with_budget("Inplace", 1);
+        let mut rng = autotune::rng::Rng::new(11);
+        for _ in 0..50 {
+            let c = space.random_feasible(&mut rng);
+            assert_eq!(c.get(PARAM_PARALLEL_DEPTH).as_i64(), 0, "{c:?}");
+        }
     }
 
     #[test]

@@ -43,13 +43,18 @@ pub enum Kernel {
 
 /// Is SIMD detection forced off (`AUTOTUNE_FORCE_SCALAR=1`)?
 ///
+/// An empty or `"0"` value means *unset* — `AUTOTUNE_FORCE_SCALAR=""` (an
+/// easy shell accident) must not silently pin every scanner to SWAR.
+///
 /// The environment is consulted once and cached for the process lifetime:
 /// this sits on every `Kernel::detect` call, and `std::env::var` takes a
 /// global lock — measurable noise once thousands of tuning sites dispatch
 /// concurrently.
 pub fn force_scalar() -> bool {
     static FORCE_SCALAR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *FORCE_SCALAR.get_or_init(|| std::env::var("AUTOTUNE_FORCE_SCALAR").is_ok_and(|v| v != "0"))
+    *FORCE_SCALAR.get_or_init(|| {
+        std::env::var("AUTOTUNE_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
 }
 
 impl Kernel {
@@ -89,6 +94,37 @@ impl Kernel {
             }
         }
         ks
+    }
+
+    /// Can this kernel actually run on the current host right now?
+    ///
+    /// SWAR always can. SSE2/AVX2 require x86-64 with the feature detected
+    /// at runtime *and* `AUTOTUNE_FORCE_SCALAR` unset. This is the honest
+    /// per-host availability signal behind the SIMD matchers' feasibility
+    /// constraints: a `*-SIMD` variant on a host without vector units is
+    /// reported *infeasible* to the tuner instead of silently aliasing the
+    /// scalar path.
+    pub fn is_available(self) -> bool {
+        match self {
+            Kernel::Swar => true,
+            Kernel::Sse2 | Kernel::Avx2 => {
+                if force_scalar() {
+                    return false;
+                }
+                #[cfg(target_arch = "x86_64")]
+                {
+                    match self {
+                        Kernel::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+                        Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+                        Kernel::Swar => unreachable!(),
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+        }
     }
 
     /// Kernel name as shown in benchmark output.

@@ -9,20 +9,45 @@
 //! claim CAS: one drives a tuning iteration, the rest run the published
 //! best matcher.
 
+use crate::scan::Kernel;
 use crate::{all_matchers_with_kernels, Matcher, ParallelMatcher};
 use autotune::robust::{MeasureOutcome, RobustOptions};
 use autotune::site::{Site, SiteSpec};
+use autotune::space::{Constraint, SearchSpace};
 use autotune::two_phase::{AlgorithmSpec, NominalKind};
 
-/// A site blueprint selecting over [`all_matchers_with_kernels`] (the
-/// matchers expose no parameters of their own, so every phase-1 space is
-/// empty — pure algorithmic choice, as in the paper's case study 1).
-pub fn search_site_spec(name: impl Into<String>, nominal: NominalKind, seed: u64) -> SiteSpec {
-    let specs: Vec<AlgorithmSpec> = all_matchers_with_kernels()
+/// Algorithm specs for [`all_matchers_with_kernels`], index-aligned with
+/// [`site_matchers`]. The matchers expose no parameters, so every phase-1
+/// space is empty — but the `*-SIMD` variants carry a feasibility
+/// constraint requiring an actual vector kernel on this host
+/// ([`Kernel::is_available`]). Without one (non-x86-64, or
+/// `AUTOTUNE_FORCE_SCALAR` set) those variants would silently alias the
+/// SWAR path via [`Kernel::detect`]; the constraint makes 𝒜 honest: the
+/// tuner penalizes them instead of measuring a scalar impostor.
+pub fn matcher_algorithm_specs() -> Vec<AlgorithmSpec> {
+    all_matchers_with_kernels()
         .iter()
-        .map(|m| AlgorithmSpec::untunable(m.name()))
-        .collect();
-    SiteSpec::algorithms(name, specs, nominal, seed)
+        .map(|m| {
+            let name = m.name();
+            if name.ends_with("-SIMD") {
+                let space = SearchSpace::empty()
+                    .with_constraint(Constraint::new("requires-vector-kernel", |_| {
+                        Kernel::Sse2.is_available() || Kernel::Avx2.is_available()
+                    }));
+                AlgorithmSpec::new(name, space)
+            } else {
+                AlgorithmSpec::untunable(name)
+            }
+        })
+        .collect()
+}
+
+/// A site blueprint selecting over [`all_matchers_with_kernels`] — pure
+/// algorithmic choice, as in the paper's case study 1, with the SIMD
+/// variants constrained to hosts that can really run them
+/// ([`matcher_algorithm_specs`]).
+pub fn search_site_spec(name: impl Into<String>, nominal: NominalKind, seed: u64) -> SiteSpec {
+    SiteSpec::algorithms(name, matcher_algorithm_specs(), nominal, seed)
 }
 
 /// The matcher set a site built from [`search_site_spec`] selects over,
@@ -112,6 +137,30 @@ mod tests {
         site.with_tuner(|t| {
             assert_eq!(t.as_two_phase().unwrap().log().len(), 12);
         });
+    }
+
+    #[test]
+    fn simd_specs_declare_the_vector_kernel_constraint() {
+        let specs = matcher_algorithm_specs();
+        assert_eq!(specs.len(), 12);
+        let vector_host = Kernel::Sse2.is_available() || Kernel::Avx2.is_available();
+        for spec in &specs {
+            let feasible = spec.space.is_feasible(&spec.space.min_corner());
+            if spec.name.ends_with("-SIMD") {
+                assert!(
+                    spec.space.is_constrained(),
+                    "{} must carry the kernel constraint",
+                    spec.name
+                );
+                assert_eq!(
+                    feasible, vector_host,
+                    "{} feasibility must track host kernel availability",
+                    spec.name
+                );
+            } else {
+                assert!(feasible, "scalar matcher {} is always feasible", spec.name);
+            }
+        }
     }
 
     #[test]

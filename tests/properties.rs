@@ -156,6 +156,63 @@ fn best_never_regresses() {
 }
 
 // -------------------------------------------------------------------
+// Constraints: repair projects into the feasible region.
+// -------------------------------------------------------------------
+
+/// For every workload search space — the raytrace builders under 1/2/8-core
+/// budgets and the string-matcher specs — repairing a random box point must
+/// land inside the box AND satisfy every declared constraint; searchers'
+/// feasible samplers must do the same. This is the tentpole guarantee:
+/// nothing a repaired proposal produces can violate a constraint.
+#[test]
+fn repair_of_random_coordinates_is_always_feasible() {
+    use algochoice::raytrace::tunable::space_for_with_budget;
+    use algochoice::stringmatch::tuned::matcher_algorithm_specs;
+
+    let mut spaces: Vec<(String, SearchSpace)> = Vec::new();
+    for cores in [1usize, 2, 8] {
+        for builder in ["Inplace", "Lazy", "Nested", "Wald-Havran"] {
+            spaces.push((
+                format!("{builder}@{cores}c"),
+                space_for_with_budget(builder, cores),
+            ));
+        }
+    }
+    for spec in matcher_algorithm_specs() {
+        spaces.push((spec.name.clone(), spec.space));
+    }
+
+    let mut rng = Rng::new(0xc0de_0008);
+    for (name, space) in &spaces {
+        // Irreparably infeasible spaces (e.g. SIMD matchers on a scalar-only
+        // host) are exercised through the penalty path, not repair.
+        let repairable = space.repair(&space.min_corner()).is_some();
+        for _ in 0..100 {
+            let raw = space.random(&mut rng);
+            if repairable {
+                let repaired = space
+                    .repair(&raw)
+                    .unwrap_or_else(|| panic!("{name}: {raw:?} must be repairable"));
+                assert!(space.contains(&repaired), "{name}: {repaired:?} left box");
+                assert!(
+                    space.is_feasible(&repaired),
+                    "{name}: repair left {repaired:?} infeasible"
+                );
+                let clamped = space.clamp_feasible(&raw.as_coords());
+                assert!(space.is_feasible(&clamped), "{name}: clamp_feasible");
+                let sampled = space.random_feasible(&mut rng);
+                assert!(space.is_feasible(&sampled), "{name}: random_feasible");
+            } else {
+                assert!(
+                    !space.is_feasible(&raw) || space.constraints().is_empty(),
+                    "{name}: irreparable space with feasible points"
+                );
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
 // Nominal strategies: probabilistic invariants.
 // -------------------------------------------------------------------
 
