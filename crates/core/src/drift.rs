@@ -18,9 +18,11 @@
 //!   [`DriftConfig::recent_window`] runtimes. Every
 //!   [`DriftConfig::stride`] samples the monitor compares the recent
 //!   median against the baseline median.
-//! * If the ratio exceeds [`DriftConfig::threshold`] for
-//!   [`DriftConfig::patience`] *consecutive* checks, the verdict is
-//!   [`Verdict::Drifted`].
+//! * If the ratio exceeds [`DriftConfig::threshold`] — by more than the
+//!   absolute floor [`DriftConfig::min_delta_ms`], which defaults to the
+//!   measured timer resolution so quantization steps at µs scale never
+//!   read as regressions — for [`DriftConfig::patience`] *consecutive*
+//!   checks, the verdict is [`Verdict::Drifted`].
 //! * A *sustained* improvement re-anchors the baseline downward: the
 //!   warm-up happens during the paired tuner's exploration phase, so the
 //!   settled post-convergence regime — which only emerges later — is the
@@ -65,6 +67,16 @@ pub struct DriftConfig {
     /// Evaluate every `stride` samples (amortizes the median scan; the
     /// per-sample cost between checks is one ring-buffer store).
     pub stride: usize,
+    /// Absolute regression floor, in milliseconds: a check only counts as
+    /// a strike when the recent median exceeds the baseline by *more* than
+    /// this delta. At µs scale the ratio test alone is blind to the clock:
+    /// a baseline sitting at one timer tick and a signal straddling the
+    /// next tick differ by a full 2× while the workload hasn't moved at
+    /// all, and a monitor without this floor restarts converged sites on
+    /// pure quantization noise. `0.0` (the default) resolves to the
+    /// measured timer resolution
+    /// ([`crate::robust::timer_resolution_ms`]) when the monitor is built.
+    pub min_delta_ms: f64,
 }
 
 impl Default for DriftConfig {
@@ -75,6 +87,7 @@ impl Default for DriftConfig {
             threshold: 1.5,
             patience: 3,
             stride: 8,
+            min_delta_ms: 0.0,
         }
     }
 }
@@ -96,6 +109,9 @@ pub enum Verdict {
 #[derive(Debug, Clone)]
 pub struct DriftMonitor {
     config: DriftConfig,
+    /// Resolved absolute regression floor: `config.min_delta_ms`, or the
+    /// measured timer resolution when that is left at `0.0`.
+    min_delta_ms: f64,
     /// Baseline samples while warming; frozen into `baseline_ms` when full.
     warmup: Vec<f64>,
     /// Baseline median — ratchets down as the settled regime improves —
@@ -134,8 +150,18 @@ impl DriftMonitor {
         assert!(config.baseline_window > 0, "baseline_window must be > 0");
         assert!(config.recent_window > 0, "recent_window must be > 0");
         assert!(config.stride > 0, "stride must be > 0");
+        assert!(
+            config.min_delta_ms >= 0.0 && config.min_delta_ms.is_finite(),
+            "min_delta_ms must be finite and non-negative"
+        );
+        let min_delta_ms = if config.min_delta_ms > 0.0 {
+            config.min_delta_ms
+        } else {
+            crate::robust::timer_resolution_ms()
+        };
         DriftMonitor {
             config,
+            min_delta_ms,
             warmup: Vec::with_capacity(config.baseline_window),
             baseline_ms: None,
             recent: Vec::with_capacity(config.recent_window),
@@ -159,6 +185,12 @@ impl DriftMonitor {
     /// returned (`NaN` before that).
     pub fn observed_ms(&self) -> f64 {
         self.observed_ms
+    }
+
+    /// The resolved absolute regression floor in effect (see
+    /// [`DriftConfig::min_delta_ms`]).
+    pub fn min_delta_ms(&self) -> f64 {
+        self.min_delta_ms
     }
 
     /// Feed one runtime sample; returns the current verdict.
@@ -194,7 +226,11 @@ impl DriftMonitor {
             return self.verdict();
         }
         let recent = median(&mut self.scratch, &self.recent);
-        if recent > baseline * self.config.threshold {
+        // Both tests must hold for a strike: the relative one (the ratio
+        // the config names) and the absolute one (more than one resolved
+        // timer quantum of real movement) — so µs-scale baselines cannot
+        // be "regressed" by the clock grid alone.
+        if recent > baseline * self.config.threshold && recent - baseline > self.min_delta_ms {
             self.improve_strikes = 0;
             self.strikes += 1;
             if self.strikes >= self.config.patience {
@@ -294,6 +330,7 @@ mod tests {
             threshold: 1.5,
             patience: 2,
             stride: 4,
+            min_delta_ms: 0.0,
         }
     }
 
@@ -421,6 +458,48 @@ mod tests {
         // The 3x regime is the new normal after re-baselining.
         let v = drive(&mut m, (0..200).map(|i| noisy(3.0, i)));
         assert_eq!(v, Verdict::Stable);
+    }
+
+    /// Regression for the µs-scale false-positive: a workload whose true
+    /// runtime sits *between* two ticks of a coarse clock reads sometimes
+    /// one tick, sometimes two — a 2× "regression" by ratio with zero real
+    /// movement. Pre-fix, the ratio-only test fired and restarted the
+    /// converged site; the absolute floor must keep it quiet, while a
+    /// genuine many-tick regression at the same scale still fires.
+    #[test]
+    fn timer_quantization_steps_are_not_drift() {
+        const QUANTUM_MS: f64 = 0.001; // a 1µs clock timing µs-scale calls
+        let mut cfg = quick_config();
+        cfg.min_delta_ms = QUANTUM_MS;
+        let mut m = DriftMonitor::new(cfg);
+        assert_eq!(m.min_delta_ms(), QUANTUM_MS);
+        // Warm-up lands entirely on the lower tick: baseline = 1 quantum.
+        assert_eq!(drive(&mut m, (0..16).map(|_| QUANTUM_MS)), Verdict::Stable);
+        assert_eq!(m.baseline_ms(), Some(QUANTUM_MS));
+        // The same workload now straddles the boundary and every read
+        // rounds up: recent median = 2 quanta, ratio 2.0 > threshold 1.5,
+        // but the delta is exactly one tick — quantization, not drift.
+        assert_eq!(
+            drive(&mut m, (0..500).map(|_| 2.0 * QUANTUM_MS)),
+            Verdict::Stable,
+            "one-tick steps under a coarse clock must not restart the site"
+        );
+        // A real regression at the same µs scale (ten ticks) still fires.
+        assert_eq!(
+            drive(&mut m, (0..64).map(|_| 10.0 * QUANTUM_MS)),
+            Verdict::Drifted
+        );
+    }
+
+    #[test]
+    fn min_delta_defaults_to_measured_timer_resolution() {
+        let m = DriftMonitor::new(DriftConfig::default());
+        assert_eq!(m.min_delta_ms(), crate::robust::timer_resolution_ms());
+        let cfg = DriftConfig {
+            min_delta_ms: 0.25,
+            ..Default::default()
+        };
+        assert_eq!(DriftMonitor::new(cfg).min_delta_ms(), 0.25);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //!   Returned values are clamped to the timer-resolution floor
 //!   [`RESOLUTION_FLOOR_MS`] so the `1/m` weight math of the phase-2
 //!   strategies stays finite.
+//! * [`batched_time_ms`] / [`robust_time`] — µs-scale timing. A call
+//!   cheaper than one timer tick reads as `0.0` and the floor clamp then
+//!   flattens *every* such configuration to the same value, so the tuner
+//!   cannot rank them (a 1 µs and a 2 µs config look identical under a
+//!   5 µs clock). Batched timing restores the signal: time `k`
+//!   back-to-back calls — `k` grown adaptively until the batch spans
+//!   [`BATCH_TARGET_QUANTA`] ticks of the *measured* resolution
+//!   ([`timer_resolution_ms`]) — and divide by `k`, bounding per-call
+//!   quantization error to ~1/[`BATCH_TARGET_QUANTA`].
 //! * [`RobustMeasure`] — the same machinery as a [`FallibleMeasure`]
 //!   adapter around any ordinary [`Measure`].
 //! * [`FaultyMeasure`] / [`FaultPlan`] — a deterministic fault-injection
@@ -64,6 +73,106 @@ pub const DEFAULT_FAILURE_PENALTY_MS: f64 = 1e3;
 #[inline]
 pub fn clamp_measurement(value: f64) -> f64 {
     value.clamp(RESOLUTION_FLOOR_MS, MAX_MEASUREMENT_MS)
+}
+
+/// Target span of one batched measurement, in ticks of the measured timer
+/// resolution: [`batched_time_ms`] doubles the batch until `k` back-to-back
+/// calls cover at least this many ticks, so the ±1-tick quantization error
+/// on the whole batch is at most ~1/32 ≈ 3% of each per-call value.
+pub const BATCH_TARGET_QUANTA: f64 = 32.0;
+
+/// Upper bound on the adaptive batch size. A call so cheap that even this
+/// many repetitions stay under the target span is timed as the whole batch
+/// anyway — per-call resolution degrades gracefully instead of the loop
+/// running away on a sub-nanosecond closure.
+pub const MAX_BATCH: usize = 1024;
+
+/// The measured resolution of `Instant` on this host, in milliseconds:
+/// the smallest positive delta between consecutive clock reads, sampled
+/// once and cached, floored at [`RESOLUTION_FLOOR_MS`]. This — not the
+/// 1 ns representational floor — is the granularity below which two
+/// single-shot measurements are indistinguishable, and therefore the
+/// quantum [`batched_time_ms`] batches against and the minimum regression
+/// [`crate::drift::DriftMonitor`] will treat as signal.
+pub fn timer_resolution_ms() -> f64 {
+    static RESOLUTION: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *RESOLUTION.get_or_init(|| {
+        let mut min_delta = f64::INFINITY;
+        for _ in 0..8 {
+            let start = Instant::now();
+            let mut next = start;
+            // Spin until the clock visibly advances (bounded, in case the
+            // platform clock is frozen under emulation).
+            for _ in 0..1_000_000 {
+                next = Instant::now();
+                if next > start {
+                    break;
+                }
+            }
+            let delta = (next - start).as_secs_f64() * 1e3;
+            if delta > 0.0 {
+                min_delta = min_delta.min(delta);
+            }
+        }
+        if min_delta.is_finite() {
+            min_delta.max(RESOLUTION_FLOOR_MS)
+        } else {
+            RESOLUTION_FLOOR_MS
+        }
+    })
+}
+
+/// Core of [`batched_time_ms`], parameterized over the clock so a
+/// deliberately quantized clock can drive the regression tests: time `k`
+/// back-to-back calls of `f`, growing `k` geometrically from 1 until the
+/// batch spans [`BATCH_TARGET_QUANTA`] × `resolution_ms` (or `k` hits
+/// [`MAX_BATCH`]), and return `(per_call_ms, k)`. `clock_ms` must be
+/// monotonic; `resolution_ms` is its tick size.
+pub fn batched_time_ms_with(
+    resolution_ms: f64,
+    clock_ms: &mut impl FnMut() -> f64,
+    f: &mut impl FnMut(),
+) -> (f64, usize) {
+    let target_ms = resolution_ms * BATCH_TARGET_QUANTA;
+    let mut batch = 1usize;
+    loop {
+        let t0 = clock_ms();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = clock_ms() - t0;
+        if elapsed >= target_ms || batch >= MAX_BATCH {
+            return (elapsed / batch as f64, batch);
+        }
+        batch *= 2;
+    }
+}
+
+/// Time `f`, batching adaptively when one call is cheaper than the clock
+/// can resolve: a single call whose wall time already spans
+/// [`BATCH_TARGET_QUANTA`] ticks of [`timer_resolution_ms`] is returned
+/// as-is (batch size 1 — ms-scale workloads pay nothing), while cheaper
+/// calls are re-run back-to-back and the batch wall time divided by the
+/// batch size. Returns the per-call milliseconds.
+///
+/// This is the timing primitive µs-scale workloads must use on the tuning
+/// path: under a coarse timer, single-shot values collapse onto the clock
+/// grid (and then onto [`RESOLUTION_FLOOR_MS`]), erasing the very
+/// differences the tuner exists to rank.
+pub fn batched_time_ms(mut f: impl FnMut()) -> f64 {
+    let resolution = timer_resolution_ms();
+    let origin = Instant::now();
+    let mut clock = || origin.elapsed().as_secs_f64() * 1e3;
+    batched_time_ms_with(resolution, &mut clock, &mut f).0
+}
+
+/// [`robust_call`] over [`batched_time_ms`]: the full robust pipeline
+/// (panic guard, deadline, retries, median-of-k) where each "attempt" is
+/// one adaptively batched timing of `f` rather than one raw call. The
+/// natural entry point for workloads whose single invocation is cheaper
+/// than the timer tick.
+pub fn robust_time(opts: &RobustOptions, mut f: impl FnMut()) -> MeasureOutcome {
+    robust_call(opts, || batched_time_ms(&mut f))
 }
 
 /// The result of one measurement attempt.
@@ -474,6 +583,97 @@ mod tests {
         );
         assert!(!MeasureOutcome::from_value(f64::NAN).is_ok());
         assert!(!MeasureOutcome::from_value(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn timer_resolution_is_sane_and_cached() {
+        let r = timer_resolution_ms();
+        assert!(r >= RESOLUTION_FLOOR_MS, "resolution {r} below the floor");
+        assert!(r < 10.0, "resolution {r} ms is not a usable clock");
+        assert_eq!(r, timer_resolution_ms(), "must be cached");
+    }
+
+    /// Regression for the µs-scale flattening bug: under a coarse timer,
+    /// single-shot timing reads 0 for any sub-tick call and the floor
+    /// clamp then maps *both* of two configs 2× apart at ~1µs onto
+    /// RESOLUTION_FLOOR_MS — indistinguishable. Batched timing must still
+    /// tell them apart.
+    #[test]
+    fn batched_timing_distinguishes_sub_tick_configs() {
+        use std::cell::Cell;
+        const QUANTUM_NS: u64 = 5_000; // a 5µs clock: coarser than the work
+
+        // Pre-fix pipeline: one call, one quantized read, floor clamp.
+        let single_shot = |cost_ns: u64| {
+            let now = Cell::new(0u64);
+            let read = || ((now.get() / QUANTUM_NS) * QUANTUM_NS) as f64 * 1e-6;
+            let t0 = read();
+            now.set(now.get() + cost_ns);
+            clamp_measurement(read() - t0)
+        };
+        let a = single_shot(1_000); // config A: 1µs
+        let b = single_shot(2_000); // config B: 2µs, twice as slow
+        assert_eq!(a, RESOLUTION_FLOOR_MS);
+        assert_eq!(
+            a, b,
+            "single-shot timing flattens both configs to the floor — the bug"
+        );
+
+        // Fixed pipeline: adaptive batching against the same quantized clock.
+        let batched = |cost_ns: u64| {
+            let now = Cell::new(0u64);
+            let mut clock = || ((now.get() / QUANTUM_NS) * QUANTUM_NS) as f64 * 1e-6;
+            let mut f = || now.set(now.get() + cost_ns);
+            batched_time_ms_with(QUANTUM_NS as f64 * 1e-6, &mut clock, &mut f)
+        };
+        let (a_ms, a_batch) = batched(1_000);
+        let (b_ms, b_batch) = batched(2_000);
+        assert!(a_batch > 1 && b_batch > 1, "sub-tick calls must batch");
+        let ratio = b_ms / a_ms;
+        assert!(
+            (1.8..=2.2).contains(&ratio),
+            "batched timing must recover the 2x separation, got {ratio} \
+             ({a_ms} ms @ batch {a_batch} vs {b_ms} ms @ batch {b_batch})"
+        );
+    }
+
+    #[test]
+    fn batched_timing_leaves_slow_calls_unbatched() {
+        use std::cell::Cell;
+        let now = Cell::new(0u64);
+        let mut clock = || now.get() as f64 * 1e-6;
+        // One call already spans far more than 32 ticks of a 1ns clock.
+        let mut f = || now.set(now.get() + 3_000_000); // 3ms
+        let (ms, batch) = batched_time_ms_with(1e-6, &mut clock, &mut f);
+        assert_eq!(batch, 1, "ms-scale calls must not pay batching");
+        assert!((ms - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_timing_caps_runaway_batches() {
+        use std::cell::Cell;
+        let now = Cell::new(0u64);
+        let mut clock = || now.get() as f64 * 1e-6;
+        let mut f = || (); // free call: never reaches the target span
+        let (ms, batch) = batched_time_ms_with(1.0, &mut clock, &mut f);
+        assert_eq!(batch, MAX_BATCH);
+        assert_eq!(ms, 0.0, "caller clamps via MeasureOutcome::from_value");
+    }
+
+    #[test]
+    fn robust_time_times_real_work() {
+        let mut acc = 0u64;
+        let out = robust_time(&RobustOptions::default(), || {
+            for i in 0..64u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i * i));
+            }
+        });
+        let v = out.ok().expect("timing real work succeeds");
+        assert!(
+            (RESOLUTION_FLOOR_MS..1.0).contains(&v),
+            "per-call ms: {v}"
+        );
+        std::hint::black_box(acc);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub const OP_QUIT: u8 = 0x07;
 /// Switch the served workload mid-run (application-defined payload) —
 /// the hook drift schedules use to shift the workload under the tuners.
 pub const OP_MORPH: u8 = 0x08;
+/// Small-array sort request dispatched through the size-classed smallsort
+/// sites (application-defined payload; see EXPERIMENTS.md).
+pub const OP_SORT: u8 = 0x09;
 /// Server→client error report; payload is a UTF-8 message.
 pub const OP_ERR: u8 = 0x7F;
 

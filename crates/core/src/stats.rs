@@ -41,8 +41,13 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     }
     sorted.sort_by(f64::total_cmp);
     let h = q * (sorted.len() as f64 - 1.0);
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
+    // Re-clamp both order-statistic indices after the float round-trip:
+    // NaN filtering shrinks the slice under the caller's nominal length,
+    // and `ceil` on the rank must never be trusted to land inside the
+    // *filtered* window — on 1–3 element windows one step past the end is
+    // an out-of-bounds read, not a rounding nit.
+    let hi = (h.ceil() as usize).min(sorted.len() - 1);
+    let lo = (h.floor() as usize).min(hi);
     if lo == hi {
         sorted[lo]
     } else {
@@ -183,6 +188,26 @@ mod tests {
         assert_eq!(median(&xs), 2.0);
         assert_eq!(quantile(&xs, 0.0), 1.0);
         assert_eq!(quantile(&xs, 1.0), 3.0);
+    }
+
+    #[test]
+    fn quantile_short_nan_heavy_windows_stay_in_bounds() {
+        // Regression: with NaNs filtered the slice is shorter than the
+        // caller's window, and the `ceil`-derived upper index must be
+        // re-clamped to the filtered length. 1–3 element windows, every
+        // quartile a boxplot asks for.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(quantile(&[f64::NAN, 7.0], q), 7.0);
+            assert_eq!(quantile(&[7.0, f64::NAN, f64::NAN], q), 7.0);
+        }
+        let two = [f64::NAN, 1.0, 3.0];
+        assert_eq!(quantile(&two, 0.0), 1.0);
+        assert_eq!(quantile(&two, 0.5), 2.0);
+        assert_eq!(quantile(&two, 1.0), 3.0);
+        let three = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(quantile(&three, 1.0), 3.0);
+        assert_eq!(quantile(&three, 0.75), 2.5);
+        assert!(FiveNumber::of(&[f64::NAN, 5.0]).is_some());
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! alone. The `sites` target ([`sites`]) drives the concurrent multi-site
 //! runtime ([`autotune::site`]) at production shape — hundreds of sites,
 //! multiple request threads — and reports aggregate throughput plus
-//! per-site convergence. The `serve` target ([`serve`]) stands both case
+//! per-site convergence. The `smallsort` target ([`sortstudy`]) drives
+//! the third workload — small-array sorting with input size as a
+//! context dimension — and rebuilds per-size-class convergence tables
+//! (winner, iterations-to-within-5%) from the exported JSONL trace. The
+//! `serve` target ([`serve`]) stands the case
 //! studies up as an always-on TCP tuning service ([`autotune::serve`])
 //! with per-site drift detection, and the `load` target ([`load`]) is its
 //! pipelined loopback load generator with morph schedules and live
@@ -48,4 +52,5 @@ pub mod record;
 pub mod report;
 pub mod serve;
 pub mod sites;
+pub mod sortstudy;
 pub mod tables;

@@ -3,7 +3,7 @@
 //! text ([`USAGE`]).
 
 use experiments::{
-    ablations, constraints, cs1, cs2, faults, load, record, report, serve, sites, tables,
+    ablations, constraints, cs1, cs2, faults, load, record, report, serve, sites, sortstudy, tables,
 };
 use std::path::{Path, PathBuf};
 
@@ -33,6 +33,8 @@ batch targets (write into --results-dir, default `results/`):
   constraints repair vs reject-and-retry on budget-constrained spaces,
               plus the per-algorithm feasibility report for this host
   sites       concurrent multi-site runtime at production shape
+  smallsort   size-classed small-array sorting: per-class winners and
+              convergence tables rebuilt from the JSONL telemetry trace
   record      replay both case studies with telemetry traces on
   report      rebuild convergence tables from recorded traces
   all         every batch target above, quick profile
@@ -419,6 +421,36 @@ fn main() {
         check_io("sites.json", &args.out, sites::save_json(&study, &args.out));
         println!("→ {}/sites.json\n", args.out.display());
     }
+    if matches!(t, "smallsort" | "all") {
+        let mut cfg = if args.paper {
+            sortstudy::SortStudyConfig::paper()
+        } else {
+            sortstudy::SortStudyConfig::default()
+        };
+        if let Some(i) = args.iters {
+            cfg.requests_per_class = i;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        eprintln!(
+            "[smallsort] size-classed sorting: {} classes × {} requests/class…",
+            cfg.classes.len(),
+            cfg.requests_per_class
+        );
+        let study = sortstudy::run_study(&cfg);
+        println!("{}", sortstudy::summary(&study));
+        check_io(
+            "smallsort.json",
+            &args.out,
+            sortstudy::save(&study, &args.out),
+        );
+        println!(
+            "→ {}/smallsort.json, {}/smallsort_trace.jsonl\n",
+            args.out.display(),
+            args.out.display()
+        );
+    }
     if matches!(t, "record" | "all") {
         if !autotune::telemetry::compiled() {
             eprintln!("error: `record` needs the `telemetry` cargo feature (it is on by default)");
@@ -524,6 +556,7 @@ fn main() {
         "faults",
         "constraints",
         "sites",
+        "smallsort",
         "record",
         "report",
         "serve",

@@ -9,6 +9,15 @@
 //! single-threaded, each request *is* a tuning iteration: the service
 //! converges while it serves.
 //!
+//! The third workload is size-classed: `OP_SORT` requests carry an array
+//! length, and dispatch lands on one of the [`smallsort::SortSites`]
+//! class sites (`serve/sort/{seed}/cNN`), so the service learns a
+//! *per-size-class* winner instead of one compromise sort. Because a
+//! small-array sort finishes in microseconds — under the timer tick —
+//! the sort path times tuning iterations with
+//! [`autotune::robust::batched_time_ms`] rather than a single
+//! `Instant` read.
+//!
 //! Each site is paired with a [`DriftMonitor`]. `OP_MORPH` requests
 //! switch the served workload mid-run (a 4× bigger corpus, a
 //! higher-detail scene); the sustained regression trips the monitor,
@@ -31,11 +40,19 @@
 //! |---|---|---|
 //! | `OP_MATCH` | pattern bytes | `u32` LE occurrence count |
 //! | `OP_RENDER` | empty, or `u16 LE w, u16 LE h` | `f32` LE mean luminance |
+//! | `OP_SORT` | `u32` LE n, optionally `u64` LE key seed | `u8` ok, `u32` LE size class, `u64` LE key checksum |
 //! | `OP_MORPH` | `u8` target (0=corpus, 1=scene), `u8` level | the two bytes, echoed |
+//!
+//! `OP_SORT` generates its `n` keys server-side from the seed (the wire
+//! stays cheap while the sort is real); the response's checksum is the
+//! wrapping sum of the sorted keys, which a client holding the seed can
+//! verify independently. `ok` is the server's own sortedness +
+//! key-conservation check.
 
 use autotune::drift::{observe_and_restart, DriftConfig, DriftMonitor};
 use autotune::json::Json;
-use autotune::serve::protocol::{self, OP_MATCH, OP_MORPH, OP_RENDER};
+use autotune::rng::Rng;
+use autotune::serve::protocol::{self, OP_MATCH, OP_MORPH, OP_RENDER, OP_SORT};
 use autotune::serve::{serve, RequestHandler, ServeConfig, ServeReport, StopFlag};
 use autotune::site::{register, site, Site};
 use autotune::stats;
@@ -44,6 +61,7 @@ use autotune::two_phase::NominalKind;
 use raytrace::kdtree::KdBuilder;
 use raytrace::render::RenderOptions;
 use raytrace::scene::Scene;
+use smallsort::SortSites;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use stringmatch::Matcher;
@@ -129,11 +147,20 @@ pub struct AppHandler {
     render_log: SiteLog,
     render_base: RenderOptions,
 
+    sort_sites: SortSites,
+    sort_rng: Rng,
+
     matches: u64,
     renders: u64,
+    sorts: u64,
     morphs: u64,
     rejected: u64,
 }
+
+/// Hard cap on a served sort request's length: one past the top size
+/// class, so a client can exercise the "everything above the boundary
+/// shares the top class" clamp but not bloat the server.
+pub const MAX_SORT_N: usize = (1 << smallsort::MAX_CLASS_LOG2) + 1;
 
 impl AppHandler {
     /// Build both workloads and register their sites. Site names carry a
@@ -161,6 +188,11 @@ impl AppHandler {
             NominalKind::EpsilonGreedy(0.10),
             opts.seed + 7,
         )));
+        let sort_sites = SortSites::register(
+            &format!("serve/sort/{}", opts.seed),
+            NominalKind::EpsilonGreedy(0.10),
+            opts.seed + 11,
+        );
         AppHandler {
             match_site,
             matchers: stringmatch::tuned::site_matchers(),
@@ -180,21 +212,36 @@ impl AppHandler {
                 threads: 1,
                 packet_width: 1,
             },
+            sort_sites,
+            sort_rng: Rng::new(opts.seed ^ 0x5047),
             matches: 0,
             renders: 0,
+            sorts: 0,
             morphs: 0,
             rejected: 0,
         }
     }
 
-    /// The two sites, for post-run convergence reporting.
+    /// The two single-site workloads, for post-run convergence reporting.
     pub fn sites(&self) -> [(&'static str, Site); 2] {
         [("match", self.match_site), ("render", self.render_site)]
+    }
+
+    /// The size-classed sort sites (one per class), for per-class
+    /// convergence reporting. Only classes that actually served a
+    /// request are interesting; the caller filters on `calls()`.
+    pub fn sort_sites(&self) -> &SortSites {
+        &self.sort_sites
     }
 
     /// Requests handled per opcode: `(matches, renders, morphs)`.
     pub fn counts(&self) -> (u64, u64, u64) {
         (self.matches, self.renders, self.morphs)
+    }
+
+    /// Sort requests handled.
+    pub fn sort_count(&self) -> u64 {
+        self.sorts
     }
 
     /// The drift report over both sites (`drift_json`), or `None` if
@@ -252,6 +299,34 @@ impl RequestHandler for AppHandler {
                 protocol::write_frame(out, OP_RENDER, &lum.to_le_bytes());
                 true
             }
+            OP_SORT => {
+                let Some(n_bytes) = payload.get(0..4) else {
+                    self.rejected += 1;
+                    protocol::write_frame(out, protocol::OP_ERR, b"sort needs u32 LE n");
+                    return true;
+                };
+                let n = (u32::from_le_bytes(n_bytes.try_into().unwrap()) as usize).min(MAX_SORT_N);
+                // Keys are derived server-side: from the client's seed if
+                // it sent one (reproducible requests), else from the
+                // server's own stream.
+                let seed = payload
+                    .get(4..12)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or_else(|| self.sort_rng.next_u64());
+                let mut keys = Rng::new(seed);
+                let mut data: Vec<u64> = (0..n).map(|_| keys.next_u64()).collect();
+                let sum_in = data.iter().copied().fold(0u64, u64::wrapping_add);
+                let (class, _ms) = smallsort::sort_request(&self.sort_sites, &mut data);
+                let sum_out = data.iter().copied().fold(0u64, u64::wrapping_add);
+                let ok = sum_in == sum_out && data.windows(2).all(|w| w[0] <= w[1]);
+                self.sorts += 1;
+                let mark = protocol::begin_frame(out, OP_SORT);
+                out.push(ok as u8);
+                out.extend_from_slice(&class.to_le_bytes());
+                out.extend_from_slice(&sum_out.to_le_bytes());
+                protocol::end_frame(out, mark);
+                true
+            }
             OP_MORPH => {
                 let (Some(&target), Some(&level)) = (payload.first(), payload.get(1)) else {
                     self.rejected += 1;
@@ -281,6 +356,7 @@ impl RequestHandler for AppHandler {
         Some(Json::obj(vec![
             ("matches", Json::Num(self.matches as f64)),
             ("renders", Json::Num(self.renders as f64)),
+            ("sorts", Json::Num(self.sorts as f64)),
             ("morphs", Json::Num(self.morphs as f64)),
             ("rejected", Json::Num(self.rejected as f64)),
             ("corpus_level", Json::Num(self.corpus_level as f64)),
@@ -422,6 +498,12 @@ pub fn serve_json(report: &ServeReport, handler: &AppHandler) -> Json {
                     .sites()
                     .iter()
                     .map(|&(name, s)| site_json(name, s))
+                    // Sort class sites ride along, but only the classes
+                    // this run actually served.
+                    .chain(SortSites::classes().filter_map(|class| {
+                        let s = handler.sort_sites().class_site(class);
+                        (s.calls() > 0).then(|| site_json(&format!("sort/c{class:02}"), s))
+                    }))
                     .collect(),
             ),
         ),
@@ -479,9 +561,10 @@ pub fn run_serve_on(
     written.push(trace_path);
 
     let (matches, renders, morphs) = handler.counts();
+    let sorts = handler.sort_count();
     eprintln!(
-        "[serve] done: {} requests ({matches} match, {renders} render, {morphs} morph) \
-         in {:.1}s = {:.0} req/s, p99 {:.1}µs, {} drift restarts",
+        "[serve] done: {} requests ({matches} match, {renders} render, {sorts} sort, \
+         {morphs} morph) in {:.1}s = {:.0} req/s, p99 {:.1}µs, {} drift restarts",
         report.requests,
         report.elapsed_s,
         report.throughput_rps,
@@ -505,6 +588,7 @@ mod tests {
                 threshold: 1.5,
                 patience: 2,
                 stride: 4,
+                min_delta_ms: 0.0,
             },
             ..ServeOptions::default()
         }
@@ -533,6 +617,63 @@ mod tests {
         let lum = f32::from_le_bytes(out[5..9].try_into().unwrap());
         assert!((0.0..=1.0).contains(&lum), "{lum}");
         assert_eq!(h.render_site.calls(), 1);
+    }
+
+    #[test]
+    fn sort_requests_land_on_their_size_class_site() {
+        let mut h = AppHandler::new(&tiny_opts(1009));
+        let mut out = Vec::new();
+        // 96-key requests bucket into class 7 (2^6 < 96 ≤ 2^7); a fixed
+        // key seed makes the expected checksum computable client-side.
+        let mut req = 96u32.to_le_bytes().to_vec();
+        req.extend_from_slice(&77u64.to_le_bytes());
+        for _ in 0..10 {
+            out.clear();
+            assert!(h.handle(OP_SORT, &req, &mut out));
+        }
+        assert_eq!(out[5], 1, "server-side sortedness check must pass");
+        let class = u32::from_le_bytes(out[6..10].try_into().unwrap());
+        assert_eq!(class, smallsort::size_class(96));
+        let mut keys = Rng::new(77);
+        let want: u64 = (0..96)
+            .map(|_| keys.next_u64())
+            .fold(0u64, u64::wrapping_add);
+        let sum = u64::from_le_bytes(out[10..18].try_into().unwrap());
+        assert_eq!(sum, want, "checksum must be reproducible from the seed");
+        // Every request hit exactly the class-7 site; its neighbors idle.
+        assert_eq!(h.sort_sites().class_site(class).calls(), 10);
+        assert_eq!(h.sort_sites().class_site(class + 1).calls(), 0);
+        assert_eq!(h.sort_count(), 10);
+        // Truncated payloads are rejected without killing the connection.
+        out.clear();
+        assert!(h.handle(OP_SORT, &[1, 2], &mut out));
+        assert_eq!(out[4], protocol::OP_ERR);
+    }
+
+    #[test]
+    fn serve_json_includes_active_sort_classes() {
+        let mut h = AppHandler::new(&tiny_opts(1011));
+        let mut out = Vec::new();
+        for n in [16u32, 4096] {
+            for _ in 0..3 {
+                out.clear();
+                h.handle(OP_SORT, &n.to_le_bytes(), &mut out);
+            }
+        }
+        let doc = serve_json(&ServeReport::default(), &h);
+        let sites = doc.get("sites").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = sites
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"sort/c04"), "{names:?}");
+        assert!(names.contains(&"sort/c12"), "{names:?}");
+        // Idle classes stay out of the report.
+        assert!(!names.contains(&"sort/c08"), "{names:?}");
+        assert_eq!(
+            doc.get("app").unwrap().get("sorts").and_then(Json::as_f64),
+            Some(6.0)
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn serve_and_load_end_to_end() {
             threshold: 1.5,
             patience: 2,
             stride: 4,
+            min_delta_ms: 0.0,
         },
         ..ServeOptions::default()
     };
@@ -110,6 +111,72 @@ fn serve_and_load_end_to_end() {
     // — but parseability (not volume) is the contract here.
     let _ = events;
 
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn sort_requests_round_trip_over_the_wire() {
+    use autotune::serve::protocol::{OP_QUIT, OP_SORT};
+    let out = fresh_out_dir("sort");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let opts = ServeOptions {
+        addr: addr.to_string(),
+        corpus_kb: 4,
+        seed: 7005,
+        ..ServeOptions::default()
+    };
+    let server = {
+        let (opts, out) = (opts.clone(), out.clone());
+        std::thread::spawn(move || run_serve_on(listener, &opts, &out, &StopFlag::new()))
+    };
+
+    let mut client = autotune::serve::Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    // Two size classes, interleaved, each with a client-chosen key seed
+    // so the returned checksum is independently verifiable.
+    for round in 0..20u64 {
+        for (n, class) in [(24u32, 5u32), (700, 10)] {
+            let mut req = n.to_le_bytes().to_vec();
+            let seed = 0xC0FFEE + round;
+            req.extend_from_slice(&seed.to_le_bytes());
+            let (op, resp) = client.request(OP_SORT, &req).unwrap();
+            assert_eq!(op, OP_SORT);
+            assert_eq!(resp.len(), 13, "ok + class + checksum");
+            assert_eq!(resp[0], 1, "server-side sortedness check");
+            assert_eq!(u32::from_le_bytes(resp[1..5].try_into().unwrap()), class);
+            let mut keys = autotune::rng::Rng::new(seed);
+            let want = (0..n)
+                .map(|_| keys.next_u64())
+                .fold(0u64, u64::wrapping_add);
+            assert_eq!(u64::from_le_bytes(resp[5..13].try_into().unwrap()), want);
+        }
+    }
+    let (op, _) = client.request(OP_QUIT, &[]).unwrap();
+    assert_eq!(op, OP_QUIT);
+    server.join().unwrap().expect("server run");
+
+    // serve.json carries the two active sort class sites and the counter.
+    let doc = read_json(&out.join("serve.json"));
+    assert_eq!(
+        doc.get("app").unwrap().get("sorts").and_then(Json::as_f64),
+        Some(40.0)
+    );
+    let sites = doc.get("sites").and_then(Json::as_arr).unwrap();
+    for class in ["sort/c05", "sort/c10"] {
+        let site = sites
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(class))
+            .unwrap_or_else(|| panic!("{class} missing from serve.json"));
+        assert_eq!(site.get("calls").and_then(Json::as_f64), Some(20.0));
+        assert!(site
+            .get("exploit_algorithm")
+            .and_then(Json::as_str)
+            .is_some());
+    }
     let _ = std::fs::remove_dir_all(&out);
 }
 

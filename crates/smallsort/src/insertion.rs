@@ -1,0 +1,44 @@
+//! Linear insertion sort: quadratic in theory, unbeatable in practice on
+//! arrays small enough to live in a couple of cache lines — the reason
+//! every serious sort (including [`crate::merge`] and [`crate::pdq`] here)
+//! bottoms out in it below some cutoff. As a member of 𝒜 it is the
+//! expected per-size-class winner for n ≲ 64.
+
+/// Sort `data` ascending by straight insertion: each element is slid left
+/// over its larger predecessors. Stable, in-place, allocation-free; O(n)
+/// on already-sorted input.
+pub fn sort(data: &mut [u64]) {
+    for i in 1..data.len() {
+        let key = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > key {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_small_arrays() {
+        let mut xs = [5u64, 1, 4, 2, 3];
+        sort(&mut xs);
+        assert_eq!(xs, [1, 2, 3, 4, 5]);
+        let mut empty: [u64; 0] = [];
+        sort(&mut empty);
+        let mut one = [9u64];
+        sort(&mut one);
+        assert_eq!(one, [9]);
+    }
+
+    #[test]
+    fn handles_duplicates_and_reverse() {
+        let mut xs = [3u64, 3, 2, 2, 1, 1];
+        sort(&mut xs);
+        assert_eq!(xs, [1, 1, 2, 2, 3, 3]);
+    }
+}

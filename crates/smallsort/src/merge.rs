@@ -1,0 +1,77 @@
+//! Top-down merge sort with a tuned insertion cutoff: stable O(n log n)
+//! with one scratch allocation per call. The `insertion_cutoff` parameter
+//! — below which subarrays are handed to [`crate::insertion`] — is the
+//! classic interval knob of this workload's phase-1 space: too low wastes
+//! the small-array regime, too high drags a quadratic tail into the
+//! recursion.
+
+use crate::insertion;
+
+/// Merge the two sorted halves `data[..mid]` / `data[mid..]` through
+/// `scratch` and copy the result back.
+fn merge_halves(data: &mut [u64], scratch: &mut [u64], mid: usize) {
+    let n = data.len();
+    let (mut i, mut j, mut k) = (0, mid, 0);
+    while i < mid && j < n {
+        if data[i] <= data[j] {
+            scratch[k] = data[i];
+            i += 1;
+        } else {
+            scratch[k] = data[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    scratch[k..k + (mid - i)].copy_from_slice(&data[i..mid]);
+    let k = k + (mid - i);
+    scratch[k..k + (n - j)].copy_from_slice(&data[j..n]);
+    data.copy_from_slice(&scratch[..n]);
+}
+
+fn merge_sort(data: &mut [u64], scratch: &mut [u64], cutoff: usize) {
+    let n = data.len();
+    if n <= cutoff {
+        insertion::sort(data);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (left, right) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        merge_sort(left, sl, cutoff);
+        merge_sort(right, sr, cutoff);
+    }
+    merge_halves(data, scratch, mid);
+}
+
+/// Sort `data` ascending by top-down merge sort, switching to insertion
+/// sort on subarrays of at most `insertion_cutoff` elements (clamped to at
+/// least 1). Allocates one scratch buffer of `data.len()`.
+pub fn sort(data: &mut [u64], insertion_cutoff: usize) {
+    let cutoff = insertion_cutoff.max(1);
+    if data.len() <= cutoff {
+        insertion::sort(data);
+        return;
+    }
+    let mut scratch = vec![0u64; data.len()];
+    merge_sort(data, &mut scratch, cutoff);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_across_cutoffs() {
+        let xs: Vec<u64> = (0..257u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % 97)
+            .collect();
+        for cutoff in [0, 1, 2, 8, 64, 1000] {
+            let mut got = xs.clone();
+            sort(&mut got, cutoff);
+            let mut want = xs.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "cutoff {cutoff}");
+        }
+    }
+}

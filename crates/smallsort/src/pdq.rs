@@ -1,0 +1,88 @@
+//! Pdq-style introsort: median-of-three quicksort that defeats its own
+//! pathologies — subarrays at or below the tuned `insertion_cutoff` go to
+//! [`crate::insertion`], and when the recursion depth exceeds 2·log₂ n
+//! (adversarial or heavily duplicated input driving quadratic behavior)
+//! the partition falls back to [`crate::heap`]. The same
+//! pattern-defeating structure as pdqsort/std's unstable sort, on this
+//! workload's small-array scale.
+
+use crate::{heap, insertion};
+
+/// Median-of-three Lomuto partition: returns the pivot's final index.
+fn partition(data: &mut [u64]) -> usize {
+    let n = data.len();
+    let mid = n / 2;
+    if data[0] > data[mid] {
+        data.swap(0, mid);
+    }
+    if data[0] > data[n - 1] {
+        data.swap(0, n - 1);
+    }
+    if data[mid] > data[n - 1] {
+        data.swap(mid, n - 1);
+    }
+    data.swap(mid, n - 1);
+    let pivot = data[n - 1];
+    let mut store = 0;
+    for i in 0..n - 1 {
+        if data[i] < pivot {
+            data.swap(i, store);
+            store += 1;
+        }
+    }
+    data.swap(store, n - 1);
+    store
+}
+
+fn introsort(data: &mut [u64], cutoff: usize, depth_budget: u32) {
+    if data.len() <= cutoff {
+        insertion::sort(data);
+        return;
+    }
+    if depth_budget == 0 {
+        heap::sort(data);
+        return;
+    }
+    let p = partition(data);
+    let (lo, hi) = data.split_at_mut(p);
+    introsort(lo, cutoff, depth_budget - 1);
+    introsort(&mut hi[1..], cutoff, depth_budget - 1);
+}
+
+/// Sort `data` ascending by introsort, switching to insertion sort on
+/// subarrays of at most `insertion_cutoff` elements (clamped to at
+/// least 1) and to heapsort past a 2·log₂ n recursion depth. In-place,
+/// allocation-free.
+pub fn sort(data: &mut [u64], insertion_cutoff: usize) {
+    let cutoff = insertion_cutoff.max(1);
+    if data.len() < 2 {
+        return;
+    }
+    introsort(data, cutoff, 2 * data.len().ilog2() + 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_adversarial_shapes() {
+        let shapes: Vec<Vec<u64>> = vec![
+            (0..300u64).rev().collect(),
+            vec![42; 200],
+            (0..300u64).map(|i| i % 3).collect(),
+            (0..300u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+                .collect(),
+        ];
+        for xs in shapes {
+            for cutoff in [0, 1, 12, 64] {
+                let mut got = xs.clone();
+                sort(&mut got, cutoff);
+                let mut want = xs.clone();
+                want.sort_unstable();
+                assert_eq!(got, want, "cutoff {cutoff}");
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Size-classed, site-dispatched sorting: input size as a **context
+//! dimension** of the tuning problem.
+//!
+//! One tuner for "sorting" would learn a single global compromise — but
+//! the whole point of this workload is that the winner *flips with n*:
+//! insertion at n ≲ 64, comparison sorts in the middle, radix at large
+//! integer n. So requests are bucketed by [`size_class`] (the power-of-two
+//! ceiling of `n`, clamped to `[2^MIN_CLASS_LOG2, 2^MAX_CLASS_LOG2]`) and
+//! a [`SortSites`] table binds **each class to its own tuning site** in
+//! the process-global registry ([`autotune::site`]). Every class converges
+//! independently to its own per-size winner; nothing about the tuner
+//! itself changes — context is just more sites.
+//!
+//! Measurement is the second novelty: a single small-array sort is cheaper
+//! than a timer tick, so the tuning path times `k` back-to-back sorts of
+//! copies of the same unsorted input and divides
+//! ([`autotune::robust::batched_time_ms`]), while exploit-path production
+//! traffic pays exactly one sort and the site guard's ordinary single-shot
+//! clock — see [`sort_request`].
+
+use crate::{heap, insertion, merge, pdq, radix};
+use autotune::param::{Parameter, Value};
+use autotune::robust::{batched_time_ms, MeasureOutcome};
+use autotune::site::{register, site, Site, SiteSpec};
+use autotune::space::{Configuration, Constraint, SearchSpace};
+use autotune::two_phase::{AlgorithmSpec, NominalKind};
+
+/// Names of the five sort variants, index-aligned with the algorithm
+/// indices of every site built from [`sort_site_spec`] and with
+/// [`sort_with`].
+pub const ALGORITHM_NAMES: [&str; 5] = ["insertion", "heap", "merge", "introsort", "radix-lsd"];
+
+/// Smallest size-class exponent: arrays of up to `2^MIN_CLASS_LOG2`
+/// elements share the bottom class.
+pub const MIN_CLASS_LOG2: u32 = 3;
+
+/// Largest size-class exponent: arrays beyond `2^MAX_CLASS_LOG2` elements
+/// share the top class.
+pub const MAX_CLASS_LOG2: u32 = 14;
+
+/// Number of size classes, and the number of sites a [`SortSites`] table
+/// registers.
+pub const NUM_CLASSES: usize = (MAX_CLASS_LOG2 - MIN_CLASS_LOG2 + 1) as usize;
+
+/// The size class of an `n`-element sort request: the power-of-two ceiling
+/// exponent `⌈log₂ n⌉`, clamped into
+/// `[MIN_CLASS_LOG2, MAX_CLASS_LOG2]`. Total (every `n`, including 0, maps
+/// to exactly one class) and stable (a pure function of `n`); boundary
+/// sizes `2^k` and `2^k + 1` land in adjacent classes `k` and `k + 1`.
+pub fn size_class(n: usize) -> u32 {
+    let n = n.max(1) as u64;
+    let ceil_log2 = if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    };
+    ceil_log2.clamp(MIN_CLASS_LOG2, MAX_CLASS_LOG2)
+}
+
+fn cutoff_space() -> SearchSpace {
+    SearchSpace::new(vec![Parameter::interval("insertion_cutoff", 1, 64)])
+}
+
+fn radix_space() -> SearchSpace {
+    SearchSpace::new(vec![Parameter::interval("chunk_bits", 1, 16)]).with_constraint(
+        Constraint::new("pass-aligned", |c| {
+            let bits = c.get(0).as_i64();
+            (1..=16).contains(&bits) && 64 % bits == 0
+        })
+        .with_repair(|c| {
+            let mut bits = c.get(0).as_i64().clamp(1, 16);
+            while 64 % bits != 0 {
+                bits -= 1;
+            }
+            Configuration::new(vec![Value::Int(bits)])
+        }),
+    )
+}
+
+/// Algorithm specs for the five sort variants, index-aligned with
+/// [`ALGORITHM_NAMES`]. Insertion and heapsort expose no parameters; merge
+/// and introsort tune their `insertion_cutoff ∈ [1, 64]`; radix tunes
+/// `chunk_bits ∈ [1, 16]` under a `pass-aligned` constraint (the width
+/// must divide 64, repaired by rounding down — only {1, 2, 4, 8, 16} are
+/// feasible pass schedules).
+pub fn sort_algorithm_specs() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::untunable(ALGORITHM_NAMES[0]),
+        AlgorithmSpec::untunable(ALGORITHM_NAMES[1]),
+        AlgorithmSpec::new(ALGORITHM_NAMES[2], cutoff_space()),
+        AlgorithmSpec::new(ALGORITHM_NAMES[3], cutoff_space()),
+        AlgorithmSpec::new(ALGORITHM_NAMES[4], radix_space()),
+    ]
+}
+
+/// A site blueprint selecting over the five sort variants
+/// ([`sort_algorithm_specs`]) — one of these per size class makes up a
+/// [`SortSites`] table.
+pub fn sort_site_spec(name: impl Into<String>, nominal: NominalKind, seed: u64) -> SiteSpec {
+    SiteSpec::algorithms(name, sort_algorithm_specs(), nominal, seed)
+}
+
+fn cutoff_of(config: &Configuration) -> usize {
+    config.get(0).as_i64().clamp(1, 64) as usize
+}
+
+fn chunk_bits_of(config: &Configuration) -> u32 {
+    config.get(0).as_i64().clamp(1, 16) as u32
+}
+
+/// Run sort variant `algorithm` (an index into [`ALGORITHM_NAMES`]) on
+/// `data` with its parameters drawn from `config`. Panics on an
+/// out-of-range algorithm index.
+pub fn sort_with(algorithm: usize, config: &Configuration, data: &mut [u64]) {
+    match algorithm {
+        0 => insertion::sort(data),
+        1 => heap::sort(data),
+        2 => merge::sort(data, cutoff_of(config)),
+        3 => pdq::sort(data, cutoff_of(config)),
+        4 => radix::sort(data, chunk_bits_of(config)),
+        other => panic!(
+            "smallsort has {} algorithms, got index {other}",
+            ALGORITHM_NAMES.len()
+        ),
+    }
+}
+
+/// One tuning site per size class: the context-dimension table. `Copy`
+/// site handles over never-freed registry slots, so the table itself is
+/// cheap to clone and share; typically built once per process (or per
+/// study repetition, with a distinct `prefix`).
+#[derive(Clone, Copy, Debug)]
+pub struct SortSites {
+    sites: [Site; NUM_CLASSES],
+}
+
+impl SortSites {
+    /// Register one site per size class, named `{prefix}/c{class:02}`,
+    /// each selecting over [`sort_algorithm_specs`] with the given phase-2
+    /// strategy and a per-class seed derived from `seed`.
+    pub fn register(prefix: &str, nominal: NominalKind, seed: u64) -> SortSites {
+        SortSites {
+            sites: std::array::from_fn(|i| {
+                let class = MIN_CLASS_LOG2 + i as u32;
+                site(register(sort_site_spec(
+                    format!("{prefix}/c{class:02}"),
+                    nominal,
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(class as u64),
+                )))
+            }),
+        }
+    }
+
+    /// The site owning size class `class` (clamped into the class range).
+    pub fn class_site(&self, class: u32) -> Site {
+        self.sites[(class.clamp(MIN_CLASS_LOG2, MAX_CLASS_LOG2) - MIN_CLASS_LOG2) as usize]
+    }
+
+    /// The site an `n`-element request dispatches to.
+    pub fn site_for(&self, n: usize) -> Site {
+        self.class_site(size_class(n))
+    }
+
+    /// Every class exponent, smallest first — index-aligned with the
+    /// registration order.
+    pub fn classes() -> impl Iterator<Item = u32> {
+        MIN_CLASS_LOG2..=MAX_CLASS_LOG2
+    }
+}
+
+/// Sort `data` ascending through its size class's tuning site; the serving
+/// entry point. Returns `(class, per_call_ms)`.
+///
+/// The class site picks the variant and configuration. A claim-winning
+/// call is a tuning iteration, and one small sort is cheaper than a timer
+/// tick — so it is timed by [`batched_time_ms`]: `k` back-to-back sorts of
+/// fresh copies of the *unsorted* input (re-sorting the already-sorted
+/// output would hand insertion sort its O(n) best case), divided by `k`.
+/// The per-batch memcpy restoring the input is inside the timed region;
+/// its cost is identical across variants, a constant per-class offset that
+/// cannot reorder them. Contended exploit-path calls pay exactly one sort
+/// and the guard's single-shot clock — those quantized samples feed
+/// telemetry, never the tuner.
+pub fn sort_request(sites: &SortSites, data: &mut [u64]) -> (u32, f64) {
+    let class = size_class(data.len());
+    let guard = sites.class_site(class).pre();
+    let algorithm = guard.algorithm();
+    if guard.is_tuning() {
+        let config = guard.config().clone();
+        let original = data.to_vec();
+        let mut scratch = original.clone();
+        let ms = batched_time_ms(|| {
+            scratch.copy_from_slice(&original);
+            sort_with(algorithm, &config, &mut scratch);
+        });
+        data.copy_from_slice(&scratch);
+        guard.post_outcome(MeasureOutcome::from_value(ms));
+        (class, ms)
+    } else {
+        sort_with(algorithm, guard.config(), data);
+        let ms = guard.post();
+        (class, ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_class_boundaries_are_adjacent() {
+        for k in MIN_CLASS_LOG2..MAX_CLASS_LOG2 {
+            assert_eq!(size_class(1 << k), k, "2^{k} belongs to class {k}");
+            assert_eq!(size_class((1 << k) + 1), k + 1, "2^{k}+1 spills over");
+        }
+        assert_eq!(size_class(0), MIN_CLASS_LOG2);
+        assert_eq!(size_class(1), MIN_CLASS_LOG2);
+        assert_eq!(size_class(usize::MAX), MAX_CLASS_LOG2);
+    }
+
+    #[test]
+    fn specs_declare_the_pass_alignment_constraint() {
+        let specs = sort_algorithm_specs();
+        assert_eq!(specs.len(), ALGORITHM_NAMES.len());
+        let radix = &specs[4];
+        assert!(radix.space.is_constrained());
+        for bits in 1..=16i64 {
+            let feasible = radix
+                .space
+                .is_feasible(&Configuration::new(vec![Value::Int(bits)]));
+            assert_eq!(feasible, 64 % bits == 0, "chunk_bits {bits}");
+        }
+        let repaired = radix
+            .space
+            .repair(&Configuration::new(vec![Value::Int(7)]))
+            .expect("repairable");
+        assert_eq!(repaired.get(0).as_i64(), 4);
+    }
+
+    #[test]
+    fn sort_request_sorts_and_tunes_per_class() {
+        let sites = SortSites::register("tuned-test", NominalKind::EpsilonGreedy(0.10), 23);
+        let mut rng = autotune::rng::Rng::new(7);
+        for n in [5usize, 70, 300] {
+            let class = size_class(n);
+            let before = sites.class_site(class).calls();
+            for _ in 0..4 {
+                let mut data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+                let mut want = data.clone();
+                let (got_class, ms) = sort_request(&sites, &mut data);
+                want.sort_unstable();
+                assert_eq!(data, want);
+                assert_eq!(got_class, class);
+                assert!(ms >= 0.0);
+            }
+            assert_eq!(sites.class_site(class).calls(), before + 4);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Differential correctness: every sort variant, across every parameter
+//! value the tuner can propose, must agree exactly with the standard
+//! library's reference sort on adversarially shaped inputs. Equality
+//! against the sorted reference copy is a full multiset check — same
+//! elements, same order — so a variant that drops, duplicates or
+//! misplaces a key cannot pass.
+
+use autotune::param::Value;
+use autotune::rng::Rng;
+use autotune::space::Configuration;
+use smallsort::{sort_with, ALGORITHM_NAMES};
+
+/// Sizes spanning every size class and its boundaries.
+const SIZES: [usize; 14] = [0, 1, 2, 3, 7, 8, 9, 15, 16, 64, 65, 1000, 4096, 5000];
+
+fn shapes(n: usize, rng: &mut Rng) -> Vec<(&'static str, Vec<u64>)> {
+    let random: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let sorted: Vec<u64> = (0..n as u64).collect();
+    let reversed: Vec<u64> = (0..n as u64).rev().collect();
+    let few_distinct: Vec<u64> = (0..n).map(|_| rng.next_below(4)).collect();
+    let all_equal = vec![u64::MAX; n];
+    let sawtooth: Vec<u64> = (0..n as u64).map(|i| i % 17).collect();
+    vec![
+        ("random", random),
+        ("sorted", sorted),
+        ("reversed", reversed),
+        ("few-distinct", few_distinct),
+        ("all-equal", all_equal),
+        ("sawtooth", sawtooth),
+    ]
+}
+
+fn configs_for(algorithm: usize) -> Vec<Configuration> {
+    match algorithm {
+        // insertion / heap: no parameters.
+        0 | 1 => vec![Configuration::empty()],
+        // merge / introsort: cutoff extremes and the default middle.
+        2 | 3 => [1i64, 8, 33, 64]
+            .iter()
+            .map(|&c| Configuration::new(vec![Value::Int(c)]))
+            .collect(),
+        // radix: every feasible chunk width.
+        4 => [1i64, 2, 4, 8, 16]
+            .iter()
+            .map(|&b| Configuration::new(vec![Value::Int(b)]))
+            .collect(),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn every_variant_matches_the_reference_sort() {
+    let mut rng = Rng::new(0xD1FF);
+    for n in SIZES {
+        for (shape, input) in shapes(n, &mut rng) {
+            let mut want = input.clone();
+            want.sort_unstable();
+            for (algorithm, name) in ALGORITHM_NAMES.iter().enumerate() {
+                for config in configs_for(algorithm) {
+                    let mut got = input.clone();
+                    sort_with(algorithm, &config, &mut got);
+                    assert_eq!(
+                        got, want,
+                        "{name} with {config:?} diverged on {shape} input of {n} elements"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn radix_handles_extreme_keys() {
+    let input = vec![
+        u64::MAX,
+        0,
+        1,
+        u64::MAX - 1,
+        1 << 63,
+        (1 << 63) - 1,
+        0xFFFF_FFFF,
+        0x1_0000_0000,
+    ];
+    let mut want = input.clone();
+    want.sort_unstable();
+    for bits in [1u32, 2, 4, 8, 16] {
+        let mut got = input.clone();
+        smallsort::radix::sort(&mut got, bits);
+        assert_eq!(got, want, "chunk_bits {bits}");
+    }
+}

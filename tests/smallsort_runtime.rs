@@ -1,0 +1,122 @@
+//! The smallsort context dimension under the multi-site runtime:
+//!
+//! 1. **Bucketing properties** — `size_class` is total (every `n`,
+//!    including 0 and `usize::MAX`, maps to exactly one class in range),
+//!    stable (a pure function of `n`), monotone, and splits exactly at
+//!    powers of two (`2^k` and `2^k + 1` land in adjacent classes).
+//! 2. **Exact per-class call accounting under 8-thread stress** — like
+//!    `tests/site_runtime.rs`, but across the whole [`SortSites`] table:
+//!    concurrent sort requests of mixed sizes must be counted exactly
+//!    once at exactly the site their size class owns, with every
+//!    completed call either a tuning iteration or a contended exploit.
+
+use autotune::rng::Rng;
+use autotune::two_phase::NominalKind;
+use smallsort::{size_class, sort_request, SortSites, MAX_CLASS_LOG2, MIN_CLASS_LOG2};
+
+#[test]
+fn size_class_is_total_and_in_range() {
+    let mut rng = Rng::new(0x517E);
+    let exhaustive = 0..=(1usize << 16);
+    let random = (0..10_000).map(|_| rng.next_u64() as usize);
+    for n in exhaustive.chain(random).chain([0, 1, usize::MAX]) {
+        let c = size_class(n);
+        assert!(
+            (MIN_CLASS_LOG2..=MAX_CLASS_LOG2).contains(&c),
+            "n={n} escaped the class range: {c}"
+        );
+    }
+}
+
+#[test]
+fn size_class_is_stable_and_monotone() {
+    let mut prev = size_class(0);
+    for n in 1..=(1usize << 15) {
+        let c = size_class(n);
+        assert_eq!(c, size_class(n), "same n must always bucket identically");
+        assert!(c >= prev, "bucketing must be monotone in n ({n})");
+        assert!(c - prev <= 1, "no class may be skipped walking n upward");
+        prev = c;
+    }
+}
+
+#[test]
+fn size_class_boundaries_land_in_adjacent_classes() {
+    for k in MIN_CLASS_LOG2..MAX_CLASS_LOG2 {
+        assert_eq!(size_class(1usize << k), k, "2^{k} caps class {k}");
+        assert_eq!(
+            size_class((1usize << k) + 1),
+            k + 1,
+            "2^{k}+1 opens class {}",
+            k + 1
+        );
+    }
+    // Everything past the top boundary shares the top class.
+    assert_eq!(size_class((1usize << MAX_CLASS_LOG2) + 1), MAX_CLASS_LOG2);
+    assert_eq!(size_class(usize::MAX), MAX_CLASS_LOG2);
+}
+
+#[test]
+fn stress_exact_per_class_accounting_across_eight_threads() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 150;
+    // A request size in every class, hitting both boundary shapes: the
+    // class's cap 2^c and its opening size 2^(c-1) + 1.
+    let sizes: Vec<usize> = (MIN_CLASS_LOG2..=MAX_CLASS_LOG2)
+        .flat_map(|c| [1usize << c, (1usize << (c - 1)) + 1])
+        .collect();
+    let sites = SortSites::register("stress", NominalKind::EpsilonGreedy(0.10), 4242);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sizes = &sizes;
+            let sites = &sites;
+            scope.spawn(move || {
+                let mut rng = Rng::new(9000 + t as u64);
+                for i in 0..ITERS {
+                    // Phase-shift per thread so threads collide on the
+                    // same class site often.
+                    let n = sizes[(i + t * 3) % sizes.len()];
+                    let mut data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+                    let (class, _ms) = sort_request(sites, &mut data);
+                    assert_eq!(class, size_class(n));
+                    assert!(data.windows(2).all(|w| w[0] <= w[1]), "unsorted output");
+                }
+            });
+        }
+    });
+
+    // Rebuild the exact dispatch schedule and hold every class site to it.
+    let mut per_class = std::collections::HashMap::new();
+    for t in 0..THREADS {
+        for i in 0..ITERS {
+            let n = sizes[(i + t * 3) % sizes.len()];
+            *per_class.entry(size_class(n)).or_insert(0u64) += 1;
+        }
+    }
+    let mut total = 0;
+    for class in MIN_CLASS_LOG2..=MAX_CLASS_LOG2 {
+        let s = sites.class_site(class);
+        let want = per_class.get(&class).copied().unwrap_or(0);
+        assert_eq!(
+            s.calls(),
+            want,
+            "class {class} site must count exactly its own dispatches"
+        );
+        assert_eq!(
+            s.tuned_iterations() + s.contended(),
+            want,
+            "class {class}: every call is tuned or contended"
+        );
+        assert!(
+            s.tuned_iterations() > 0,
+            "class {class}: at least one tuning iteration ran"
+        );
+        total += s.calls();
+    }
+    assert_eq!(
+        total,
+        (THREADS * ITERS) as u64,
+        "no call lost or duplicated"
+    );
+}
