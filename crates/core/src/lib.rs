@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod drift;
 pub mod history;
 pub mod json;
@@ -83,6 +84,7 @@ pub mod two_phase;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::context::{ContextGuard, ContextKey, ContextSites, ContextStats, KeyStats};
     pub use crate::drift::{DriftConfig, DriftMonitor, Verdict};
     pub use crate::measure::{duration_ms, time_ms, Context, Measure, Sample};
     pub use crate::mixed::MixedTuner;

@@ -669,10 +669,7 @@ mod tests {
             }
         });
         let v = out.ok().expect("timing real work succeeds");
-        assert!(
-            (RESOLUTION_FLOOR_MS..1.0).contains(&v),
-            "per-call ms: {v}"
-        );
+        assert!((RESOLUTION_FLOOR_MS..1.0).contains(&v), "per-call ms: {v}");
         std::hint::black_box(acc);
     }
 

@@ -148,8 +148,9 @@ impl SiteId {
 enum SpecKind {
     /// Phase-2 selection over algorithms, each with its own phase-1 space.
     Algorithms(Vec<AlgorithmSpec>, NominalKind),
-    /// A single parameter space with no algorithmic choice.
-    Space(SearchSpace, Termination),
+    /// A single parameter space with no algorithmic choice, plus an
+    /// optional starting configuration (set by warm-starting).
+    Space(SearchSpace, Termination, Option<Configuration>),
 }
 
 /// Blueprint of a tuning site: what it tunes and with which strategies and
@@ -188,10 +189,59 @@ impl SiteSpec {
     pub fn space(name: impl Into<String>, space: SearchSpace, seed: u64) -> Self {
         SiteSpec {
             name: name.into(),
-            kind: SpecKind::Space(space, Termination::Never),
+            kind: SpecKind::Space(space, Termination::Never, None),
             phase1: Phase1Kind::NelderMead,
             seed,
         }
+    }
+
+    /// The site's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replace the display name — used by [`crate::context::ContextSites`]
+    /// to give its recycled pool slots stable `{prefix}/slot{NN}` registry
+    /// names independent of which context key is currently bound.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// A copy of this blueprint whose per-algorithm starting
+    /// configurations are replaced by the given incumbents — the
+    /// phase-1 half of cross-context warm-starting
+    /// ([`crate::context::ContextSites`]).
+    ///
+    /// `incumbents` is index-aligned with the algorithm order
+    /// (single-space sites read index 0). An incumbent is adopted only
+    /// where it lies inside — and is feasible in — the matching
+    /// algorithm's space; missing or infeasible entries leave that
+    /// algorithm's start untouched, so a neighbor's posterior can never
+    /// smuggle an invalid configuration past the constraints.
+    pub fn with_incumbent_starts(
+        mut self,
+        incumbents: &[Option<(Configuration, f64)>],
+    ) -> SiteSpec {
+        match &mut self.kind {
+            SpecKind::Algorithms(specs, _) => {
+                for (s, inc) in specs.iter_mut().zip(incumbents) {
+                    if let Some((c, _)) = inc {
+                        if s.space.contains(c) && s.space.is_feasible(c) {
+                            s.start = Some(c.clone());
+                        }
+                    }
+                }
+            }
+            SpecKind::Space(space, _, start) => {
+                if let Some(Some((c, _))) = incumbents.first() {
+                    if space.contains(c) && space.is_feasible(c) {
+                        *start = Some(c.clone());
+                    }
+                }
+            }
+        }
+        self
     }
 
     /// Override the phase-1 searcher kind.
@@ -213,7 +263,7 @@ impl SiteSpec {
                     s.space = s.space.clone().with_constraint(constraint.clone());
                 }
             }
-            SpecKind::Space(space, _) => {
+            SpecKind::Space(space, _, _) => {
                 *space = space.clone().with_constraint(constraint.clone());
             }
         }
@@ -223,7 +273,7 @@ impl SiteSpec {
     /// Override the termination criterion (single-space sites only; a
     /// terminated site keeps exploiting its best-known configuration).
     pub fn with_termination(mut self, termination: Termination) -> Self {
-        if let SpecKind::Space(_, t) = &mut self.kind {
+        if let SpecKind::Space(_, t, _) = &mut self.kind {
             *t = termination;
         }
         self
@@ -260,14 +310,16 @@ impl SiteTuner {
                 }
                 SiteTuner::TwoPhase(TwoPhaseTuner::with_phase1(specs, nominal, phase1, seed))
             }
-            SpecKind::Space(space, termination) => {
+            SpecKind::Space(space, termination, start) => {
                 assert!(
                     space.dims() <= MAX_PUBLISHED_PARAMS,
                     "space has {} parameters; sites publish at most {}",
                     space.dims(),
                     MAX_PUBLISHED_PARAMS
                 );
-                let searcher = phase1.build(&AlgorithmSpec::new(name.clone(), space), seed);
+                let mut aspec = AlgorithmSpec::new(name.clone(), space);
+                aspec.start = start;
+                let searcher = phase1.build(&aspec, seed);
                 SiteTuner::Single(OnlineTuner::new(searcher, termination))
             }
         };
@@ -319,6 +371,50 @@ impl SiteTuner {
                     .map(|(c, _)| c.clone())
                     .unwrap_or_else(|| t.searcher().space().min_corner()),
             ),
+        }
+    }
+
+    fn algorithm_count(&self) -> usize {
+        match self {
+            SiteTuner::TwoPhase(t) => t.num_algorithms(),
+            SiteTuner::Single(_) => 1,
+        }
+    }
+
+    /// Build a *warm-started* tuner from a blueprint and a neighboring
+    /// context's posterior: every phase-1 searcher starts from the
+    /// neighbor's incumbent configuration for its algorithm (where
+    /// feasible — see [`SiteSpec::with_incumbent_starts`]), and for
+    /// algorithmic-choice sites the phase-2 strategy is pre-seeded with
+    /// one synthetic sample per observed algorithm
+    /// ([`TwoPhaseTuner::seed_algorithm`]), so selection weights start
+    /// from the neighbor's ranking instead of uniform ignorance.
+    ///
+    /// This is the seeding rule behind [`crate::context::ContextSites`]
+    /// cross-context warm-starting; DESIGN.md §11 motivates it.
+    pub fn build_warm(spec: SiteSpec, incumbents: &[Option<(Configuration, f64)>]) -> SiteTuner {
+        let (mut tuner, _name) = SiteTuner::build(spec.with_incumbent_starts(incumbents));
+        if let SiteTuner::TwoPhase(t) = &mut tuner {
+            for (i, inc) in incumbents.iter().enumerate().take(t.num_algorithms()) {
+                if let Some((_, v)) = inc {
+                    t.seed_algorithm(i, *v);
+                }
+            }
+        }
+        tuner
+    }
+
+    /// Snapshot the per-algorithm incumbents — each algorithm's
+    /// best-known (configuration, value), `None` where nothing has been
+    /// observed yet. Index-aligned with the algorithm order
+    /// (single-space tuners return one entry). This is the "posterior"
+    /// a neighboring context is warm-started from.
+    pub fn incumbents(&self) -> Vec<Option<(Configuration, f64)>> {
+        match self {
+            SiteTuner::TwoPhase(t) => (0..t.num_algorithms())
+                .map(|i| t.searcher_best(i).map(|(c, v)| (c.clone(), v)))
+                .collect(),
+            SiteTuner::Single(t) => vec![t.best().map(|(c, v)| (c.clone(), v))],
         }
     }
 
@@ -386,15 +482,28 @@ struct SiteSlot {
     pub_vals: [AtomicU64; MAX_PUBLISHED_PARAMS],
     id: SiteId,
     name: String,
-    num_algorithms: usize,
-    /// The registration blueprint, kept so [`Site::restart`] can rebuild a
-    /// fresh tuner (same spec, same seed) after workload drift.
-    recipe: SiteSpec,
-    /// Tuner state; accessed only by the claim holder (see module docs).
-    tuner: UnsafeCell<SiteTuner>,
+    /// Algorithm count of the current binding; atomic because
+    /// [`Site::rebind`] may install a tuner with a different algorithm
+    /// set while readers inspect the site.
+    num_algorithms: AtomicU32,
+    /// Tuner state plus its blueprint; accessed only by the claim holder
+    /// (see module docs).
+    state: UnsafeCell<SlotState>,
 }
 
-// SAFETY: `tuner` is only accessed between a successful
+/// The claim-guarded mutable state of a slot: the live tuner and the
+/// blueprint it was built from. Both travel together because
+/// [`Site::rebind`] swaps them as a unit — the recipe must always
+/// describe the installed tuner, or [`Site::restart`] would rebuild the
+/// wrong binding.
+struct SlotState {
+    tuner: SiteTuner,
+    /// The binding blueprint, kept so [`Site::restart`] can rebuild a
+    /// fresh tuner (same spec, same seed) after workload drift.
+    recipe: SiteSpec,
+}
+
+// SAFETY: `state` is only accessed between a successful
 // `claim.compare_exchange(0, 1, Acquire, _)` and the subsequent
 // `claim.store(0, Release)`, giving mutual exclusion plus a happens-before
 // edge from each claim holder's mutations to the next holder's reads.
@@ -415,10 +524,7 @@ impl SiteSlot {
     fn new(id: SiteId, spec: SiteSpec) -> Self {
         let recipe = spec.clone();
         let (tuner, name) = SiteTuner::build(spec);
-        let num_algorithms = match &tuner {
-            SiteTuner::TwoPhase(t) => t.num_algorithms(),
-            SiteTuner::Single(_) => 1,
-        };
+        let num_algorithms = tuner.algorithm_count();
         let slot = SiteSlot {
             claim: AtomicU32::new(0),
             calls: AtomicU64::new(0),
@@ -431,15 +537,14 @@ impl SiteSlot {
             pub_vals: Default::default(),
             id,
             name,
-            num_algorithms,
-            recipe,
-            tuner: UnsafeCell::new(tuner),
+            num_algorithms: AtomicU32::new(num_algorithms as u32),
+            state: UnsafeCell::new(SlotState { tuner, recipe }),
         };
         // Publish the initial exploit decision (the hand-crafted start or
         // the space's minimum corner) so the exploit fast path is valid
         // from the very first contended call. Single-threaded here: the
         // slot is not yet visible to the registry.
-        let (algo, config) = unsafe { &*slot.tuner.get() }.exploit_choice();
+        let (algo, config) = unsafe { &(*slot.state.get()).tuner }.exploit_choice();
         slot.publish(algo, &config);
         slot
     }
@@ -512,9 +617,9 @@ impl Site {
     }
 
     /// Number of algorithms this site selects between (1 for single-space
-    /// sites).
+    /// sites). Tracks the current binding across [`Site::rebind`]s.
     pub fn num_algorithms(self) -> usize {
-        self.slot.num_algorithms
+        self.slot.num_algorithms.load(Ordering::Relaxed) as usize
     }
 
     /// Completed calls through this site (tuned iterations + exploit fast
@@ -560,13 +665,60 @@ impl Site {
         {
             std::hint::spin_loop();
         }
-        let (tuner, _name) = SiteTuner::build(slot.recipe.clone());
         // SAFETY: this thread holds the claim (see `Sync` impl).
-        unsafe { *slot.tuner.get() = tuner };
-        let (algo, config) = unsafe { &*slot.tuner.get() }.exploit_choice();
+        let state = unsafe { &mut *slot.state.get() };
+        let (tuner, _name) = SiteTuner::build(state.recipe.clone());
+        state.tuner = tuner;
+        let (algo, config) = state.tuner.exploit_choice();
         slot.publish(algo, &config);
         slot.restarts.fetch_add(1, Ordering::Relaxed);
         slot.claim.store(0, Ordering::Release);
+    }
+
+    /// Rebind this site to a new blueprint, returning the outgoing tuner:
+    /// the slot-recycling primitive behind
+    /// [`crate::context::ContextSites`]. Install `tuner` verbatim if
+    /// `Some` (a previously parked state, so an evicted context's
+    /// re-admission is bit-identical) or a cold build from `spec`
+    /// otherwise; `spec` becomes the new [`Site::restart`] recipe either
+    /// way, and the incoming tuner's exploit choice is published before
+    /// the claim is released so concurrent exploit traffic never sees the
+    /// old binding's decision.
+    ///
+    /// Spins for the claim like [`Site::restart`], so it must not be
+    /// called from a thread that already holds it. The caller must ensure
+    /// no in-flight [`SiteGuard`] from the *previous* binding is still
+    /// outstanding — a late `post()` would be counted (and traced)
+    /// against the new binding; [`crate::context::ContextSites`] enforces
+    /// this with per-slot in-flight accounting. Traffic counters
+    /// (`calls`, `contended`) are not reset: they count the slot, not
+    /// the binding.
+    pub fn rebind(self, spec: SiteSpec, tuner: Option<SiteTuner>) -> SiteTuner {
+        let slot = self.slot;
+        // Cold builds happen outside the claim: registration cost must
+        // not extend the window in which callers are forced onto the
+        // (stale) exploit path.
+        let incoming = match tuner {
+            Some(t) => t,
+            None => SiteTuner::build(spec.clone()).0,
+        };
+        while slot
+            .claim
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: this thread holds the claim (see `Sync` impl).
+        let state = unsafe { &mut *slot.state.get() };
+        let outgoing = std::mem::replace(&mut state.tuner, incoming);
+        state.recipe = spec;
+        slot.num_algorithms
+            .store(state.tuner.algorithm_count() as u32, Ordering::Relaxed);
+        let (algo, config) = state.tuner.exploit_choice();
+        slot.publish(algo, &config);
+        slot.claim.store(0, Ordering::Release);
+        outgoing
     }
 
     /// Enter the site (Tuna's `tuna_pre`): pick the algorithm and
@@ -592,7 +744,7 @@ impl Site {
             let bomb = ReleaseOnPanic(slot);
             // SAFETY: this thread holds the claim (see `Sync` impl).
             let proposal = telemetry::with_site(slot.id.tag(), || {
-                let tuner = unsafe { &mut *slot.tuner.get() };
+                let tuner = unsafe { &mut (*slot.state.get()).tuner };
                 let (a, c) = tuner.next();
                 if tuner.is_feasible(a, &c) {
                     Some((a, c))
@@ -655,7 +807,7 @@ impl Site {
             std::hint::spin_loop();
         }
         // SAFETY: this thread holds the claim (see `Sync` impl).
-        let r = f(unsafe { &*slot.tuner.get() });
+        let r = f(unsafe { &(*slot.state.get()).tuner });
         slot.claim.store(0, Ordering::Release);
         r
     }
@@ -727,7 +879,7 @@ impl SiteGuard {
         if self.claimed {
             telemetry::with_site(slot.id.tag(), || {
                 // SAFETY: this thread holds the claim (see `Sync` impl).
-                let tuner = unsafe { &mut *slot.tuner.get() };
+                let tuner = unsafe { &mut (*slot.state.get()).tuner };
                 tuner.report_outcome(outcome);
                 let (algo, config) = tuner.exploit_choice();
                 slot.publish(algo, &config);
@@ -764,7 +916,7 @@ impl Drop for SiteGuard {
         let slot = self.site.slot;
         if self.claimed {
             // SAFETY: this thread holds the claim (see `Sync` impl).
-            unsafe { &mut *slot.tuner.get() }.abandon();
+            unsafe { &mut (*slot.state.get()).tuner }.abandon();
             slot.claim.store(0, Ordering::Release);
         }
         // Abandoned calls are not counted: nothing ran to completion.

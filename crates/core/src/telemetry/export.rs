@@ -12,7 +12,7 @@
 //!   duration events, queue depths and phase-2 weights become `C`
 //!   counter tracks, everything else becomes instant events.
 
-use super::{Event, EventKind, MeasureStatus, SimplexOp, SpanKind, WeightSet, NO_SITE};
+use super::{Event, EventKind, MeasureStatus, SimplexOp, SpanKind, WeightSet, NO_CONTEXT, NO_SITE};
 use crate::json::{Json, JsonError};
 
 fn semantic_err<T>(message: impl Into<String>) -> Result<T, JsonError> {
@@ -46,15 +46,22 @@ fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, JsonError> {
 
 /// Serialize one event as a flat JSON object (one JSONL line).
 ///
-/// Events recorded inside a tuning-site scope carry a `"site"` field;
-/// untagged events ([`NO_SITE`]) omit it, keeping single-tuner trace
-/// files byte-compatible with the pre-site schema.
+/// Events recorded inside a tuning-site scope carry a `"site"` field and
+/// events recorded inside a context scope carry a `"context"` field;
+/// untagged events ([`NO_SITE`] / [`NO_CONTEXT`]) omit them, keeping
+/// single-tuner trace files byte-compatible with the pre-site schema.
 pub fn event_to_json(event: &Event) -> Json {
     let mut j = event_kind_to_json(event);
-    if event.site != NO_SITE {
-        if let Json::Obj(pairs) = &mut j {
-            // Keep `site` right after `t_us` so lines stay human-scannable.
-            pairs.insert(1, ("site".into(), Json::Num(event.site as f64)));
+    if let Json::Obj(pairs) = &mut j {
+        // Keep `site` then `context` right after `t_us` so lines stay
+        // human-scannable.
+        let mut at = 1;
+        if event.site != NO_SITE {
+            pairs.insert(at, ("site".into(), Json::Num(event.site as f64)));
+            at += 1;
+        }
+        if event.context != NO_CONTEXT {
+            pairs.insert(at, ("context".into(), Json::Num(event.context as f64)));
         }
     }
     j
@@ -175,6 +182,9 @@ pub fn append_event_jsonl(event: &Event, out: &mut String) {
     if event.site != NO_SITE {
         num(out, "site", event.site as f64);
     }
+    if event.context != NO_CONTEXT {
+        num(out, "context", event.context as f64);
+    }
     match &event.kind {
         EventKind::IterationStart { iteration } => {
             str_field(out, "kind", "iteration-start");
@@ -261,6 +271,16 @@ pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
         }
         None => NO_SITE,
     };
+    let context = match j.get("context") {
+        Some(_) => {
+            let c = get_u64(j, "context")?;
+            if c >= NO_CONTEXT as u64 {
+                return semantic_err(format!("context {c} out of range"));
+            }
+            c as u32
+        }
+        None => NO_CONTEXT,
+    };
     let kind = match get_str(j, "kind")? {
         "iteration-start" => EventKind::IterationStart {
             iteration: get_u64(j, "iteration")?,
@@ -324,7 +344,12 @@ pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
         },
         other => return semantic_err(format!("unknown event kind '{other}'")),
     };
-    Ok(Event { t_us, site, kind })
+    Ok(Event {
+        t_us,
+        site,
+        context,
+        kind,
+    })
 }
 
 /// Serialize events as JSONL: one compact JSON object per line
@@ -619,11 +644,13 @@ mod tests {
             Event {
                 t_us: 0,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::IterationStart { iteration: 3 },
             },
             Event {
                 t_us: 5,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::AlgorithmSelected {
                     algorithm: 1,
                     weights: WeightSet::from_slice(&[0.25, 0.75]),
@@ -632,6 +659,7 @@ mod tests {
             Event {
                 t_us: 6,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::Phase1Step {
                     op: SimplexOp::Reflect,
                 },
@@ -639,6 +667,7 @@ mod tests {
             Event {
                 t_us: 7,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::SpanBegin {
                     span: SpanKind::Search,
                 },
@@ -646,6 +675,7 @@ mod tests {
             Event {
                 t_us: 90,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::SpanEnd {
                     span: SpanKind::Search,
                 },
@@ -653,6 +683,7 @@ mod tests {
             Event {
                 t_us: 95,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::MeasureOutcome {
                     algorithm: 1,
                     status: MeasureStatus::Ok,
@@ -662,6 +693,7 @@ mod tests {
             Event {
                 t_us: 96,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::PenaltyApplied {
                     algorithm: 0,
                     penalty_ms: 12.5,
@@ -670,6 +702,7 @@ mod tests {
             Event {
                 t_us: 97,
                 site: NO_SITE,
+                context: NO_CONTEXT,
                 kind: EventKind::WindowEvicted {
                     algorithm: 0,
                     evicted_sample: 14,
@@ -678,6 +711,7 @@ mod tests {
             Event {
                 t_us: 99,
                 site: NO_SITE,
+                context: 9,
                 kind: EventKind::QueueDepth {
                     depth: 3,
                     workers: 8,
@@ -686,6 +720,7 @@ mod tests {
             Event {
                 t_us: 104,
                 site: 7,
+                context: 3,
                 kind: EventKind::DriftDetected {
                     baseline_ms: 0.5,
                     observed_ms: 1.375,

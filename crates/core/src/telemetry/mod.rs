@@ -83,12 +83,20 @@ pub const RING_SHARDS: usize = 8;
 /// The `site` value carried by events not attributed to any tuning site.
 pub const NO_SITE: u16 = u16::MAX;
 
+/// The `context` value carried by events not attributed to any context
+/// key ([`crate::context::ContextSites`] assigns real ids).
+pub const NO_CONTEXT: u32 = u32::MAX;
+
 #[cfg(feature = "telemetry")]
 thread_local! {
     /// The site the current thread is presently working for (see
     /// [`with_site`]). Read on every recorded event to stamp
     /// [`Event::site`].
     static CURRENT_SITE: std::cell::Cell<u16> = const { std::cell::Cell::new(NO_SITE) };
+    /// The context key id the current thread is presently working for
+    /// (see [`with_context`]). Read on every recorded event to stamp
+    /// [`Event::context`].
+    static CURRENT_CONTEXT: std::cell::Cell<u32> = const { std::cell::Cell::new(NO_CONTEXT) };
     /// Lazily assigned ring-shard hint for events with no site tag.
     static SHARD_HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
@@ -126,6 +134,43 @@ pub fn current_site() -> u16 {
     }
     #[cfg(not(feature = "telemetry"))]
     NO_SITE
+}
+
+/// Run `f` with every event recorded by this thread tagged as belonging
+/// to context key `context` (see [`Event::context`] and
+/// [`crate::context::ContextSites`], which assigns the ids). Scopes
+/// nest; the previous tag is restored on exit, including on panic.
+/// Orthogonal to [`with_site`]: the site tag names the registry slot
+/// (recycled across bindings), the context tag names the logical key —
+/// splitting a trace by `(site, context)` separates the bindings that
+/// shared a slot. Without the `telemetry` feature this is a plain call
+/// to `f`.
+pub fn with_context<R, F: FnOnce() -> R>(context: u32, f: F) -> R {
+    #[cfg(feature = "telemetry")]
+    {
+        struct Restore(u32);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_CONTEXT.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_CONTEXT.with(|c| c.replace(context)));
+        f()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    f()
+}
+
+/// The context tag the current thread's events are stamped with
+/// ([`NO_CONTEXT`] outside any [`with_context`] scope or without the
+/// `telemetry` feature).
+pub fn current_context() -> u32 {
+    #[cfg(feature = "telemetry")]
+    {
+        CURRENT_CONTEXT.with(|c| c.get())
+    }
+    #[cfg(not(feature = "telemetry"))]
+    NO_CONTEXT
 }
 
 /// The ring-shard index for an event tagged `site`, recorded from the
@@ -407,16 +452,24 @@ pub struct Event {
     /// emitting code was not running inside a [`with_site`] scope — e.g.
     /// a directly driven single tuner).
     pub site: u16,
+    /// The context key this event was recorded for ([`NO_CONTEXT`] when
+    /// the emitting code was not running inside a [`with_context`] scope
+    /// — i.e. outside any [`crate::context::ContextSites`] dispatch).
+    /// Together with [`Event::site`] this splits a trace per *binding*:
+    /// the site names the recycled registry slot, the context names the
+    /// logical key bound to it at the time.
+    pub context: u32,
     /// The event payload.
     pub kind: EventKind,
 }
 
 impl Event {
-    /// An event not attributed to any tuning site.
+    /// An event not attributed to any tuning site or context key.
     pub fn untagged(t_us: u64, kind: EventKind) -> Self {
         Event {
             t_us,
             site: NO_SITE,
+            context: NO_CONTEXT,
             kind,
         }
     }
@@ -489,9 +542,14 @@ impl Recorder {
     pub fn record(&self, kind: EventKind) {
         let t_us = self.epoch.elapsed().as_micros() as u64;
         let site = current_site();
+        let context = current_context();
         self.metrics.observe(&kind);
-        self.ring(shard_index(site, self.shards.len()))
-            .push(Event { t_us, site, kind });
+        self.ring(shard_index(site, self.shards.len())).push(Event {
+            t_us,
+            site,
+            context,
+            kind,
+        });
     }
 
     /// Copy out the currently stored events across all shards, merged

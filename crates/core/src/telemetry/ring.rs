@@ -107,13 +107,14 @@ impl EventRing {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{EventKind, NO_SITE};
+    use super::super::{EventKind, NO_CONTEXT, NO_SITE};
     use super::*;
 
     fn ev(i: u64) -> Event {
         Event {
             t_us: i,
             site: NO_SITE,
+            context: NO_CONTEXT,
             kind: EventKind::IterationStart { iteration: i },
         }
     }

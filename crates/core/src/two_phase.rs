@@ -422,6 +422,36 @@ impl TwoPhaseTuner {
         &self.failures
     }
 
+    /// Best-known (configuration, value) of algorithm `i`'s phase-1
+    /// searcher — the per-algorithm incumbent `C_opt,A` the context layer
+    /// ([`crate::context`]) extracts when warm-starting a neighboring
+    /// context's tuner.
+    pub fn searcher_best(&self, i: usize) -> Option<(&Configuration, f64)> {
+        self.searchers[i].best()
+    }
+
+    /// Prime the phase-2 strategy with one *synthetic* observation for
+    /// algorithm `i` — the warm-start seeding hook used by
+    /// [`crate::context`] to transplant a neighboring context's posterior.
+    ///
+    /// The sample enters the strategy's per-algorithm history (so the
+    /// algorithm counts as "seen", carries a selection weight, and the
+    /// initial round-robin exploration of unseen algorithms is skipped),
+    /// but **not** the iteration log: seeded knowledge is prior belief,
+    /// not a measurement of this context. Non-finite values are ignored.
+    ///
+    /// Panics if called between [`TwoPhaseTuner::next`] and its report —
+    /// seeding is a construction-time operation.
+    pub fn seed_algorithm(&mut self, i: usize, value: f64) {
+        assert!(
+            self.pending.is_none(),
+            "seed_algorithm() must not interrupt an iteration"
+        );
+        if value.is_finite() {
+            self.strategy.report(i, value);
+        }
+    }
+
     /// The (algorithm, configuration) pair the tuner would run if asked to
     /// purely *exploit* right now: the phase-2 strategy's current best
     /// algorithm with its phase-1 searcher's best-known configuration.

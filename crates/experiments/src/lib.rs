@@ -32,6 +32,10 @@
 //! the third workload — small-array sorting with input size as a
 //! context dimension — and rebuilds per-size-class convergence tables
 //! (winner, iterations-to-within-5%) from the exported JSONL trace. The
+//! `contexts` target ([`contexts`]) exercises the generalized context
+//! layer ([`autotune::context`]): per-(size × presortedness) winner
+//! flips, warm-vs-cold admission convergence, and LRU churn accounting,
+//! all rebuilt from the trace's `context` field. The
 //! `serve` target ([`serve`]) stands the case
 //! studies up as an always-on TCP tuning service ([`autotune::serve`])
 //! with per-site drift detection, and the `load` target ([`load`]) is its
@@ -44,6 +48,7 @@
 
 pub mod ablations;
 pub mod constraints;
+pub mod contexts;
 pub mod cs1;
 pub mod cs2;
 pub mod faults;
@@ -54,3 +59,12 @@ pub mod serve;
 pub mod sites;
 pub mod sortstudy;
 pub mod tables;
+
+/// Tests that drain the process-global telemetry ring live must not run
+/// concurrently with each other — across modules, not just within one.
+/// Every such test takes this crate-wide lock first.
+#[cfg(test)]
+pub(crate) fn ring_lock() -> std::sync::MutexGuard<'static, ()> {
+    static RING: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    RING.lock().unwrap_or_else(|e| e.into_inner())
+}

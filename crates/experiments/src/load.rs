@@ -391,11 +391,13 @@ mod tests {
             Event {
                 t_us: 10,
                 site: u16::MAX,
+                context: u32::MAX,
                 kind: EventKind::IterationStart { iteration: 1 },
             },
             Event {
                 t_us: 20,
                 site: 3,
+                context: u32::MAX,
                 kind: EventKind::DriftDetected {
                     baseline_ms: 1.0,
                     observed_ms: 2.5,

@@ -3,7 +3,8 @@
 //! text ([`USAGE`]).
 
 use experiments::{
-    ablations, constraints, cs1, cs2, faults, load, record, report, serve, sites, sortstudy, tables,
+    ablations, constraints, contexts, cs1, cs2, faults, load, record, report, serve, sites,
+    sortstudy, tables,
 };
 use std::path::{Path, PathBuf};
 
@@ -35,6 +36,8 @@ batch targets (write into --results-dir, default `results/`):
   sites       concurrent multi-site runtime at production shape
   smallsort   size-classed small-array sorting: per-class winners and
               convergence tables rebuilt from the JSONL telemetry trace
+  contexts    generalized context dimensions: per-(size x presortedness)
+              winner flips, warm-vs-cold admissions, LRU churn accounting
   record      replay both case studies with telemetry traces on
   report      rebuild convergence tables from recorded traces
   all         every batch target above, quick profile
@@ -451,6 +454,38 @@ fn main() {
             args.out.display()
         );
     }
+    if matches!(t, "contexts" | "all") {
+        let mut cfg = if args.paper {
+            contexts::ContextsConfig::paper()
+        } else {
+            contexts::ContextsConfig::default()
+        };
+        if let Some(i) = args.iters {
+            cfg.requests_per_key = i;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        eprintln!(
+            "[contexts] context dimensions: {} classes × {} requests/key, churn {}→{} slots…",
+            cfg.classes.len(),
+            cfg.requests_per_key,
+            cfg.classes.len() * 2,
+            cfg.churn_capacity
+        );
+        let study = contexts::run_study(&cfg);
+        println!("{}", contexts::summary(&study));
+        check_io(
+            "contexts.json",
+            &args.out,
+            contexts::save(&study, &args.out),
+        );
+        println!(
+            "→ {}/contexts.json, {}/contexts_trace.jsonl\n",
+            args.out.display(),
+            args.out.display()
+        );
+    }
     if matches!(t, "record" | "all") {
         if !autotune::telemetry::compiled() {
             eprintln!("error: `record` needs the `telemetry` cargo feature (it is on by default)");
@@ -557,6 +592,7 @@ fn main() {
         "constraints",
         "sites",
         "smallsort",
+        "contexts",
         "record",
         "report",
         "serve",

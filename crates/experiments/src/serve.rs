@@ -40,7 +40,7 @@
 //! |---|---|---|
 //! | `OP_MATCH` | pattern bytes | `u32` LE occurrence count |
 //! | `OP_RENDER` | empty, or `u16 LE w, u16 LE h` | `f32` LE mean luminance |
-//! | `OP_SORT` | `u32` LE n, optionally `u64` LE key seed | `u8` ok, `u32` LE size class, `u64` LE key checksum |
+//! | `OP_SORT` | `u32` LE n, optionally `u64` LE key seed, optionally `u8` presort hint | `u8` ok, `u32` LE size class, `u64` LE key checksum |
 //! | `OP_MORPH` | `u8` target (0=corpus, 1=scene), `u8` level | the two bytes, echoed |
 //!
 //! `OP_SORT` generates its `n` keys server-side from the seed (the wire
@@ -49,6 +49,7 @@
 //! verify independently. `ok` is the server's own sortedness +
 //! key-conservation check.
 
+use autotune::context::ContextKey;
 use autotune::drift::{observe_and_restart, DriftConfig, DriftMonitor};
 use autotune::json::Json;
 use autotune::rng::Rng;
@@ -308,13 +309,20 @@ impl RequestHandler for AppHandler {
                 let n = (u32::from_le_bytes(n_bytes.try_into().unwrap()) as usize).min(MAX_SORT_N);
                 // Keys are derived server-side: from the client's seed if
                 // it sent one (reproducible requests), else from the
-                // server's own stream.
+                // server's own stream. A trailing presort hint byte of 1
+                // asks for a nearly-sorted input instead of a random one,
+                // steering the request onto a different context key at
+                // the same size.
                 let seed = payload
                     .get(4..12)
                     .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
                     .unwrap_or_else(|| self.sort_rng.next_u64());
                 let mut keys = Rng::new(seed);
-                let mut data: Vec<u64> = (0..n).map(|_| keys.next_u64()).collect();
+                let mut data: Vec<u64> = if payload.get(12) == Some(&1) {
+                    smallsort::nearly_sorted_input(n, &mut keys)
+                } else {
+                    (0..n).map(|_| keys.next_u64()).collect()
+                };
                 let sum_in = data.iter().copied().fold(0u64, u64::wrapping_add);
                 let (class, _ms) = smallsort::sort_request(&self.sort_sites, &mut data);
                 let sum_out = data.iter().copied().fold(0u64, u64::wrapping_add);
@@ -498,12 +506,23 @@ pub fn serve_json(report: &ServeReport, handler: &AppHandler) -> Json {
                     .sites()
                     .iter()
                     .map(|&(name, s)| site_json(name, s))
-                    // Sort class sites ride along, but only the classes
-                    // this run actually served.
-                    .chain(SortSites::classes().filter_map(|class| {
-                        let s = handler.sort_sites().class_site(class);
-                        (s.calls() > 0).then(|| site_json(&format!("sort/c{class:02}"), s))
-                    }))
+                    // Sort context sites ride along, but only the keys
+                    // this run actually served. Keys sort so the report
+                    // order is stable across runs.
+                    .chain({
+                        let mut keys: Vec<_> = handler.sort_sites().table().keys();
+                        keys.sort_unstable();
+                        keys.into_iter().filter_map(|(key, context)| {
+                            let s = handler.sort_sites().key_site(key);
+                            (s.calls() > 0).then(|| {
+                                let mut j = site_json(&format!("sort/{}", key.label()), s);
+                                if let Json::Obj(pairs) = &mut j {
+                                    pairs.insert(1, ("context".into(), Json::Num(context as f64)));
+                                }
+                                j
+                            })
+                        })
+                    })
                     .collect(),
             ),
         ),
@@ -651,6 +670,30 @@ mod tests {
     }
 
     #[test]
+    fn sort_presort_hint_steers_requests_to_the_nearly_sorted_key() {
+        use smallsort::{SortKey, PRESORT_NEARLY_SORTED, PRESORT_RANDOM};
+        let mut h = AppHandler::new(&tiny_opts(1013));
+        let mut out = Vec::new();
+        let mut req = 96u32.to_le_bytes().to_vec();
+        req.extend_from_slice(&77u64.to_le_bytes());
+        req.push(1); // presort hint: nearly-sorted input
+        for _ in 0..5 {
+            out.clear();
+            assert!(h.handle(OP_SORT, &req, &mut out));
+        }
+        assert_eq!(out[5], 1, "server-side sortedness check must pass");
+        let class = u32::from_le_bytes(out[6..10].try_into().unwrap());
+        assert_eq!(class, smallsort::size_class(96));
+        // Same size, different context key than the random-input path.
+        let table = h.sort_sites().table();
+        let near = SortKey::new(class, PRESORT_NEARLY_SORTED);
+        assert_eq!(table.key_stats(&near).unwrap().calls, 5);
+        assert!(table
+            .key_stats(&SortKey::new(class, PRESORT_RANDOM))
+            .is_none());
+    }
+
+    #[test]
     fn serve_json_includes_active_sort_classes() {
         let mut h = AppHandler::new(&tiny_opts(1011));
         let mut out = Vec::new();
@@ -666,10 +709,22 @@ mod tests {
             .iter()
             .filter_map(|s| s.get("name").and_then(Json::as_str))
             .collect();
-        assert!(names.contains(&"sort/c04"), "{names:?}");
-        assert!(names.contains(&"sort/c12"), "{names:?}");
-        // Idle classes stay out of the report.
-        assert!(!names.contains(&"sort/c08"), "{names:?}");
+        assert!(names.contains(&"sort/c04/random"), "{names:?}");
+        assert!(names.contains(&"sort/c12/random"), "{names:?}");
+        // Idle context keys stay out of the report.
+        assert!(
+            !names.iter().any(|n| n.starts_with("sort/c08")),
+            "{names:?}"
+        );
+        // Sort sites carry their context id next to the slot counters.
+        assert!(sites
+            .iter()
+            .filter(|s| {
+                s.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("sort/"))
+            })
+            .all(|s| s.get("context").and_then(Json::as_f64).is_some()));
         assert_eq!(
             doc.get("app").unwrap().get("sorts").and_then(Json::as_f64),
             Some(6.0)

@@ -311,11 +311,6 @@ pub fn save(study: &SortStudy, out: &std::path::Path) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// Each test drains the process-global telemetry ring live; running
-    /// two at once would steal each other's events. Serialize them.
-    static RING: Mutex<()> = Mutex::new(());
 
     fn tiny() -> SortStudyConfig {
         SortStudyConfig {
@@ -327,7 +322,7 @@ mod tests {
 
     #[test]
     fn study_tables_come_from_the_trace() {
-        let _g = RING.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = crate::ring_lock();
         let study = run_study(&tiny());
         assert_eq!(study.tables.len(), 2);
         for t in &study.tables {
@@ -349,7 +344,7 @@ mod tests {
 
     #[test]
     fn interleaved_classes_stay_isolated() {
-        let _g = RING.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = crate::ring_lock();
         // Each class's table counts exactly its own site's events: the
         // tags are distinct, and recounting the trace per tag reproduces
         // each table's `measured` (other tests' concurrent events carry
@@ -384,7 +379,7 @@ mod tests {
 
     #[test]
     fn save_writes_table_and_trace() {
-        let _g = RING.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = crate::ring_lock();
         let dir = std::env::temp_dir().join("smallsort_study_test");
         std::fs::create_dir_all(&dir).unwrap();
         let study = run_study(&SortStudyConfig {

@@ -166,7 +166,7 @@ fn sort_requests_round_trip_over_the_wire() {
         Some(40.0)
     );
     let sites = doc.get("sites").and_then(Json::as_arr).unwrap();
-    for class in ["sort/c05", "sort/c10"] {
+    for class in ["sort/c05/random", "sort/c10/random"] {
         let site = sites
             .iter()
             .find(|s| s.get("name").and_then(Json::as_str) == Some(class))

@@ -38,6 +38,8 @@ pub mod radix;
 pub mod tuned;
 
 pub use tuned::{
-    size_class, sort_algorithm_specs, sort_request, sort_site_spec, sort_with, SortSites,
-    ALGORITHM_NAMES, MAX_CLASS_LOG2, MIN_CLASS_LOG2, NUM_CLASSES,
+    nearly_sorted_input, presort_class, runs, size_class, sort_algorithm_specs, sort_request,
+    sort_request_keyed, sort_site_spec, sort_with, SortKey, SortSites, ALGORITHM_NAMES,
+    MAX_CLASS_LOG2, MIN_CLASS_LOG2, NUM_CLASSES, NUM_PRESORT_CLASSES, PRESORT_NAMES,
+    PRESORT_NEARLY_SORTED, PRESORT_RANDOM,
 };

@@ -4,15 +4,22 @@
 //!    including 0 and `usize::MAX`, maps to exactly one class in range),
 //!    stable (a pure function of `n`), monotone, and splits exactly at
 //!    powers of two (`2^k` and `2^k + 1` land in adjacent classes).
-//! 2. **Exact per-class call accounting under 8-thread stress** — like
-//!    `tests/site_runtime.rs`, but across the whole [`SortSites`] table:
-//!    concurrent sort requests of mixed sizes must be counted exactly
-//!    once at exactly the site their size class owns, with every
-//!    completed call either a tuning iteration or a contended exploit.
+//! 2. **Exact per-key call accounting under 8-thread stress** — like
+//!    `tests/site_runtime.rs`, but across the whole [`SortSites`] context
+//!    table: concurrent sort requests of mixed sizes *and mixed
+//!    presortedness* must be counted exactly once at exactly the key
+//!    their `(size class, presort class)` pair owns, with every completed
+//!    call either a tuning iteration or a contended exploit. The presort
+//!    class is a pure function of the data, so the test regenerates the
+//!    per-thread input streams afterward to replay the exact dispatch
+//!    schedule.
 
 use autotune::rng::Rng;
 use autotune::two_phase::NominalKind;
-use smallsort::{size_class, sort_request, SortSites, MAX_CLASS_LOG2, MIN_CLASS_LOG2};
+use smallsort::{
+    nearly_sorted_input, size_class, sort_request_keyed, SortKey, SortSites, MAX_CLASS_LOG2,
+    MIN_CLASS_LOG2,
+};
 
 #[test]
 fn size_class_is_total_and_in_range() {
@@ -56,8 +63,24 @@ fn size_class_boundaries_land_in_adjacent_classes() {
     assert_eq!(size_class(usize::MAX), MAX_CLASS_LOG2);
 }
 
+/// One thread's deterministic input stream: mixed sizes (both boundary
+/// shapes of every class), alternating random and nearly-sorted shapes.
+/// A pure function of `(thread, iteration)`, so the accounting pass can
+/// regenerate the exact same inputs — and therefore the exact same
+/// [`SortKey`] schedule — the worker threads dispatched.
+fn stress_input(sizes: &[usize], t: usize, i: usize) -> Vec<u64> {
+    // Phase-shift per thread so threads collide on the same key often.
+    let n = sizes[(i + t * 3) % sizes.len()];
+    let mut rng = Rng::new(0x5EED_0000 + (t * 1_000 + i) as u64);
+    if i.is_multiple_of(3) {
+        nearly_sorted_input(n, &mut rng)
+    } else {
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+}
+
 #[test]
-fn stress_exact_per_class_accounting_across_eight_threads() {
+fn stress_exact_per_key_accounting_across_eight_threads() {
     const THREADS: usize = 8;
     const ITERS: usize = 150;
     // A request size in every class, hitting both boundary shapes: the
@@ -72,51 +95,65 @@ fn stress_exact_per_class_accounting_across_eight_threads() {
             let sizes = &sizes;
             let sites = &sites;
             scope.spawn(move || {
-                let mut rng = Rng::new(9000 + t as u64);
                 for i in 0..ITERS {
-                    // Phase-shift per thread so threads collide on the
-                    // same class site often.
-                    let n = sizes[(i + t * 3) % sizes.len()];
-                    let mut data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-                    let (class, _ms) = sort_request(sites, &mut data);
-                    assert_eq!(class, size_class(n));
+                    let mut data = stress_input(sizes, t, i);
+                    let want_key = SortKey::of(&data);
+                    let (key, _ms) = sort_request_keyed(sites, &mut data);
+                    assert_eq!(key, want_key);
+                    assert_eq!(key.class, size_class(data.len()));
                     assert!(data.windows(2).all(|w| w[0] <= w[1]), "unsorted output");
                 }
             });
         }
     });
 
-    // Rebuild the exact dispatch schedule and hold every class site to it.
-    let mut per_class = std::collections::HashMap::new();
+    // Replay the input streams to rebuild the exact dispatch schedule
+    // and hold every context key to it.
+    let mut per_key = std::collections::HashMap::new();
     for t in 0..THREADS {
         for i in 0..ITERS {
-            let n = sizes[(i + t * 3) % sizes.len()];
-            *per_class.entry(size_class(n)).or_insert(0u64) += 1;
+            *per_key
+                .entry(SortKey::of(&stress_input(&sizes, t, i)))
+                .or_insert(0u64) += 1;
         }
     }
+    assert!(
+        per_key
+            .keys()
+            .map(|k| k.presort)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1,
+        "stress stream must exercise more than one presort class"
+    );
     let mut total = 0;
-    for class in MIN_CLASS_LOG2..=MAX_CLASS_LOG2 {
-        let s = sites.class_site(class);
-        let want = per_class.get(&class).copied().unwrap_or(0);
+    for (key, want) in &per_key {
+        let stats = sites
+            .table()
+            .key_stats(key)
+            .unwrap_or_else(|| panic!("key {key:?} was dispatched but never admitted"));
         assert_eq!(
-            s.calls(),
-            want,
-            "class {class} site must count exactly its own dispatches"
+            stats.calls, *want,
+            "key {key:?} must count exactly its own dispatches"
+        );
+        let s = sites.key_site(*key);
+        assert!(
+            stats.tuned_iterations > 0,
+            "key {key:?}: at least one tuning iteration ran"
         );
         assert_eq!(
             s.tuned_iterations() + s.contended(),
-            want,
-            "class {class}: every call is tuned or contended"
+            s.calls(),
+            "key {key:?}: every call is tuned or contended"
         );
-        assert!(
-            s.tuned_iterations() > 0,
-            "class {class}: at least one tuning iteration ran"
-        );
-        total += s.calls();
+        total += stats.calls;
     }
     assert_eq!(
         total,
         (THREADS * ITERS) as u64,
         "no call lost or duplicated"
     );
+    // Full-coverage table: every key stayed resident, nothing was evicted.
+    assert_eq!(sites.table().stats().evictions, 0);
+    assert_eq!(sites.table().resident_len(), per_key.len());
 }

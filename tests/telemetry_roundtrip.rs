@@ -23,6 +23,13 @@ fn arbitrary_event(rng: &mut Rng) -> Event {
     } else {
         autotune::telemetry::NO_SITE
     };
+    // Likewise for the context tag (the context layer's stamp): tagged
+    // and untagged events must both round-trip, independently of `site`.
+    let context = if rng.next_bool(0.5) {
+        rng.next_below(1 << 20) as u32
+    } else {
+        autotune::telemetry::NO_CONTEXT
+    };
     let algorithm = rng.next_below(16) as u16;
     let kind = match rng.next_below(9) {
         0 => EventKind::IterationStart {
@@ -91,7 +98,12 @@ fn arbitrary_event(rng: &mut Rng) -> Event {
             workers: rng.next_below(256) as u32,
         },
     };
-    Event { t_us, site, kind }
+    Event {
+        t_us,
+        site,
+        context,
+        kind,
+    }
 }
 
 #[test]
