@@ -11,13 +11,18 @@
 //! feature vector so keys have a notion of *nearness*. A
 //! [`ContextSites`] table maps keys to sites dynamically:
 //!
-//! * **LRU-bounded allocation** — the table owns at most `capacity`
-//!   registry slots (named `{prefix}/slotNN`). Unbounded key spaces are
-//!   safe: when every slot is bound and a new key arrives, the least
-//!   recently used *idle* binding is evicted and its slot is recycled via
-//!   [`crate::site::Site::rebind`]. Registry slots are never leaked —
-//!   the table's footprint is `capacity`, not the number of distinct keys
-//!   ever seen.
+//! * **LRU-bounded allocation** — the table holds at most `capacity`
+//!   registry slots in steady state (named `{prefix}/slotNN`). Unbounded
+//!   key spaces are safe: when every slot is bound and a new key arrives,
+//!   the least recently used *idle* binding is evicted and its slot is
+//!   recycled via [`crate::site::Site::rebind`]. Only idle bindings are
+//!   ever recycled — if every binding has a call in flight the table
+//!   grows by one overflow slot ([`ContextStats::overflows`]) instead of
+//!   waiting, so no table method ever blocks on an in-flight guard and
+//!   dispatching while already holding a [`ContextGuard`] cannot
+//!   deadlock. Registry slots are never leaked per key: the footprint is
+//!   `capacity` plus at most the peak number of concurrently in-flight
+//!   calls, not the number of distinct keys ever seen.
 //! * **Parking** — an evicted key's tuner is parked in a side map, not
 //!   destroyed. If the key returns, its tuner is reinstated verbatim:
 //!   re-admission round-trips learned state bit-identically (pinned by
@@ -149,6 +154,11 @@ pub struct ContextStats {
     pub reinstatements: u64,
     /// Evictions (each parks the outgoing tuner).
     pub evictions: u64,
+    /// Admissions that grew the pool past `capacity` because every
+    /// binding had a call in flight — the non-blocking alternative to
+    /// waiting out a guard that (if its holder is the admitting thread
+    /// itself) might never resolve.
+    pub overflows: u64,
 }
 
 /// One recycled registry slot owned by the table.
@@ -160,9 +170,10 @@ struct PoolSlot<K> {
     last_used: u64,
     /// Dispatches currently in flight through this binding. Incremented
     /// under the table lock at dispatch, decremented with `Release` when
-    /// the guard resolves; the evictor's `Acquire` load of 0 therefore
-    /// orders every posted call's counter bump before the eviction's
-    /// stats snapshot.
+    /// the [`InFlight`] share drops; the evictor's `Acquire` load of 0
+    /// therefore orders every posted call's counter bump before the
+    /// eviction's stats snapshot. A busy binding is never evicted — the
+    /// table grows instead (see [`ContextStats::overflows`]).
     in_flight: Arc<AtomicUsize>,
     /// `site.calls()` / `site.tuned_iterations()` at bind time — the
     /// slot counters count the slot, these bases carve out this key's
@@ -181,6 +192,28 @@ impl<K> PoolSlot<K> {
                 + (self.site.tuned_iterations() - self.tuned_base),
             admissions: self.carried.admissions,
         }
+    }
+}
+
+/// RAII share of a binding's in-flight count: taken under the table
+/// lock at bind, released on drop — including panic unwinds (a leaked
+/// count would permanently mark the binding busy, forcing every later
+/// admission that targets it onto the overflow path).
+struct InFlight(Arc<AtomicUsize>);
+
+impl InFlight {
+    fn enter(counter: &Arc<AtomicUsize>) -> InFlight {
+        counter.fetch_add(1, Ordering::Relaxed);
+        InFlight(Arc::clone(counter))
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        // `Release` pairs with the evictor's `Acquire` idleness check:
+        // everything this call did to the site happens-before a later
+        // rebind of its slot.
+        self.0.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -287,14 +320,19 @@ impl<K: ContextKey> ContextSites<K> {
         self
     }
 
-    /// Maximum number of concurrently bound keys.
+    /// Steady-state bound on concurrently bound keys. An admission that
+    /// finds every binding with a call in flight grows the pool past
+    /// this instead of waiting ([`ContextStats::overflows`]); once those
+    /// calls resolve, the extra slots are recycled like any other.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Dispatch one call for `key`: admit the key if necessary (evicting
-    /// the least recently used idle binding when the pool is full), then
-    /// enter its site. The returned guard mirrors
+    /// the least recently used *idle* binding when the pool is full, or
+    /// growing the pool when every binding is busy — dispatch never
+    /// waits on another call's guard), then enter its site. The returned
+    /// guard mirrors
     /// [`crate::site::SiteGuard`]: call [`ContextGuard::post`] /
     /// [`ContextGuard::post_outcome`] around the interchangeable code, or
     /// drop it to abandon the call. The proposal and the report both run
@@ -305,7 +343,7 @@ impl<K: ContextKey> ContextSites<K> {
         let guard = telemetry::with_context(context, || site.pre());
         ContextGuard {
             guard: Some(guard),
-            in_flight,
+            _in_flight: in_flight,
             context,
         }
     }
@@ -324,10 +362,8 @@ impl<K: ContextKey> ContextSites<K> {
     /// first if necessary. For analysis and tests — blocking, like
     /// [`crate::site::Site::with_tuner`].
     pub fn with_tuner_for<R>(&self, key: &K, f: impl FnOnce(&SiteTuner) -> R) -> R {
-        let (site, context, in_flight) = self.bind(key);
-        let r = telemetry::with_context(context, || site.with_tuner(f));
-        in_flight.fetch_sub(1, Ordering::Release);
-        r
+        let (site, context, _in_flight) = self.bind(key);
+        telemetry::with_context(context, || site.with_tuner(f))
     }
 
     /// The raw [`Site`] handle currently bound to `key`, admitting the
@@ -338,8 +374,7 @@ impl<K: ContextKey> ContextSites<K> {
     /// table cannot evict — i.e. `capacity` covers the whole key space
     /// (how `smallsort::SortSites` uses it).
     pub fn resident_site(&self, key: &K) -> Site {
-        let (site, _context, in_flight) = self.bind(key);
-        in_flight.fetch_sub(1, Ordering::Release);
+        let (site, _context, _in_flight) = self.bind(key);
         site
     }
 
@@ -394,8 +429,8 @@ impl<K: ContextKey> ContextSites<K> {
     }
 
     /// Look up or admit `key`; returns its site, context id and the
-    /// in-flight counter, already incremented for the caller.
-    fn bind(&self, key: &K) -> (Site, u32, Arc<AtomicUsize>) {
+    /// caller's [`InFlight`] share of the binding.
+    fn bind(&self, key: &K) -> (Site, u32, InFlight) {
         let mut inner = self.inner.lock().unwrap();
         let inner = &mut *inner;
         inner.tick += 1;
@@ -404,8 +439,7 @@ impl<K: ContextKey> ContextSites<K> {
         if let Some(&i) = inner.resident.get(key) {
             let slot = &mut inner.pool[i];
             slot.last_used = tick;
-            slot.in_flight.fetch_add(1, Ordering::Relaxed);
-            return (slot.site, slot.context, Arc::clone(&slot.in_flight));
+            return (slot.site, slot.context, InFlight::enter(&slot.in_flight));
         }
 
         // Admission. Build the incoming binding first: a parked tuner is
@@ -435,99 +469,124 @@ impl<K: ContextKey> ContextSites<K> {
         };
         inner.stats.admissions += 1;
 
-        let i = if inner.pool.len() < self.capacity {
-            // Claim a fresh registry slot.
-            let name = format!("{}/slot{:02}", self.prefix, inner.pool.len());
-            let spec = spec.with_name(name);
-            let site = site::site(site::register(spec.clone()));
-            if let Some(t) = incoming {
-                // The fresh slot was registered cold; install the warm /
-                // reinstated tuner (no guard can be in flight yet).
-                site.rebind(spec, Some(t));
-            }
-            inner.pool.push(PoolSlot {
-                site,
-                key: key.clone(),
-                context,
-                last_used: tick,
-                in_flight: Arc::new(AtomicUsize::new(0)),
-                calls_base: site.calls(),
-                tuned_base: site.tuned_iterations(),
-                carried,
-            });
-            inner.resident.insert(key.clone(), inner.pool.len() - 1);
-            inner.pool.len() - 1
+        // A binding may only be recycled while no call is in flight
+        // through it, and the idleness check is race-free: counts are
+        // incremented only under this lock, so an idle binding stays
+        // idle until we release it. When every binding is busy the pool
+        // *grows* instead of waiting — blocking here (with the table
+        // lock held) would deadlock a thread that dispatches while
+        // holding a ContextGuard on one of the busy bindings.
+        let victim = if inner.pool.len() < self.capacity {
+            None
         } else {
-            // Recycle the least recently used binding, preferring idle
-            // slots; if every slot has calls in flight, wait on the
-            // global LRU (guards resolve without taking the table lock,
-            // so this cannot deadlock).
-            let victim = Self::pick_victim(&inner.pool);
-            while inner.pool[victim].in_flight.load(Ordering::Acquire) != 0 {
-                std::hint::spin_loop();
+            Self::pick_idle_victim(&inner.pool)
+        };
+        let i = match victim {
+            None => {
+                // Claim a fresh registry slot.
+                if inner.pool.len() >= self.capacity {
+                    inner.stats.overflows += 1;
+                }
+                let name = format!("{}/slot{:02}", self.prefix, inner.pool.len());
+                let spec = spec.with_name(name);
+                let site = site::site(site::register(spec.clone()));
+                if let Some(t) = incoming {
+                    // The fresh slot was registered cold; install the warm /
+                    // reinstated tuner (no guard can be in flight yet).
+                    site.rebind(spec, Some(t));
+                }
+                inner.pool.push(PoolSlot {
+                    site,
+                    key: key.clone(),
+                    context,
+                    last_used: tick,
+                    in_flight: Arc::new(AtomicUsize::new(0)),
+                    calls_base: site.calls(),
+                    tuned_base: site.tuned_iterations(),
+                    carried,
+                });
+                inner.resident.insert(key.clone(), inner.pool.len() - 1);
+                inner.pool.len() - 1
             }
-            let name = format!("{}/slot{:02}", self.prefix, victim);
-            let spec = spec.with_name(name);
-            let slot = &mut inner.pool[victim];
-            let evicted_stats = slot.stats_now();
-            let outgoing = slot.site.rebind(spec, incoming);
-            inner.stats.evictions += 1;
-            let old_key = std::mem::replace(&mut slot.key, key.clone());
-            inner.resident.remove(&old_key);
-            inner.parked.insert(
-                old_key,
-                Parked {
-                    tuner: outgoing,
-                    context: slot.context,
-                    stats: evicted_stats,
-                },
-            );
-            slot.context = context;
-            slot.last_used = tick;
-            slot.calls_base = slot.site.calls();
-            slot.tuned_base = slot.site.tuned_iterations();
-            slot.carried = carried;
-            inner.resident.insert(key.clone(), victim);
-            victim
+            Some(victim) => {
+                // Recycle the least recently used idle binding in place.
+                let name = format!("{}/slot{:02}", self.prefix, victim);
+                let spec = spec.with_name(name);
+                let slot = &mut inner.pool[victim];
+                let evicted_stats = slot.stats_now();
+                let outgoing = slot.site.rebind(spec, incoming);
+                inner.stats.evictions += 1;
+                let old_key = std::mem::replace(&mut slot.key, key.clone());
+                inner.resident.remove(&old_key);
+                inner.parked.insert(
+                    old_key,
+                    Parked {
+                        tuner: outgoing,
+                        context: slot.context,
+                        stats: evicted_stats,
+                    },
+                );
+                slot.context = context;
+                slot.last_used = tick;
+                slot.calls_base = slot.site.calls();
+                slot.tuned_base = slot.site.tuned_iterations();
+                slot.carried = carried;
+                inner.resident.insert(key.clone(), victim);
+                victim
+            }
         };
 
         let slot = &mut inner.pool[i];
         slot.carried.admissions += 1;
-        slot.in_flight.fetch_add(1, Ordering::Relaxed);
-        (slot.site, slot.context, Arc::clone(&slot.in_flight))
+        (slot.site, slot.context, InFlight::enter(&slot.in_flight))
     }
 
-    /// Idle slot with the smallest `last_used`, or the global LRU slot if
-    /// every slot is busy.
-    fn pick_victim(pool: &[PoolSlot<K>]) -> usize {
-        let lru = |indices: &mut dyn Iterator<Item = usize>| {
-            indices.min_by_key(|&i| (pool[i].last_used, i))
-        };
-        let mut idle = (0..pool.len()).filter(|&i| pool[i].in_flight.load(Ordering::Acquire) == 0);
-        lru(&mut idle)
-            .or_else(|| lru(&mut (0..pool.len())))
-            .expect("pool is non-empty")
+    /// Least-recently-used binding with no calls in flight, or `None`
+    /// when every binding is busy. The `Acquire` load pairs with the
+    /// [`InFlight`] `Release` decrement, so everything a resolved call
+    /// did to the victim site happens-before the eviction's stats
+    /// snapshot and rebind.
+    fn pick_idle_victim(pool: &[PoolSlot<K>]) -> Option<usize> {
+        (0..pool.len())
+            .filter(|&i| pool[i].in_flight.load(Ordering::Acquire) == 0)
+            .min_by_key(|&i| (pool[i].last_used, i))
     }
 
-    /// The nearest admitted key's incumbents (resident or parked), or
-    /// `None` when `key` is the table's first. Ties break toward resident
-    /// keys, then lower context id, so the choice is deterministic.
+    /// The nearest admitted key's incumbents, or `None` when no admitted
+    /// key has an observable posterior. Neighbors (resident and parked)
+    /// are ranked by `(L1 distance, resident-before-parked, context id)`
+    /// so the choice is deterministic, and walked in rank order: one
+    /// whose posterior is unavailable — a resident site mid-measurement,
+    /// or a tuner with no incumbents yet — is skipped for the
+    /// next-nearest. A resident neighbor's site claim is only *tried*
+    /// ([`Site::try_with_tuner`]), never spun on: this runs under the
+    /// table lock, and the claim is held across the neighbor's entire
+    /// measured call — waiting here would stall every dispatch on the
+    /// table and deadlocks outright if the claim holder re-enters it.
     fn neighbor_incumbents(inner: &Inner<K>, key: &K) -> Option<Vec<Option<(Configuration, f64)>>> {
         let resident = inner
             .resident
             .iter()
             .map(|(k, &i)| (k, 0u8, inner.pool[i].context));
         let parked = inner.parked.iter().map(|(k, p)| (k, 1u8, p.context));
-        let (nearest, _) = resident
+        let mut ranked: Vec<(K, (u64, u8, u32))> = resident
             .chain(parked)
             .map(|(k, tier, ctx)| (k.clone(), (key.distance(k), tier, ctx)))
-            .min_by_key(|(_, rank)| *rank)?;
-        let incumbents = if let Some(&i) = inner.resident.get(&nearest) {
-            inner.pool[i].site.with_tuner(|t| t.incumbents())
-        } else {
-            inner.parked[&nearest].tuner.incumbents()
-        };
-        incumbents.iter().any(Option::is_some).then_some(incumbents)
+            .collect();
+        ranked.sort_by_key(|(_, rank)| *rank);
+        for (neighbor, _) in ranked {
+            let incumbents = match inner.resident.get(&neighbor) {
+                Some(&i) => match inner.pool[i].site.try_with_tuner(|t| t.incumbents()) {
+                    Some(inc) => inc,
+                    None => continue, // claim busy right now: don't wait
+                },
+                None => inner.parked[&neighbor].tuner.incumbents(),
+            };
+            if incumbents.iter().any(Option::is_some) {
+                return Some(incumbents);
+            }
+        }
+        None
     }
 }
 
@@ -550,7 +609,9 @@ impl<K: ContextKey> std::fmt::Debug for ContextSites<K> {
 /// with. Dropping the guard without a `post` abandons the call.
 pub struct ContextGuard {
     guard: Option<SiteGuard>,
-    in_flight: Arc<AtomicUsize>,
+    /// Dropped (also on panic unwind) after the site guard resolves,
+    /// releasing the binding for eviction.
+    _in_flight: InFlight,
     context: u32,
 }
 
@@ -590,7 +651,7 @@ impl ContextGuard {
     pub fn post(mut self) -> f64 {
         let guard = self.guard.take().expect("guard posted twice");
         telemetry::with_context(self.context, || guard.post())
-        // Drop decrements in_flight.
+        // Dropping `self` releases the in-flight share.
     }
 
     /// Report an explicit [`MeasureOutcome`] (an externally batched
@@ -598,7 +659,7 @@ impl ContextGuard {
     pub fn post_outcome(mut self, outcome: MeasureOutcome) {
         let guard = self.guard.take().expect("guard posted twice");
         telemetry::with_context(self.context, || guard.post_outcome(outcome));
-        // Drop decrements in_flight.
+        // Dropping `self` releases the in-flight share.
     }
 }
 
@@ -608,7 +669,7 @@ impl Drop for ContextGuard {
             // Abandon: roll back the proposal under the context tag.
             telemetry::with_context(self.context, || drop(guard));
         }
-        self.in_flight.fetch_sub(1, Ordering::Release);
+        // `_in_flight` drops after this body, releasing the binding.
     }
 }
 
@@ -713,6 +774,47 @@ mod tests {
         drive(&t, Key(1), 1);
         assert_eq!(t.context_id(&Key(1)), Some(c1));
         assert_eq!(t.context_id(&Key(2)), Some(c2));
+    }
+
+    #[test]
+    fn dispatch_while_holding_a_guard_grows_instead_of_deadlocking() {
+        let t = table("test/ctx/reentrant", 1);
+        let g1 = t.dispatch(&Key(1));
+        // Every binding is busy (this thread holds the guard): the table
+        // must grow, not wait for a guard that can never resolve here.
+        let g2 = t.dispatch(&Key(2));
+        assert_eq!(t.resident_len(), 2);
+        assert_eq!(t.stats().overflows, 1);
+        assert_eq!(t.stats().evictions, 0);
+        // Table inspection while holding guards is safe too.
+        assert_eq!(t.key_stats(&Key(1)).unwrap().calls, 0);
+        g1.post_outcome(MeasureOutcome::from_value(1.0));
+        g2.post_outcome(MeasureOutcome::from_value(1.0));
+        // Both bindings idle again: the next admission recycles one
+        // instead of growing further.
+        drive(&t, Key(3), 1);
+        assert_eq!(t.resident_len(), 2);
+        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.stats().overflows, 1);
+        assert_eq!(t.key_stats(&Key(1)).unwrap().calls, 1);
+        assert_eq!(t.key_stats(&Key(2)).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn panicking_tuner_closure_unwinds_in_flight_accounting() {
+        let t = table("test/ctx/panic", 1);
+        drive(&t, Key(1), 2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.with_tuner_for(&Key(1), |_| -> () { panic!("analysis exploded") })
+        }));
+        assert!(r.is_err());
+        // The binding is idle again: a new key evicts it. A leaked
+        // in-flight count would mark it busy forever and force every
+        // later admission onto the overflow path instead.
+        drive(&t, Key(2), 1);
+        let st = t.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.overflows, 0);
     }
 
     #[test]

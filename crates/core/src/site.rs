@@ -491,6 +491,18 @@ struct SiteSlot {
     state: UnsafeCell<SlotState>,
 }
 
+/// Releases the slot's claim on drop. Armed while claim-holding code
+/// runs tuner code or caller closures that may panic, so one poisoned
+/// call cannot wedge the site into exploit-forever; dropping it is also
+/// the normal-path release.
+struct ReleaseClaim<'a>(&'a SiteSlot);
+
+impl Drop for ReleaseClaim<'_> {
+    fn drop(&mut self) {
+        self.0.claim.store(0, Ordering::Release);
+    }
+}
+
 /// The claim-guarded mutable state of a slot: the live tuner and the
 /// blueprint it was built from. Both travel together because
 /// [`Site::rebind`] swaps them as a unit — the recipe must always
@@ -733,15 +745,8 @@ impl Site {
             .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok();
         let (algorithm, config) = if claimed {
-            // Release the claim if the tuner panics mid-proposal, so one
-            // poisoned call cannot wedge the site into exploit-forever.
-            struct ReleaseOnPanic<'a>(&'a SiteSlot);
-            impl Drop for ReleaseOnPanic<'_> {
-                fn drop(&mut self) {
-                    self.0.claim.store(0, Ordering::Release);
-                }
-            }
-            let bomb = ReleaseOnPanic(slot);
+            // Release the claim if the tuner panics mid-proposal.
+            let bomb = ReleaseClaim(slot);
             // SAFETY: this thread holds the claim (see `Sync` impl).
             let proposal = telemetry::with_site(slot.id.tag(), || {
                 let tuner = unsafe { &mut (*slot.state.get()).tuner };
@@ -796,7 +801,10 @@ impl Site {
 
     /// Run `f` with exclusive access to the site's tuner, spinning until
     /// the claim is free. For analysis, reporting and tests — **not** for
-    /// hot paths (this is the one knowingly blocking entry point).
+    /// hot paths (this is the one knowingly blocking entry point), and
+    /// never while holding a lock a claim holder might take. The claim is
+    /// released even if `f` panics (`f` gets a shared reference, so an
+    /// unwound closure cannot leave the tuner half-mutated).
     pub fn with_tuner<R>(self, f: impl FnOnce(&SiteTuner) -> R) -> R {
         let slot = self.slot;
         while slot
@@ -806,10 +814,30 @@ impl Site {
         {
             std::hint::spin_loop();
         }
+        let _release = ReleaseClaim(slot);
         // SAFETY: this thread holds the claim (see `Sync` impl).
-        let r = f(unsafe { &(*slot.state.get()).tuner });
-        slot.claim.store(0, Ordering::Release);
-        r
+        f(unsafe { &(*slot.state.get()).tuner })
+    }
+
+    /// Non-blocking [`Site::with_tuner`]: run `f` with exclusive access
+    /// to the site's tuner if the claim is free *right now*, or return
+    /// `None` without waiting. For callers that hold other locks while
+    /// inspecting a site — the claim is held across a claim winner's
+    /// entire measured call, so spinning on it from inside a lock (as
+    /// [`crate::context::ContextSites`] warm-starting would otherwise do
+    /// from inside its table lock) can stall or deadlock.
+    pub fn try_with_tuner<R>(self, f: impl FnOnce(&SiteTuner) -> R) -> Option<R> {
+        let slot = self.slot;
+        if slot
+            .claim
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        let _release = ReleaseClaim(slot);
+        // SAFETY: this thread holds the claim (see `Sync` impl).
+        Some(f(unsafe { &(*slot.state.get()).tuner }))
     }
 }
 
@@ -1214,6 +1242,33 @@ mod tests {
         let g = s.pre();
         assert!(g.is_tuning());
         g.post();
+    }
+
+    #[test]
+    fn panicking_with_tuner_closure_releases_the_claim() {
+        let id = register(three_algo_spec("with-tuner-panics", 41));
+        let s = site(id);
+        let r = std::panic::catch_unwind(|| site(id).with_tuner(|_| -> () { panic!("boom") }));
+        assert!(r.is_err());
+        // The claim was released on unwind: the next call still tunes.
+        let g = s.pre();
+        assert!(g.is_tuning());
+        g.post();
+    }
+
+    #[test]
+    fn try_with_tuner_declines_while_the_claim_is_held() {
+        let id = register(three_algo_spec("try-tuner", 43));
+        let s = site(id);
+        assert!(s.try_with_tuner(|_| ()).is_some(), "free claim succeeds");
+        let g = s.pre();
+        assert!(g.is_tuning());
+        assert!(
+            s.try_with_tuner(|_| ()).is_none(),
+            "held claim declines instead of spinning"
+        );
+        g.post();
+        assert!(s.try_with_tuner(|_| ()).is_some());
     }
 
     #[test]

@@ -201,13 +201,25 @@ fn stress_exact_per_key_accounting_under_churn_across_eight_threads() {
         KEYS as u64,
         "16 first admissions"
     );
+    // Every admission either grew the pool (fresh slot below capacity,
+    // or an overflow slot while every binding had a call in flight) or
+    // evicted exactly one binding. With 16 distinct keys the pool is
+    // certainly full, so its size is exactly capacity + overflows; an
+    // overflow needs every slot busy at once, and the admitting thread
+    // holds no guard of its own, so the pool can never outgrow the
+    // thread count.
+    let resident = table.resident_len();
+    assert_eq!(resident as u64, CAPACITY as u64 + st.overflows);
+    assert!(
+        resident <= THREADS.max(CAPACITY),
+        "overflow growth is bounded by concurrency, got {resident} slots"
+    );
     assert_eq!(
         st.evictions,
-        st.admissions - CAPACITY as u64,
-        "every admission past capacity evicted exactly one binding"
+        st.admissions - resident as u64,
+        "admissions split exactly into pool growth and evictions"
     );
-    assert_eq!(table.resident_len(), CAPACITY);
-    assert_eq!(table.parked_len(), (KEYS as usize) - CAPACITY);
+    assert_eq!(table.parked_len(), (KEYS as usize) - resident);
 }
 
 #[test]
